@@ -1,0 +1,320 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/lopass"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/workload"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (run `go test -bench=.` here, or `go run ./cmd/hlpower
+// -all` for the full seven-benchmark sweep with 1000 vectors). To keep
+// `-bench=.` affordable they default to a two-benchmark subset with a
+// reduced vector count; set HLPOWER_BENCH_FULL=1 for the full suite.
+
+func benchConfig() flow.Config {
+	cfg := flow.DefaultConfig()
+	cfg.Vectors = 200
+	return cfg
+}
+
+func benchSession() *flow.Session {
+	se := flow.NewSession(benchConfig())
+	if os.Getenv("HLPOWER_BENCH_FULL") == "" {
+		var subset []workload.Profile
+		for _, name := range []string{"pr", "wang", "honda"} {
+			p, _ := workload.ByName(name)
+			subset = append(subset, p)
+		}
+		se.Benchmarks = subset
+	}
+	return se
+}
+
+var benchOnce sync.Once
+
+// BenchmarkTable1 regenerates the benchmark-profile table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := flow.Table1(&sb); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates resource constraints, schedule lengths,
+// register counts, and HLPower runtimes.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := benchSession()
+		var sb strings.Builder
+		if err := flow.Table2(&sb, se); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the LOPASS-vs-HLPower power/area
+// comparison (the paper's headline table).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := benchSession()
+		var sb strings.Builder
+		if err := flow.Table3(&sb, se); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the muxDiff mean/variance statistics.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := benchSession()
+		var sb strings.Builder
+		if err := flow.Table4(&sb, se); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the average-toggle-rate comparison.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		se := benchSession()
+		var sb strings.Builder
+		if err := flow.Figure3(&sb, se); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// frontEnd prepares the shared front end of one benchmark.
+func frontEnd(b *testing.B, name string) (*cdfg.Graph, *cdfg.Schedule, *regbind.Binding, []bool) {
+	b.Helper()
+	p, _ := workload.ByName(name)
+	g := workload.Generate(p)
+	s, err := workload.Schedule(p, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	swap := binding.RandomPortAssignment(g, 26)
+	rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, s, rb, swap
+}
+
+// BenchmarkBindHLPower measures the binder itself (Table 2's runtime
+// column) on the pr benchmark.
+func BenchmarkBindHLPower(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "pr")
+	p, _ := workload.ByName("pr")
+	table := satable.New(8, satable.EstimatorGlitch)
+	opt := core.DefaultOptions(table)
+	opt.Swap = swap
+	opt.MergesPerIteration = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Bind(g, s, rb, p.RC, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBindLOPASS measures the baseline binder on the pr benchmark.
+func BenchmarkBindLOPASS(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "pr")
+	p, _ := workload.ByName("pr")
+	zd := satable.New(8, satable.EstimatorZeroDelay)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lopass.Bind(g, s, rb, p.RC, lopass.Options{Swap: swap, Table: zd}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlphaSweep is the Eq. 4 ablation: alpha in {0, 0.25, 0.5,
+// 0.75, 1} on one benchmark, reporting the muxDiff trade-off.
+func BenchmarkAlphaSweep(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "wang")
+	p, _ := workload.ByName("wang")
+	table := satable.New(8, satable.EstimatorGlitch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			opt := core.DefaultOptions(table)
+			opt.Alpha = alpha
+			opt.Swap = swap
+			res, _, err := core.Bind(g, s, rb, p.RC, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				st := binding.ComputeMuxStats(g, rb, res)
+				b.Logf("alpha=%.2f muxDiff=%.2f/%.2f len=%d", alpha, st.DiffMean, st.DiffVar, st.Length)
+			}
+		}
+	}
+}
+
+// BenchmarkBetaSweep is the beta-sensitivity ablation of Eq. 4.
+func BenchmarkBetaSweep(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "wang")
+	p, _ := workload.ByName("wang")
+	table := satable.New(8, satable.EstimatorGlitch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, beta := range [][2]float64{{30, 1000}, {300, 10000}, {3000, 100000}} {
+			opt := core.DefaultOptions(table)
+			opt.BetaAdd, opt.BetaMult = beta[0], beta[1]
+			opt.Swap = swap
+			res, _, err := core.Bind(g, s, rb, p.RC, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				st := binding.ComputeMuxStats(g, rb, res)
+				b.Logf("beta=%v/%v muxDiff=%.2f len=%d", beta[0], beta[1], st.DiffMean, st.Length)
+			}
+		}
+	}
+}
+
+// BenchmarkSATableVsDynamic quantifies the precalculated-table speedup
+// the paper reports in §5.2.2 (same binding results, shorter runtime).
+func BenchmarkSATableVsDynamic(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "pr")
+	p, _ := workload.ByName("pr")
+	b.Run("precalculated", func(b *testing.B) {
+		table := satable.New(8, satable.EstimatorGlitch)
+		table.Precompute(10) // warm: every lookup is a hash hit
+		opt := core.DefaultOptions(table)
+		opt.Swap = swap
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Bind(g, s, rb, p.RC, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Fresh table every iteration: every lookup maps a partial
+			// datapath and runs the estimator (the dynamic path).
+			table := satable.New(8, satable.EstimatorGlitch)
+			opt := core.DefaultOptions(table)
+			opt.Swap = swap
+			if _, _, err := core.Bind(g, s, rb, p.RC, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGlitchAwareVsZeroDelay is the estimator ablation: bind with
+// the glitch-aware SA table vs the zero-delay (glitch-blind) table.
+func BenchmarkGlitchAwareVsZeroDelay(b *testing.B) {
+	g, s, rb, swap := frontEnd(b, "wang")
+	p, _ := workload.ByName("wang")
+	for _, est := range []satable.Estimator{satable.EstimatorGlitch, satable.EstimatorZeroDelay, satable.EstimatorNajm} {
+		est := est
+		b.Run(est.String(), func(b *testing.B) {
+			table := satable.New(8, est)
+			opt := core.DefaultOptions(table)
+			opt.Swap = swap
+			for i := 0; i < b.N; i++ {
+				res, _, err := core.Bind(g, s, rb, p.RC, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					st := binding.ComputeMuxStats(g, rb, res)
+					b.Logf("%s: muxDiff=%.2f len=%d largest=%d", est, st.DiffMean, st.Length, st.Largest)
+				}
+			}
+		})
+	}
+}
+
+// TestFigure1Example verifies the paper's worked example end to end as a
+// test (the quickstart example prints the same walk-through).
+func TestFigure1Example(t *testing.T) {
+	g := cdfg.NewGraph("fig1")
+	in := make([]int, 6)
+	for i := range in {
+		in[i] = g.AddInput("")
+	}
+	op1 := g.AddOp(cdfg.KindAdd, "1", in[0], in[1])
+	op2 := g.AddOp(cdfg.KindAdd, "2", in[1], in[2])
+	op3 := g.AddOp(cdfg.KindMult, "3", in[3], in[4])
+	op4 := g.AddOp(cdfg.KindAdd, "4", op1, op2)
+	op5 := g.AddOp(cdfg.KindMult, "5", op3, in[5])
+	op6 := g.AddOp(cdfg.KindAdd, "6", op4, op5)
+	op7 := g.AddOp(cdfg.KindMult, "7", op5, op4)
+	op8 := g.AddOp(cdfg.KindAdd, "8", op4, op3)
+	g.MarkOutput(op6)
+	g.MarkOutput(op7)
+	g.MarkOutput(op8)
+	s := &cdfg.Schedule{Step: make([]int, len(g.Nodes)), Len: 3}
+	for op, step := range map[int]int{op1: 1, op2: 1, op3: 1, op4: 2, op5: 2, op6: 3, op7: 3, op8: 3} {
+		s.Step[op] = step
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(8, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, cdfg.ResourceConstraint{Add: 2, Mult: 1}, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Counts()
+	if len(res.FUs) != 3 {
+		t.Fatalf("figure 1 wants 2 adders + 1 multiplier, got %v", counts)
+	}
+}
+
+// TestHeadlineShapes asserts the paper's qualitative results hold on the
+// benchmark subset (the full-suite record lives in EXPERIMENTS.md).
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline comparison")
+	}
+	benchOnce.Do(func() {})
+	se := benchSession()
+	devs, err := flow.ValidateAgainstPaper(se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devs {
+		t.Errorf("deviation: %s", d)
+	}
+}

@@ -1,0 +1,119 @@
+// Command cdfggen emits the benchmark CDFGs: statistics, Graphviz DOT,
+// schedules, or the generated VHDL of a bound implementation.
+//
+// Usage:
+//
+//	cdfggen -list
+//	cdfggen -bench chem [-dot] [-sched] [-vhdl] [-width 8]
+//	cdfggen -kernel dct8|fir16|bfly8 [-dot] [-vhdl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/vhdl"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list benchmark profiles")
+		bench  = flag.String("bench", "", "benchmark name")
+		kernel = flag.String("kernel", "", "real kernel: dct8, fir16, bfly8, iir2, or matmul3")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT")
+		sched  = flag.Bool("sched", false, "print the schedule")
+		emitV  = flag.Bool("vhdl", false, "emit VHDL of an HLPower-bound implementation")
+		width  = flag.Int("width", 8, "datapath width for -vhdl")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmark  PIs POs adds mults  rc(add/mult) cycle")
+		for _, p := range workload.Benchmarks {
+			fmt.Printf("%-9s  %3d %3d %4d %5d  %d/%d %11d\n",
+				p.Name, p.PIs, p.POs, p.Adds, p.Mults, p.RC.Add, p.RC.Mult, p.Cycle)
+		}
+		return
+	}
+
+	var g *cdfg.Graph
+	var rc cdfg.ResourceConstraint
+	var s *cdfg.Schedule
+	var err error
+	switch {
+	case *bench != "":
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		g = workload.Generate(p)
+		rc = p.RC
+		s, err = workload.Schedule(p, g)
+	case *kernel != "":
+		switch *kernel {
+		case "dct8":
+			g = workload.DCT8()
+		case "fir16":
+			g = workload.FIR(16)
+		case "bfly8":
+			g = workload.Butterfly(3)
+		case "iir2":
+			g = workload.IIR(2)
+		case "matmul3":
+			g = workload.MatMul(3)
+		default:
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		rc = cdfg.ResourceConstraint{Add: 2, Mult: 2}
+		s, err = cdfg.ListSchedule(g, rc)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := g.Stats()
+	fmt.Fprintf(os.Stderr, "%s: %d PIs, %d POs, %d adds, %d mults, %d edges; %d csteps under rc{add:%d mult:%d}\n",
+		g.Name, st.PIs, st.POs, st.Adds, st.Mults, st.Edges, s.Len, rc.Add, rc.Mult)
+
+	switch {
+	case *dot:
+		fmt.Print(g.DOT(s))
+	case *sched:
+		for t := 1; t <= s.Len; t++ {
+			fmt.Printf("cstep %2d:", t)
+			for _, id := range g.Ops() {
+				if s.Step[id] == t {
+					fmt.Printf(" %s(%d)", g.Nodes[id].Kind, id)
+				}
+			}
+			fmt.Println()
+		}
+	case *emitV:
+		rb, err := regbind.Bind(g, s)
+		if err != nil {
+			fatal(err)
+		}
+		table := satable.New(*width, satable.EstimatorGlitch)
+		res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+		if err != nil {
+			fatal(err)
+		}
+		if err := vhdl.Emit(os.Stdout, g, s, rb, res, *width); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdfggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command hlpower runs the HLPower reproduction flow and regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	hlpower -table 1|2|3|4        regenerate a paper table
+//	hlpower -figure 3             regenerate Figure 3
+//	hlpower -all                  run every experiment
+//	hlpower -validate             check the headline result shapes
+//	hlpower -ablation             run the binder/estimator ablation study
+//	hlpower -bench NAME           run one benchmark through both binders
+//	hlpower -satable FILE         precompute and save the SA table
+//
+// Common flags: -width, -vectors, -alpha, -benchset (comma-separated
+// benchmark subset), -loadsatable FILE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/satable"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate paper table 1-4")
+		figure    = flag.Int("figure", 0, "regenerate paper figure (3)")
+		all       = flag.Bool("all", false, "run every table and figure")
+		validate  = flag.Bool("validate", false, "validate headline result shapes against the paper")
+		ablation  = flag.Bool("ablation", false, "run the ablation study (binder/estimator variants, module selection)")
+		bench     = flag.String("bench", "", "run a single benchmark through LOPASS and HLPower")
+		width     = flag.Int("width", 8, "datapath bit width")
+		vectors   = flag.Int("vectors", 1000, "random simulation vectors")
+		benchset  = flag.String("benchset", "", "comma-separated benchmark subset (default: all)")
+		saveTable = flag.String("satable", "", "precompute the SA table up to -maxmux and save to FILE")
+		loadTable = flag.String("loadsatable", "", "load a precomputed SA table from FILE")
+		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
+	)
+	flag.Parse()
+
+	cfg := flow.DefaultConfig()
+	cfg.Width = *width
+	cfg.Vectors = *vectors
+	cfg.Table = satable.New(*width, satable.EstimatorGlitch)
+	if *loadTable != "" {
+		f, err := os.Open(*loadTable)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := satable.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if t.Width != *width {
+			fatal(fmt.Errorf("SA table width %d does not match -width %d", t.Width, *width))
+		}
+		cfg.Table = t
+	}
+
+	if *saveTable != "" {
+		fmt.Fprintf(os.Stderr, "precomputing SA table (width %d, mux sizes 1..%d)...\n", *width, *maxMux)
+		cfg.Table.Precompute(*maxMux)
+		f, err := os.Create(*saveTable)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cfg.Table.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d entries to %s\n", cfg.Table.Len(), *saveTable)
+		return
+	}
+
+	se := flow.NewSession(cfg)
+	if *benchset != "" {
+		var profs []workload.Profile
+		for _, name := range strings.Split(*benchset, ",") {
+			p, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown benchmark %q", name))
+			}
+			profs = append(profs, p)
+		}
+		se.Benchmarks = profs
+	}
+
+	switch {
+	case *bench != "":
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		for _, b := range []flow.Binder{flow.BinderLOPASS, flow.BinderHLPower05} {
+			r, err := se.Run(p, b)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s power=%8.2f mW  clk=%5.2f ns  LUTs=%5d  largestMUX=%2d  muxLen=%4d  toggle=%8.2f M/s  glitch=%4.1f%%\n",
+				b.Name, r.Power.DynamicPowerMW, r.Power.ClockPeriodNs, r.LUTs,
+				r.FUMux.Largest, r.FUMux.Length, r.Power.AvgToggleRateMHz, r.Power.GlitchShare*100)
+		}
+	case *ablation:
+		fmt.Println("=== Ablation study ===")
+		if err := flow.Ablation(os.Stdout, se); err != nil {
+			fatal(err)
+		}
+	case *validate:
+		devs, err := flow.ValidateAgainstPaper(se)
+		if err != nil {
+			fatal(err)
+		}
+		if len(devs) == 0 {
+			fmt.Println("all headline result shapes hold")
+		} else {
+			for _, d := range devs {
+				fmt.Println("DEVIATION:", d)
+			}
+			os.Exit(1)
+		}
+	case *all:
+		runTable(se, 1)
+		runTable(se, 2)
+		runTable(se, 3)
+		runTable(se, 4)
+		fmt.Println("\n=== Figure 3 ===")
+		if err := flow.Figure3(os.Stdout, se); err != nil {
+			fatal(err)
+		}
+	case *figure == 3:
+		if err := flow.Figure3(os.Stdout, se); err != nil {
+			fatal(err)
+		}
+	case *table >= 1 && *table <= 4:
+		runTable(se, *table)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable(se *flow.Session, n int) {
+	fmt.Printf("\n=== Table %d ===\n", n)
+	var err error
+	switch n {
+	case 1:
+		err = flow.Table1(os.Stdout)
+	case 2:
+		err = flow.Table2(os.Stdout, se)
+	case 3:
+		err = flow.Table3(os.Stdout, se)
+	case 4:
+		err = flow.Table4(os.Stdout, se)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hlpower:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "FPGA-Targeted High-Level Binding Algorithm
+// for Power and Area Reduction with Glitch-Estimation" (Cromar, Lee,
+// Chen; DAC 2009). The library lives under internal/ — internal/core is
+// HLPower itself, the other packages are the substrates the paper
+// depends on (BLIF, logic networks, glitch-aware switching-activity
+// estimation, technology mapping, simulation, scheduling, register
+// binding, the LOPASS baseline, datapath elaboration, and the
+// experiment flow). See README.md for a tour and EXPERIMENTS.md for the
+// paper-versus-measured record; the root bench_test.go regenerates each
+// table and figure.
+package repro

@@ -1,0 +1,64 @@
+// Glitch demo: show the unit-delay glitch estimator at work and validate
+// it against event-driven simulation — the paper's §4 machinery.
+//
+// The example walks three experiments:
+//  1. ripple-carry adders of growing width (glitch grows with depth),
+//  2. the array multiplier (a glitch hot spot),
+//  3. balanced vs unbalanced input multiplexers on an adder — the
+//     physical basis of HLPower's muxDiff term (Eq. 4).
+//
+// Run with: go run ./examples/glitchdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/glitch"
+	"repro/internal/logic"
+	"repro/internal/netgen"
+	"repro/internal/prob"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("1. Ripple-carry adders: estimated vs simulated switching per cycle")
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "width", "est.total", "est.glitch", "sim.total", "sim.glitch")
+	for _, w := range []int{4, 8, 12, 16} {
+		report(netgen.AdderNetwork(w), fmt.Sprintf("add%d", w))
+	}
+
+	fmt.Println("\n2. Array multipliers")
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "width", "est.total", "est.glitch", "sim.total", "sim.glitch")
+	for _, w := range []int{4, 6, 8} {
+		report(netgen.MultiplierNetwork(w), fmt.Sprintf("mult%d", w))
+	}
+
+	fmt.Println("\n3. Mux balancing: same total inputs, different split (adder, width 8)")
+	fmt.Printf("%8s %12s %12s\n", "split", "est.total", "sim.total")
+	for _, split := range [][2]int{{4, 4}, {5, 3}, {6, 2}, {7, 1}} {
+		net := netgen.PartialDatapathNetwork(netgen.FUAdd, split[0], split[1], 8)
+		est := glitch.EstimateNetwork(net, prob.DefaultSources())
+		s, err := sim.New(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := s.RunRandom(2000, 42)
+		fmt.Printf("%5d/%-2d %12.2f %12.2f\n",
+			split[0], split[1], est.TotalActivity(net), float64(c.Gate)/float64(c.Cycles))
+	}
+	fmt.Println("\nBalanced muxes switch least — the muxDiff term of Eq. 4 rewards")
+	fmt.Println("exactly this, even when the SA estimate is imperfect (paper §5.2.2).")
+}
+
+func report(net *logic.Network, name string) {
+	est := glitch.EstimateNetwork(net, prob.DefaultSources())
+	s, err := sim.New(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := s.RunRandom(2000, 7)
+	fmt.Printf("%8s %12.2f %12.2f %12.2f %12.2f\n", name,
+		est.TotalActivity(net), est.TotalGlitch(net),
+		float64(c.Gate)/float64(c.Cycles), float64(c.Glitches())/float64(c.Cycles))
+}

@@ -1,0 +1,281 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (Bryant's ROBDDs) with hash-consing and an ITE-based apply engine.
+// The probability engine (internal/prob) computes exact signal
+// probabilities by truth-table enumeration, which is fine for K-feasible
+// cuts; BDDs extend the same computations to wider functions (weighted
+// path counting is linear in the diagram size), and give the repository
+// the canonical-form machinery an EDA codebase is expected to have.
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Ref is a node reference. The constants False and True are terminals.
+type Ref int32
+
+// Terminal references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	varIdx int32 // variable index (terminals use -1)
+	lo, hi Ref
+}
+
+// Manager owns the node store, the unique table, and the ITE cache.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	ite    map[[3]Ref]Ref
+}
+
+// New creates an empty manager.
+func New() *Manager {
+	m := &Manager{
+		nodes:  make([]node, 2),
+		unique: make(map[node]Ref),
+		ite:    make(map[[3]Ref]Ref),
+	}
+	m.nodes[False] = node{varIdx: -1}
+	m.nodes[True] = node{varIdx: -1}
+	return m
+}
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node for (v, lo, hi).
+func (m *Manager) mk(v int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{varIdx: v, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 {
+		panic("bdd: negative variable index")
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// topVar returns the top variable of a reference (large sentinel for
+// terminals, so terminals sort below every variable).
+func (m *Manager) topVar(r Ref) int32 {
+	if r <= True {
+		return 1<<30 - 1
+	}
+	return m.nodes[r].varIdx
+}
+
+// cofactors splits r on variable v (which must be <= r's top variable).
+func (m *Manager) cofactors(r Ref, v int32) (lo, hi Ref) {
+	if r <= True || m.nodes[r].varIdx != v {
+		return r, r
+	}
+	return m.nodes[r].lo, m.nodes[r].hi
+}
+
+// ITE computes if-then-else(f, g, h) — the universal operation.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	v := m.topVar(f)
+	if gv := m.topVar(g); gv < v {
+		v = gv
+	}
+	if hv := m.topVar(h); hv < v {
+		v = hv
+	}
+	f0, f1 := m.cofactors(f, v)
+	g0, g1 := m.cofactors(g, v)
+	h0, h1 := m.cofactors(h, v)
+	r := m.mk(v, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.ite[key] = r
+	return r
+}
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Not returns NOT f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// FromTruthTable builds the BDD of a truth table over variables
+// 0..n-1 by Shannon expansion.
+func (m *Manager) FromTruthTable(tt *bitvec.TruthTable) Ref {
+	var build func(assign uint, v int) Ref
+	build = func(assign uint, v int) Ref {
+		if v == tt.NumVars() {
+			if tt.Get(assign) {
+				return True
+			}
+			return False
+		}
+		lo := build(assign, v+1)
+		hi := build(assign|1<<uint(v), v+1)
+		return m.mk(int32(v), lo, hi)
+	}
+	return build(0, 0)
+}
+
+// Eval evaluates f on an assignment (bit i of assign = variable i).
+func (m *Manager) Eval(f Ref, assign uint) bool {
+	for f > True {
+		n := m.nodes[f]
+		if assign&(1<<uint(n.varIdx)) != 0 {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// SignalProb returns P(f = 1) given independent variable probabilities
+// p[i] (variables beyond len(p) default to 0.5). Linear in BDD size.
+func (m *Manager) SignalProb(f Ref, p []float64) float64 {
+	memo := make(map[Ref]float64)
+	var walk func(Ref) float64
+	walk = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		pv := 0.5
+		if int(n.varIdx) < len(p) {
+			pv = p[n.varIdx]
+		}
+		val := (1-pv)*walk(n.lo) + pv*walk(n.hi)
+		memo[r] = val
+		return val
+	}
+	return walk(f)
+}
+
+// CountMinterms returns |f^{-1}(1)| over n variables.
+func (m *Manager) CountMinterms(f Ref, n int) uint64 {
+	memo := make(map[Ref]float64)
+	var walk func(Ref) float64
+	walk = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		nd := m.nodes[r]
+		val := 0.5*walk(nd.lo) + 0.5*walk(nd.hi)
+		memo[r] = val
+		return val
+	}
+	frac := walk(f)
+	return uint64(frac*float64(uint64(1)<<uint(n)) + 0.5)
+}
+
+// Support returns the sorted variable indices f depends on.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int32]bool)
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		vars[m.nodes[r].varIdx] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// NodeCount returns the number of distinct nodes reachable from f
+// (excluding terminals) — the usual BDD size metric.
+func (m *Manager) NodeCount(f Ref) int {
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		walk(m.nodes[r].lo)
+		walk(m.nodes[r].hi)
+	}
+	walk(f)
+	return len(seen)
+}
+
+// String renders a small BDD for debugging.
+func (m *Manager) String(f Ref) string {
+	if f == False {
+		return "0"
+	}
+	if f == True {
+		return "1"
+	}
+	n := m.nodes[f]
+	return fmt.Sprintf("(x%d ? %s : %s)", n.varIdx, m.String(n.hi), m.String(n.lo))
+}
+
+// Node exposes a non-terminal node's variable and cofactors (used by
+// counterexample extraction in the verify package). Panics on terminals.
+func (m *Manager) Node(r Ref) (varIdx int, lo, hi Ref) {
+	if r <= True {
+		panic("bdd: Node on terminal")
+	}
+	n := m.nodes[r]
+	return int(n.varIdx), n.lo, n.hi
+}

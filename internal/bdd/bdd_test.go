@@ -1,0 +1,225 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New()
+	x := m.Var(0)
+	if m.Eval(x, 0) || !m.Eval(x, 1) {
+		t.Fatal("variable semantics wrong")
+	}
+	if m.Not(m.Not(x)) != x {
+		t.Fatal("double negation must be canonical")
+	}
+	if m.And(x, m.Not(x)) != False {
+		t.Fatal("x AND NOT x must be False")
+	}
+	if m.Or(x, m.Not(x)) != True {
+		t.Fatal("x OR NOT x must be True")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Structurally different constructions of the same function yield
+	// the same reference — the ROBDD canonical-form property.
+	m := New()
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	lhs := m.And(a, m.And(b, c))
+	rhs := m.And(m.And(a, b), c)
+	if lhs != rhs {
+		t.Fatal("associativity lost canonicity")
+	}
+	// De Morgan.
+	dm1 := m.Not(m.And(a, b))
+	dm2 := m.Or(m.Not(a), m.Not(b))
+	if dm1 != dm2 {
+		t.Fatal("De Morgan lost canonicity")
+	}
+}
+
+func TestFromTruthTableMatchesEval(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		rng := rand.New(rand.NewSource(seed))
+		tt := bitvec.New(n)
+		for i := 0; i < 1<<n; i++ {
+			if rng.Intn(2) == 0 {
+				tt.Set(uint(i), true)
+			}
+		}
+		m := New()
+		r := m.FromTruthTable(tt)
+		for a := 0; a < 1<<n; a++ {
+			if m.Eval(r, uint(a)) != tt.Get(uint(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestITEAgainstTruthTables(t *testing.T) {
+	// Random ops composed in both worlds agree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4
+		m := New()
+		ttPool := []*bitvec.TruthTable{}
+		refPool := []Ref{}
+		for i := 0; i < n; i++ {
+			ttPool = append(ttPool, bitvec.Var(n, i))
+			refPool = append(refPool, m.Var(i))
+		}
+		for step := 0; step < 12; step++ {
+			i := rng.Intn(len(ttPool))
+			j := rng.Intn(len(ttPool))
+			var tt *bitvec.TruthTable
+			var r Ref
+			switch rng.Intn(4) {
+			case 0:
+				tt = bitvec.New(n).And(ttPool[i], ttPool[j])
+				r = m.And(refPool[i], refPool[j])
+			case 1:
+				tt = bitvec.New(n).Or(ttPool[i], ttPool[j])
+				r = m.Or(refPool[i], refPool[j])
+			case 2:
+				tt = bitvec.New(n).Xor(ttPool[i], ttPool[j])
+				r = m.Xor(refPool[i], refPool[j])
+			default:
+				tt = bitvec.New(n).Not(ttPool[i])
+				r = m.Not(refPool[i])
+			}
+			ttPool = append(ttPool, tt)
+			refPool = append(refPool, r)
+		}
+		top := len(ttPool) - 1
+		for a := 0; a < 1<<n; a++ {
+			if m.Eval(refPool[top], uint(a)) != ttPool[top].Get(uint(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalProbMatchesEnumeration(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%5)
+		rng := rand.New(rand.NewSource(seed))
+		tt := bitvec.New(n)
+		for i := 0; i < 1<<n; i++ {
+			if rng.Intn(2) == 0 {
+				tt.Set(uint(i), true)
+			}
+		}
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		m := New()
+		r := m.FromTruthTable(tt)
+		got := m.SignalProb(r, p)
+		// Reference: direct on-set enumeration.
+		want := 0.0
+		for a := 0; a < 1<<n; a++ {
+			if !tt.Get(uint(a)) {
+				continue
+			}
+			prod := 1.0
+			for i := 0; i < n; i++ {
+				if a&(1<<uint(i)) != 0 {
+					prod *= p[i]
+				} else {
+					prod *= 1 - p[i]
+				}
+			}
+			want += prod
+		}
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinterms(t *testing.T) {
+	m := New()
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	maj := m.Or(m.Or(m.And(a, b), m.And(a, c)), m.And(b, c))
+	if got := m.CountMinterms(maj, 3); got != 4 {
+		t.Fatalf("majority minterms = %d, want 4", got)
+	}
+	if got := m.CountMinterms(True, 5); got != 32 {
+		t.Fatalf("True over 5 vars = %d", got)
+	}
+	if got := m.CountMinterms(False, 5); got != 0 {
+		t.Fatalf("False = %d", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New()
+	x1, x3 := m.Var(1), m.Var(3)
+	f := m.Xor(x1, x3)
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("support = %v, want [1 3]", sup)
+	}
+	if len(m.Support(True)) != 0 {
+		t.Fatal("terminal support must be empty")
+	}
+}
+
+func TestNodeCountCanonicalCompression(t *testing.T) {
+	// XOR of n variables has exactly 2n-1 internal nodes in an ROBDD.
+	m := New()
+	f := False
+	n := 8
+	for i := 0; i < n; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	if got := m.NodeCount(f); got != 2*n-1 {
+		t.Fatalf("xor%d node count = %d, want %d", n, got, 2*n-1)
+	}
+}
+
+func TestWideFunctionBeyondEnumeration(t *testing.T) {
+	// 24-variable parity: enumeration (2^24) would be slow; the BDD is
+	// linear. P(parity) = 0.5 for any independent inputs with p = 0.5.
+	m := New()
+	f := False
+	for i := 0; i < 24; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	p := m.SignalProb(f, nil)
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("parity probability = %v", p)
+	}
+	if m.NodeCount(f) != 47 {
+		t.Fatalf("parity-24 nodes = %d, want 47", m.NodeCount(f))
+	}
+}
+
+func BenchmarkBuildParity32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New()
+		f := False
+		for v := 0; v < 32; v++ {
+			f = m.Xor(f, m.Var(v))
+		}
+		_ = f
+	}
+}

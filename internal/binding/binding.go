@@ -1,0 +1,264 @@
+// Package binding defines the functional-unit binding representation
+// shared by HLPower (internal/core) and the LOPASS baseline
+// (internal/lopass), together with the multiplexer-size bookkeeping that
+// drives both algorithms' cost functions and the paper's Table 3/4
+// metrics: per-port mux sizes, muxDiff, largest mux, and mux length.
+package binding
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+)
+
+// FU is one allocated functional unit and the operations bound to it.
+type FU struct {
+	ID   int
+	Kind netgen.FUKind
+	Ops  []int
+}
+
+// Result is a complete functional-unit binding.
+type Result struct {
+	FUs []*FU
+	// FUOf[node] is the FU index executing the operation, -1 for inputs.
+	FUOf []int
+	// SwapPorts[node] reports that the operation's second argument feeds
+	// the left FU port (port assignment is fixed at register-binding
+	// time, "randomly bound" per the paper §5.1; only commutative
+	// operations may swap).
+	SwapPorts []bool
+}
+
+// NewResult allocates an empty binding for the graph.
+func NewResult(g *cdfg.Graph) *Result {
+	r := &Result{
+		FUOf:      make([]int, len(g.Nodes)),
+		SwapPorts: make([]bool, len(g.Nodes)),
+	}
+	for i := range r.FUOf {
+		r.FUOf[i] = -1
+	}
+	return r
+}
+
+// RandomPortAssignment randomizes the argument-to-port mapping of every
+// commutative operation with the given seed (subtraction ports stay
+// fixed). Both binders must share one assignment, like the shared
+// register binding.
+func RandomPortAssignment(g *cdfg.Graph, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	swap := make([]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == cdfg.KindAdd || n.Kind == cdfg.KindMult {
+			swap[n.ID] = rng.Intn(2) == 1
+		}
+	}
+	return swap
+}
+
+// PortArgs returns the node IDs feeding the left and right FU ports of
+// an operation under the result's port assignment.
+func (r *Result) PortArgs(g *cdfg.Graph, op int) (left, right int) {
+	n := g.Nodes[op]
+	if r.SwapPorts[op] {
+		return n.Args[1], n.Args[0]
+	}
+	return n.Args[0], n.Args[1]
+}
+
+// PortSources returns the distinct register sources feeding each port of
+// an FU, sorted ascending. This is computable before datapath
+// elaboration because registers are already bound (paper §5.2.2 step 1).
+func PortSources(g *cdfg.Graph, rb *regbind.Binding, r *Result, fu *FU) (left, right []int) {
+	ls := map[int]bool{}
+	rs := map[int]bool{}
+	for _, op := range fu.Ops {
+		l, rr := r.PortArgs(g, op)
+		ls[rb.Reg[l]] = true
+		rs[rb.Reg[rr]] = true
+	}
+	for k := range ls {
+		left = append(left, k)
+	}
+	for k := range rs {
+		right = append(right, k)
+	}
+	sort.Ints(left)
+	sort.Ints(right)
+	return left, right
+}
+
+// MuxSizes returns the input multiplexer sizes (kL, kR) of an FU.
+func MuxSizes(g *cdfg.Graph, rb *regbind.Binding, r *Result, fu *FU) (int, int) {
+	l, rr := PortSources(g, rb, r, fu)
+	return len(l), len(rr)
+}
+
+// MuxDiff returns |kL - kR| for an FU (paper Eq. 4).
+func MuxDiff(g *cdfg.Graph, rb *regbind.Binding, r *Result, fu *FU) int {
+	kl, kr := MuxSizes(g, rb, r, fu)
+	d := kl - kr
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MergedMuxSizes returns the port mux sizes that would result from
+// binding two operation sets to the same FU — the quantity HLPower
+// evaluates per bipartite edge (paper §5.2.2 step 1).
+func MergedMuxSizes(g *cdfg.Graph, rb *regbind.Binding, r *Result, a, b *FU) (int, int) {
+	ls := map[int]bool{}
+	rs := map[int]bool{}
+	for _, fu := range []*FU{a, b} {
+		for _, op := range fu.Ops {
+			l, rr := r.PortArgs(g, op)
+			ls[rb.Reg[l]] = true
+			rs[rb.Reg[rr]] = true
+		}
+	}
+	return len(ls), len(rs)
+}
+
+// Compatible reports whether two FU nodes may be merged: same operation
+// class and no two contained operations with overlapping occupation
+// intervals (the paper's two compatibility criteria, §5.2.1, extended
+// to multi-cycle resources: a non-pipelined unit is busy from an
+// operation's start step through its completion step).
+func Compatible(g *cdfg.Graph, s *cdfg.Schedule, a, b *FU) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	steps := make(map[int]bool, len(a.Ops))
+	for _, op := range a.Ops {
+		for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
+			steps[t] = true
+		}
+	}
+	for _, op := range b.Ops {
+		for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
+			if steps[t] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Counts returns the number of allocated FUs per class.
+func (r *Result) Counts() map[netgen.FUKind]int {
+	c := make(map[netgen.FUKind]int)
+	for _, fu := range r.FUs {
+		c[fu.Kind]++
+	}
+	return c
+}
+
+// Validate checks that every operation is bound exactly once to an FU of
+// its class, that no FU executes two operations in one control step, and
+// (if rc is non-zero) that the allocation meets the resource constraint.
+func (r *Result) Validate(g *cdfg.Graph, s *cdfg.Schedule, rc cdfg.ResourceConstraint) error {
+	seen := make(map[int]bool)
+	for fi, fu := range r.FUs {
+		if fu.ID != fi {
+			return fmt.Errorf("binding: FU %d has inconsistent ID %d", fi, fu.ID)
+		}
+		steps := make(map[int]int)
+		for _, op := range fu.Ops {
+			n := g.Nodes[op]
+			if !n.Kind.IsOp() {
+				return fmt.Errorf("binding: non-operation %d bound to FU %d", op, fi)
+			}
+			if n.Kind.FUClass() != fu.Kind {
+				return fmt.Errorf("binding: op %d (%s) on %s FU %d", op, n.Kind, fu.Kind, fi)
+			}
+			if seen[op] {
+				return fmt.Errorf("binding: op %d bound twice", op)
+			}
+			seen[op] = true
+			if r.FUOf[op] != fi {
+				return fmt.Errorf("binding: FUOf[%d] = %d, want %d", op, r.FUOf[op], fi)
+			}
+			for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
+				if prev, clash := steps[t]; clash {
+					return fmt.Errorf("binding: FU %d runs ops %d and %d in step %d", fi, prev, op, t)
+				}
+				steps[t] = op
+			}
+		}
+	}
+	for _, id := range g.Ops() {
+		if !seen[id] {
+			return fmt.Errorf("binding: op %d unbound", id)
+		}
+		if g.Nodes[id].Kind == cdfg.KindSub && r.SwapPorts[id] {
+			return fmt.Errorf("binding: non-commutative op %d has swapped ports", id)
+		}
+	}
+	counts := r.Counts()
+	if rc.Add > 0 && counts[netgen.FUAdd] > rc.Add {
+		return fmt.Errorf("binding: %d adders exceed constraint %d", counts[netgen.FUAdd], rc.Add)
+	}
+	if rc.Mult > 0 && counts[netgen.FUMult] > rc.Mult {
+		return fmt.Errorf("binding: %d multipliers exceed constraint %d", counts[netgen.FUMult], rc.Mult)
+	}
+	return nil
+}
+
+// MuxStats summarizes the FU input multiplexers of a binding — the
+// paper's Table 4 metrics plus largest-mux/mux-length restricted to the
+// FU muxes (Table 3 additionally counts register steering muxes, which
+// the datapath package reports).
+type MuxStats struct {
+	// Largest is the biggest FU input mux.
+	Largest int
+	// Length is the summed sizes of all FU input muxes (size-1 "muxes"
+	// are direct wires and contribute 0 hardware but still count their
+	// single input, matching the paper's "total number of multiplexer
+	// inputs" definition).
+	Length int
+	// DiffMean and DiffVar are the mean and population variance of
+	// muxDiff across allocated FUs.
+	DiffMean, DiffVar float64
+	// NumFUs is the number of allocated functional units.
+	NumFUs int
+}
+
+// ComputeMuxStats derives mux statistics from a binding.
+func ComputeMuxStats(g *cdfg.Graph, rb *regbind.Binding, r *Result) MuxStats {
+	st := MuxStats{NumFUs: len(r.FUs)}
+	var diffs []float64
+	for _, fu := range r.FUs {
+		kl, kr := MuxSizes(g, rb, r, fu)
+		if kl > st.Largest {
+			st.Largest = kl
+		}
+		if kr > st.Largest {
+			st.Largest = kr
+		}
+		st.Length += kl + kr
+		d := kl - kr
+		if d < 0 {
+			d = -d
+		}
+		diffs = append(diffs, float64(d))
+	}
+	if len(diffs) > 0 {
+		sum := 0.0
+		for _, d := range diffs {
+			sum += d
+		}
+		st.DiffMean = sum / float64(len(diffs))
+		varSum := 0.0
+		for _, d := range diffs {
+			varSum += (d - st.DiffMean) * (d - st.DiffMean)
+		}
+		st.DiffVar = varSum / float64(len(diffs))
+	}
+	return st
+}

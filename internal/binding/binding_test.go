@@ -1,0 +1,229 @@
+package binding
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+)
+
+// smallCase builds a 4-op graph with a known schedule and register
+// binding for mux bookkeeping tests.
+func smallCase(t *testing.T) (*cdfg.Graph, *cdfg.Schedule, *regbind.Binding) {
+	t.Helper()
+	g := cdfg.NewGraph("small")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	op1 := g.AddOp(cdfg.KindAdd, "op1", a, b)
+	op2 := g.AddOp(cdfg.KindAdd, "op2", b, c)
+	op3 := g.AddOp(cdfg.KindAdd, "op3", op1, op2)
+	op4 := g.AddOp(cdfg.KindAdd, "op4", op3, a)
+	g.MarkOutput(op4)
+	s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 2, Mult: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = []int{op1, op2, op3, op4}
+	return g, s, rb
+}
+
+func TestRandomPortAssignmentRespectsCommutativity(t *testing.T) {
+	g := cdfg.NewGraph("ports")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	sub := g.AddOp(cdfg.KindSub, "sub", a, b)
+	g.MarkOutput(sub)
+	for seed := int64(0); seed < 20; seed++ {
+		swap := RandomPortAssignment(g, seed)
+		if swap[sub] {
+			t.Fatal("subtraction ports must never swap")
+		}
+	}
+	// Commutative ops do get swapped for some seed.
+	g2 := cdfg.NewGraph("ports2")
+	x := g2.AddInput("x")
+	y := g2.AddInput("y")
+	add := g2.AddOp(cdfg.KindAdd, "add", x, y)
+	g2.MarkOutput(add)
+	swapped := false
+	for seed := int64(0); seed < 20; seed++ {
+		if RandomPortAssignment(g2, seed)[add] {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatal("no seed ever swapped a commutative op")
+	}
+}
+
+func TestPortArgs(t *testing.T) {
+	g := cdfg.NewGraph("pa")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	op := g.AddOp(cdfg.KindAdd, "op", a, b)
+	g.MarkOutput(op)
+	r := NewResult(g)
+	l, rr := r.PortArgs(g, op)
+	if l != a || rr != b {
+		t.Fatal("unswapped ports wrong")
+	}
+	r.SwapPorts[op] = true
+	l, rr = r.PortArgs(g, op)
+	if l != b || rr != a {
+		t.Fatal("swapped ports wrong")
+	}
+}
+
+func TestMuxSizesAndDiff(t *testing.T) {
+	g, _, rb := smallCase(t)
+	r := NewResult(g)
+	ops := g.Ops()
+	// Bind all four adds onto one FU (not schedule-legal, but mux
+	// arithmetic does not care).
+	fu := &FU{ID: 0, Kind: netgen.FUAdd, Ops: ops}
+	r.FUs = append(r.FUs, fu)
+	for _, op := range ops {
+		r.FUOf[op] = 0
+	}
+	kl, kr := MuxSizes(g, rb, r, fu)
+	if kl < 1 || kr < 1 {
+		t.Fatalf("mux sizes %d,%d", kl, kr)
+	}
+	// Left sources: regs of a, b, op1+op2's reg..., just consistency:
+	left, right := PortSources(g, rb, r, fu)
+	if len(left) != kl || len(right) != kr {
+		t.Fatal("PortSources/MuxSizes disagree")
+	}
+	d := MuxDiff(g, rb, r, fu)
+	want := kl - kr
+	if want < 0 {
+		want = -want
+	}
+	if d != want {
+		t.Fatalf("MuxDiff = %d, want %d", d, want)
+	}
+}
+
+func TestMergedMuxSizesIsUnion(t *testing.T) {
+	g, _, rb := smallCase(t)
+	r := NewResult(g)
+	ops := g.Ops()
+	fa := &FU{Kind: netgen.FUAdd, Ops: ops[:2]}
+	fb := &FU{Kind: netgen.FUAdd, Ops: ops[2:]}
+	kl, kr := MergedMuxSizes(g, rb, r, fa, fb)
+	all := &FU{Kind: netgen.FUAdd, Ops: ops}
+	kl2, kr2 := MuxSizes(g, rb, r, all)
+	if kl != kl2 || kr != kr2 {
+		t.Fatalf("merged sizes (%d,%d) != combined FU sizes (%d,%d)", kl, kr, kl2, kr2)
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	g, s, _ := smallCase(t)
+	ops := g.Ops()
+	sameStep := []*FU{}
+	for _, op := range ops {
+		sameStep = append(sameStep, &FU{Kind: netgen.FUAdd, Ops: []int{op}})
+	}
+	// op1 and op2 share step 1: incompatible.
+	if Compatible(g, s, sameStep[0], sameStep[1]) {
+		t.Fatal("same-step ops should be incompatible")
+	}
+	// op1 (step 1) and op3 (step 2): compatible.
+	if !Compatible(g, s, sameStep[0], sameStep[2]) {
+		t.Fatal("different-step ops should be compatible")
+	}
+	mult := &FU{Kind: netgen.FUMult, Ops: nil}
+	if Compatible(g, s, sameStep[0], mult) {
+		t.Fatal("different classes should be incompatible")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	g, s, _ := smallCase(t)
+	ops := g.Ops()
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 1}
+
+	// Valid binding: {op1, op3}, {op2, op4}.
+	r := NewResult(g)
+	r.FUs = []*FU{
+		{ID: 0, Kind: netgen.FUAdd, Ops: []int{ops[0], ops[2]}},
+		{ID: 1, Kind: netgen.FUAdd, Ops: []int{ops[1], ops[3]}},
+	}
+	r.FUOf[ops[0]], r.FUOf[ops[2]] = 0, 0
+	r.FUOf[ops[1]], r.FUOf[ops[3]] = 1, 1
+	if err := r.Validate(g, s, rc); err != nil {
+		t.Fatalf("valid binding rejected: %v", err)
+	}
+
+	// Same-step clash.
+	bad := NewResult(g)
+	bad.FUs = []*FU{
+		{ID: 0, Kind: netgen.FUAdd, Ops: []int{ops[0], ops[1]}},
+		{ID: 1, Kind: netgen.FUAdd, Ops: []int{ops[2], ops[3]}},
+	}
+	bad.FUOf[ops[0]], bad.FUOf[ops[1]] = 0, 0
+	bad.FUOf[ops[2]], bad.FUOf[ops[3]] = 1, 1
+	if err := bad.Validate(g, s, rc); err == nil {
+		t.Fatal("same-step clash not caught")
+	}
+
+	// Unbound op.
+	un := NewResult(g)
+	un.FUs = []*FU{{ID: 0, Kind: netgen.FUAdd, Ops: []int{ops[0]}}}
+	un.FUOf[ops[0]] = 0
+	if err := un.Validate(g, s, rc); err == nil {
+		t.Fatal("unbound ops not caught")
+	}
+
+	// Constraint violation.
+	over := NewResult(g)
+	for i, op := range ops {
+		over.FUs = append(over.FUs, &FU{ID: i, Kind: netgen.FUAdd, Ops: []int{op}})
+		over.FUOf[op] = i
+	}
+	if err := over.Validate(g, s, cdfg.ResourceConstraint{Add: 2, Mult: 1}); err == nil {
+		t.Fatal("constraint violation not caught")
+	}
+}
+
+func TestComputeMuxStats(t *testing.T) {
+	g, _, rb := smallCase(t)
+	r := NewResult(g)
+	ops := g.Ops()
+	r.FUs = []*FU{
+		{ID: 0, Kind: netgen.FUAdd, Ops: []int{ops[0], ops[2]}},
+		{ID: 1, Kind: netgen.FUAdd, Ops: []int{ops[1], ops[3]}},
+	}
+	for _, op := range []int{ops[0], ops[2]} {
+		r.FUOf[op] = 0
+	}
+	for _, op := range []int{ops[1], ops[3]} {
+		r.FUOf[op] = 1
+	}
+	st := ComputeMuxStats(g, rb, r)
+	if st.NumFUs != 2 {
+		t.Fatalf("NumFUs = %d", st.NumFUs)
+	}
+	if st.Largest < 1 || st.Length < 4 {
+		t.Fatalf("degenerate mux stats: %+v", st)
+	}
+	if st.DiffVar < 0 {
+		t.Fatalf("negative variance: %+v", st)
+	}
+	// Length is the sum of all port mux sizes.
+	sum := 0
+	for _, fu := range r.FUs {
+		kl, kr := MuxSizes(g, rb, r, fu)
+		sum += kl + kr
+	}
+	if st.Length != sum {
+		t.Fatalf("Length = %d, want %d", st.Length, sum)
+	}
+}

@@ -1,0 +1,50 @@
+package binding
+
+import (
+	"repro/internal/cdfg"
+	"repro/internal/regbind"
+)
+
+// OptimizePorts re-assigns the argument-to-port mapping of commutative
+// operations after functional-unit binding, greedily flipping any swap
+// that improves its unit's multiplexers — first total size (kL+kR),
+// then balance (|kL−kR|). This is the "port assignment for multiplexer
+// optimization" step of Chen and Cong [2] that the paper's flow fixes
+// randomly before binding (§5.1); applied afterwards it recovers some
+// of the interconnect the random assignment wasted. The pass mutates
+// res.SwapPorts and returns the number of flips applied.
+func OptimizePorts(g *cdfg.Graph, rb *regbind.Binding, res *Result) int {
+	flips := 0
+	improved := true
+	for improved {
+		improved = false
+		for _, fu := range res.FUs {
+			for _, op := range fu.Ops {
+				if g.Nodes[op].Kind == cdfg.KindSub {
+					continue // non-commutative
+				}
+				before := portCost(g, rb, res, fu)
+				res.SwapPorts[op] = !res.SwapPorts[op]
+				after := portCost(g, rb, res, fu)
+				if after < before {
+					flips++
+					improved = true
+				} else {
+					res.SwapPorts[op] = !res.SwapPorts[op]
+				}
+			}
+		}
+	}
+	return flips
+}
+
+// portCost orders mux configurations: total inputs dominate, balance
+// breaks ties.
+func portCost(g *cdfg.Graph, rb *regbind.Binding, res *Result, fu *FU) int {
+	kl, kr := MuxSizes(g, rb, res, fu)
+	d := kl - kr
+	if d < 0 {
+		d = -d
+	}
+	return (kl+kr)*64 + d
+}

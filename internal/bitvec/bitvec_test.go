@@ -1,0 +1,304 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsFalse(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		tt := New(n)
+		for m := 0; m < tt.Size(); m++ {
+			if tt.Get(uint(m)) {
+				t.Fatalf("New(%d): minterm %d unexpectedly true", n, m)
+			}
+		}
+	}
+}
+
+func TestConst(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for _, v := range []bool{false, true} {
+			tt := Const(n, v)
+			got, ok := tt.IsConst()
+			if !ok || got != v {
+				t.Fatalf("Const(%d,%v): IsConst = %v,%v", n, v, got, ok)
+			}
+			if v && tt.CountOnes() != tt.Size() {
+				t.Fatalf("Const(%d,true): CountOnes=%d want %d", n, tt.CountOnes(), tt.Size())
+			}
+		}
+	}
+}
+
+func TestVarProjection(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for i := 0; i < n; i++ {
+			tt := Var(n, i)
+			for m := 0; m < tt.Size(); m++ {
+				want := uint(m)&(1<<uint(i)) != 0
+				if tt.Get(uint(m)) != want {
+					t.Fatalf("Var(%d,%d) minterm %d: got %v want %v", n, i, m, tt.Get(uint(m)), want)
+				}
+			}
+			if tt.CountOnes()*2 != tt.Size() {
+				t.Fatalf("Var(%d,%d): expected balanced function", n, i)
+			}
+		}
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tt := New(7)
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[uint]bool)
+	for i := 0; i < 500; i++ {
+		m := uint(rng.Intn(tt.Size()))
+		v := rng.Intn(2) == 0
+		tt.Set(m, v)
+		ref[m] = v
+	}
+	for m, v := range ref {
+		if tt.Get(m) != v {
+			t.Fatalf("minterm %d: got %v want %v", m, tt.Get(m), v)
+		}
+	}
+}
+
+func TestBooleanOpsMatchSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 8; n++ {
+		a := randomTable(rng, n)
+		b := randomTable(rng, n)
+		and := New(n).And(a, b)
+		or := New(n).Or(a, b)
+		xor := New(n).Xor(a, b)
+		not := New(n).Not(a)
+		for m := 0; m < 1<<n; m++ {
+			mm := uint(m)
+			if and.Get(mm) != (a.Get(mm) && b.Get(mm)) {
+				t.Fatalf("n=%d AND wrong at %d", n, m)
+			}
+			if or.Get(mm) != (a.Get(mm) || b.Get(mm)) {
+				t.Fatalf("n=%d OR wrong at %d", n, m)
+			}
+			if xor.Get(mm) != (a.Get(mm) != b.Get(mm)) {
+				t.Fatalf("n=%d XOR wrong at %d", n, m)
+			}
+			if not.Get(mm) == a.Get(mm) {
+				t.Fatalf("n=%d NOT wrong at %d", n, m)
+			}
+		}
+	}
+}
+
+func TestNotIsInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 9)
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTable(rng, n)
+		b := New(n).Not(New(n).Not(a))
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 9)
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTable(rng, n)
+		b := randomTable(rng, n)
+		// NOT(a AND b) == NOT a OR NOT b
+		lhs := New(n).Not(New(n).And(a, b))
+		rhs := New(n).Or(New(n).Not(a), New(n).Not(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCofactorSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 9; n++ {
+		a := randomTable(rng, n)
+		for i := 0; i < n; i++ {
+			c1 := a.Cofactor(i, true)
+			c0 := a.Cofactor(i, false)
+			for m := 0; m < 1<<n; m++ {
+				m1 := uint(m) | 1<<uint(i)
+				m0 := uint(m) &^ (1 << uint(i))
+				if c1.Get(uint(m)) != a.Get(m1) {
+					t.Fatalf("n=%d var=%d positive cofactor wrong at %d", n, i, m)
+				}
+				if c0.Get(uint(m)) != a.Get(m0) {
+					t.Fatalf("n=%d var=%d negative cofactor wrong at %d", n, i, m)
+				}
+			}
+			if c1.DependsOn(i) || c0.DependsOn(i) {
+				t.Fatalf("n=%d var=%d: cofactor still depends on the variable", n, i)
+			}
+		}
+	}
+}
+
+func TestShannonExpansion(t *testing.T) {
+	// f == (x AND f|x=1) OR (NOT x AND f|x=0) for every variable.
+	f := func(seed int64, nRaw, iRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		i := int(iRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTable(rng, n)
+		x := Var(n, i)
+		nx := New(n).Not(x)
+		lhs := New(n).Or(New(n).And(x, a.Cofactor(i, true)), New(n).And(nx, a.Cofactor(i, false)))
+		return lhs.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBooleanDiff(t *testing.T) {
+	// XOR depends on every variable everywhere: diff is constant 1.
+	n := 4
+	xor := FromFunc(n, func(a uint) bool {
+		ones := 0
+		for j := 0; j < n; j++ {
+			if a&(1<<uint(j)) != 0 {
+				ones++
+			}
+		}
+		return ones%2 == 1
+	})
+	for i := 0; i < n; i++ {
+		d := xor.BooleanDiff(i)
+		v, ok := d.IsConst()
+		if !ok || !v {
+			t.Fatalf("d(xor)/dx%d: want const 1, got %s", i, d)
+		}
+	}
+	// AND: diff wrt x0 is the AND of all other variables.
+	and := FromFunc(n, func(a uint) bool { return a == (1<<uint(n))-1 })
+	d := and.BooleanDiff(0)
+	want := FromFunc(n, func(a uint) bool { return a|1 == (1<<uint(n))-1 })
+	if !d.Equal(want) {
+		t.Fatalf("d(and)/dx0 wrong: got %s want %s", d, want)
+	}
+}
+
+func TestDependsOnAndSupport(t *testing.T) {
+	n := 5
+	// f = x1 XOR x3 ignores x0, x2, x4.
+	f := FromFunc(n, func(a uint) bool {
+		return (a>>1)&1 != (a>>3)&1
+	})
+	wantDep := []bool{false, true, false, true, false}
+	for i, w := range wantDep {
+		if f.DependsOn(i) != w {
+			t.Fatalf("DependsOn(%d) = %v, want %v", i, f.DependsOn(i), w)
+		}
+	}
+	if got := f.SupportSize(); got != 2 {
+		t.Fatalf("SupportSize = %d, want 2", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	// 2-input AND expanded into a 4-variable space on vars {3,1}.
+	and2 := FromFunc(2, func(a uint) bool { return a == 3 })
+	e := and2.Expand(4, []int{3, 1})
+	for m := 0; m < 16; m++ {
+		want := (m>>3)&1 == 1 && (m>>1)&1 == 1
+		if e.Get(uint(m)) != want {
+			t.Fatalf("Expand wrong at minterm %d", m)
+		}
+	}
+}
+
+func TestCountOnesAndProbability(t *testing.T) {
+	maj := FromFunc(3, func(a uint) bool {
+		ones := 0
+		for j := 0; j < 3; j++ {
+			if a&(1<<uint(j)) != 0 {
+				ones++
+			}
+		}
+		return ones >= 2
+	})
+	if maj.CountOnes() != 4 {
+		t.Fatalf("majority CountOnes = %d, want 4", maj.CountOnes())
+	}
+	if p := maj.OnesProbability(); p != 0.5 {
+		t.Fatalf("majority probability = %v, want 0.5", p)
+	}
+}
+
+func TestString(t *testing.T) {
+	and2 := FromFunc(2, func(a uint) bool { return a == 3 })
+	if got := and2.String(); got != "0x8" {
+		t.Fatalf("AND2 string = %q, want 0x8", got)
+	}
+	xor2 := FromFunc(2, func(a uint) bool { return a == 1 || a == 2 })
+	if got := xor2.String(); got != "0x6" {
+		t.Fatalf("XOR2 string = %q, want 0x6", got)
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	if New(2).Equal(New(3)) {
+		t.Fatal("tables of different widths must not be Equal")
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	mustPanic(t, "New(-1)", func() { New(-1) })
+	mustPanic(t, "New(17)", func() { New(MaxVars + 1) })
+	mustPanic(t, "Var out of range", func() { Var(3, 3) })
+	mustPanic(t, "Cofactor out of range", func() { New(3).Cofactor(5, true) })
+	mustPanic(t, "mixed widths", func() { New(3).And(New(3), New(4)) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func randomTable(rng *rand.Rand, n int) *TruthTable {
+	t := New(n)
+	for m := 0; m < 1<<n; m++ {
+		if rng.Intn(2) == 0 {
+			t.Set(uint(m), true)
+		}
+	}
+	return t
+}
+
+func BenchmarkAnd8(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randomTable(rng, 8)
+	y := randomTable(rng, 8)
+	out := New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out.And(x, y)
+	}
+}
+
+func BenchmarkBooleanDiff8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := randomTable(rng, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.BooleanDiff(3)
+	}
+}

@@ -1,0 +1,381 @@
+package blif
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+)
+
+const fullAdderBlif = `
+# 1-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func TestParseFullAdder(t *testing.T) {
+	lib, err := ParseString(fullAdderBlif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := lib.Get("fa")
+	if !ok {
+		t.Fatal("model fa not found")
+	}
+	if len(m.Inputs) != 3 || len(m.Outputs) != 2 || len(m.Gates) != 2 {
+		t.Fatalf("unexpected shape: %d in, %d out, %d gates", len(m.Inputs), len(m.Outputs), len(m.Gates))
+	}
+	net, err := Flatten(lib, "fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		out := net.OutputValues(net.Eval(in, nil))
+		ones := (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1)
+		if out[0] != (ones%2 == 1) || out[1] != (ones >= 2) {
+			t.Fatalf("full adder wrong at inputs %03b: %v", v, out)
+		}
+	}
+}
+
+func TestCoverToTruthTable(t *testing.T) {
+	// Off-set cover of AND: output 0 rows.
+	tt, err := CoverToTruthTable(2, []Cube{
+		{Inputs: "0-", Output: '0'},
+		{Inputs: "-0", Output: '0'},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := bitvec.FromFunc(2, func(a uint) bool { return a == 3 })
+	if !tt.Equal(and) {
+		t.Fatalf("off-set AND decode wrong: %s", tt)
+	}
+	// Empty cover is constant 0.
+	tt, err = CoverToTruthTable(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tt.IsConst(); !ok || v {
+		t.Fatal("empty cover should be constant 0")
+	}
+	// Mixed phases rejected.
+	if _, err := CoverToTruthTable(1, []Cube{{Inputs: "1", Output: '1'}, {Inputs: "0", Output: '0'}}); err == nil {
+		t.Fatal("mixed phases should be rejected")
+	}
+}
+
+func TestTruthTableCoverRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 6)
+		rng := rand.New(rand.NewSource(seed))
+		tt := bitvec.New(n)
+		for m := 0; m < 1<<n; m++ {
+			if rng.Intn(2) == 0 {
+				tt.Set(uint(m), true)
+			}
+		}
+		cover := TruthTableToCover(tt)
+		back, err := CoverToTruthTable(n, cover)
+		if err != nil {
+			return false
+		}
+		return back.Equal(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantCovers(t *testing.T) {
+	one := TruthTableToCover(bitvec.Const(2, true))
+	tt, err := CoverToTruthTable(2, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tt.IsConst(); !ok || !v {
+		t.Fatalf("const-1 cover round trip failed: %v", one)
+	}
+	zero := TruthTableToCover(bitvec.Const(2, false))
+	tt, err = CoverToTruthTable(2, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tt.IsConst(); !ok || v {
+		t.Fatalf("const-0 cover round trip failed: %v", zero)
+	}
+}
+
+func TestHierarchyFlatten(t *testing.T) {
+	text := `
+.model and2
+.inputs x y
+.outputs z
+.names x y z
+11 1
+.end
+
+.model top
+.inputs a b c
+.outputs o
+.subckt and2 x=a y=b z=ab
+.subckt and2 x=ab y=c z=o
+.end
+`
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Flatten(lib, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		out := net.OutputValues(net.Eval(in, nil))[0]
+		if out != (v == 7) {
+			t.Fatalf("and3 hierarchy wrong at %03b", v)
+		}
+	}
+}
+
+func TestFlattenOutOfOrderGates(t *testing.T) {
+	// Gate g2 textually precedes its fanin definition g1.
+	text := `
+.model ooo
+.inputs a
+.outputs y
+.names g1 y
+1 1
+.names a g1
+0 1
+.end
+`
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Flatten(lib, "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.OutputValues(net.Eval([]bool{false}, nil))[0]; !got {
+		t.Fatal("out-of-order flatten produced wrong function")
+	}
+}
+
+func TestFlattenDetectsCycle(t *testing.T) {
+	text := `
+.model cyc
+.inputs a
+.outputs y
+.names a x y
+11 1
+.names y x
+1 1
+.end
+`
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Flatten(lib, "cyc"); err == nil {
+		t.Fatal("expected cycle detection to fail")
+	}
+}
+
+func TestLatchParseAndFlatten(t *testing.T) {
+	text := `
+.model counterbit
+.inputs en
+.outputs q
+.latch d q 0
+.names en q d
+10 1
+01 1
+.end
+`
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Flatten(lib, "counterbit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.InitialLatchState()
+	// With en=1 the bit toggles every cycle.
+	want := []bool{false, true, false, true}
+	for i, w := range want {
+		val := net.Eval([]bool{true}, st)
+		if net.OutputValues(val)[0] != w {
+			t.Fatalf("cycle %d: got %v want %v", i, net.OutputValues(val)[0], w)
+		}
+		st = net.NextLatchState(val)
+	}
+}
+
+func TestSearchDirective(t *testing.T) {
+	files := map[string]string{
+		"lib.blif": `
+.model inv
+.inputs a
+.outputs y
+.names a y
+0 1
+.end
+`,
+	}
+	p := NewParser(func(name string) (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(files[name])), nil
+	})
+	top := `
+.search lib.blif
+.model top
+.inputs a
+.outputs y
+.subckt inv a=a y=y
+.end
+`
+	if err := p.Parse(strings.NewReader(top), "top.blif"); err != nil {
+		t.Fatal(err)
+	}
+	net, err := Flatten(p.Library(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.OutputValues(net.Eval([]bool{false}, nil))[0] {
+		t.Fatal("inverter through .search wrong")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	lib, err := ParseString(fullAdderBlif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ModelString(lib.Models["fa"])
+	lib2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	net1, err := Flatten(lib, "fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, err := Flatten(lib2, "fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		o1 := net1.OutputValues(net1.Eval(in, nil))
+		o2 := net2.OutputValues(net2.Eval(in, nil))
+		if o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatalf("round trip changed function at %03b", v)
+		}
+	}
+}
+
+func TestFromNetworkRoundTrip(t *testing.T) {
+	n := logic.NewNetwork("xor3")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	x1 := n.AddGate("x1", logic.TTXor2(), a, b)
+	x2 := n.AddGate("", logic.TTXor2(), x1, c)
+	n.MarkOutput("y", x2)
+
+	m := FromNetwork(n)
+	lib := NewLibrary()
+	lib.Add(m)
+	back, err := Flatten(lib, "xor3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ModelString(m))
+	}
+	for v := 0; v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		want := n.OutputValues(n.Eval(in, nil))[0]
+		got := back.OutputValues(back.Eval(in, nil))[0]
+		if want != got {
+			t.Fatalf("FromNetwork round trip wrong at %03b", v)
+		}
+	}
+}
+
+func TestFromNetworkWithLatchAndConst(t *testing.T) {
+	n := logic.NewNetwork("seq")
+	q := n.AddLatch("q", true)
+	one := n.AddConst("one", true)
+	d := n.AddGate("d", logic.TTXor2(), q, one) // invert q
+	n.ConnectLatch(q, d)
+	n.MarkOutput("q", q)
+
+	m := FromNetwork(n)
+	lib := NewLibrary()
+	lib.Add(m)
+	back, err := Flatten(lib, "seq")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, ModelString(m))
+	}
+	st := back.InitialLatchState()
+	if len(st) != 1 || !st[0] {
+		t.Fatalf("latch init lost: %v", st)
+	}
+	val := back.Eval(nil, st)
+	if next := back.NextLatchState(val); next[0] {
+		t.Fatal("inverted latch should go to 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		".model m\n.names\n.end",                // .names with no output
+		".model m\n.inputs a\n11 1\n.end",       // cover row outside .names
+		".model m\n.subckt\n.end",               // .subckt without model
+		".model m\n.subckt x broken\n.end",      // malformed binding
+		".model m\n.latch onlyinput\n.end",      // incomplete latch
+		".model m\n.bogus directive\n.end",      // unknown directive
+		".search lib.blif\n.model m\n.end",      // search without resolver
+		".model m\n.names a b\nbroken\n.end",    // malformed cover row
+		".model m\n.names a y\n2 1\n.end x y z", // bad cube char (flatten-time ok, decode fails)
+	}
+	for i, text := range bad {
+		lib, err := ParseString(text)
+		if err != nil {
+			continue // parse-time rejection is fine
+		}
+		// Some malformed covers only fail at flatten time.
+		if _, err := Flatten(lib, "m"); err == nil {
+			t.Fatalf("case %d: expected an error somewhere for %q", i, text)
+		}
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	text := ".model m\n.inputs a b \\\nc d\n.outputs y\n.names a b c d y\n1111 1\n.end\n"
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lib.Models["m"]
+	if len(m.Inputs) != 4 {
+		t.Fatalf("continuation line lost inputs: %v", m.Inputs)
+	}
+}

@@ -1,0 +1,189 @@
+package blif
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Flatten elaborates the named top model of the library into a flat
+// logic.Network, recursively instantiating every .subckt. Node names are
+// hierarchical: "u0/u1/sig" for nested instances. Gates may appear in any
+// textual order inside a model; Flatten resolves dependencies and reports
+// combinational cycles or undefined signals.
+func Flatten(lib *Library, top string) (*logic.Network, error) {
+	m, ok := lib.Get(top)
+	if !ok {
+		return nil, fmt.Errorf("blif: model %q not found", top)
+	}
+	net := logic.NewNetwork(top)
+	portMap := make(map[string]int, len(m.Inputs))
+	for _, in := range m.Inputs {
+		portMap[in] = net.AddInput(in)
+	}
+	f := &flattener{lib: lib, net: net}
+	outs, err := f.elaborate(m, "", portMap)
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range m.Outputs {
+		id, ok := outs[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: model %q: output %q is undriven", top, out)
+		}
+		net.MarkOutput(out, id)
+	}
+	if err := net.Check(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+type flattener struct {
+	lib  *Library
+	net  *logic.Network
+	inst int // instance counter for unique hierarchical prefixes
+}
+
+// elaborate instantiates model m with the given hierarchical name prefix
+// and input bindings, returning the node IDs of the model's outputs (and
+// of every internal signal, keyed by local name).
+func (f *flattener) elaborate(m *Model, prefix string, portMap map[string]int) (map[string]int, error) {
+	scope := make(map[string]int, len(m.Gates)+len(m.Inputs))
+	for _, in := range m.Inputs {
+		id, ok := portMap[in]
+		if !ok {
+			return nil, fmt.Errorf("blif: model %q: input %q unconnected", m.Name, in)
+		}
+		scope[in] = id
+	}
+
+	// Latch outputs are combinational sources: define them up front.
+	for _, la := range m.Latches {
+		init := la.Init == 1
+		scope[la.Output] = f.net.AddLatch(prefix+la.Output, init)
+	}
+
+	// Work items resolved iteratively as their inputs become defined.
+	type item struct {
+		gate   *Gate
+		subckt *Subckt
+	}
+	var pending []item
+	for i := range m.Gates {
+		pending = append(pending, item{gate: &m.Gates[i]})
+	}
+	for i := range m.Subckts {
+		pending = append(pending, item{subckt: &m.Subckts[i]})
+	}
+
+	for len(pending) > 0 {
+		progress := false
+		var next []item
+		for _, it := range pending {
+			switch {
+			case it.gate != nil:
+				g := it.gate
+				fanins := make([]int, len(g.Inputs))
+				ready := true
+				for i, in := range g.Inputs {
+					id, ok := scope[in]
+					if !ok {
+						ready = false
+						break
+					}
+					fanins[i] = id
+				}
+				if !ready {
+					next = append(next, it)
+					continue
+				}
+				tt, err := CoverToTruthTable(len(g.Inputs), g.Cover)
+				if err != nil {
+					return nil, fmt.Errorf("blif: model %q, gate %q: %w", m.Name, g.Output, err)
+				}
+				var id int
+				if v, ok := tt.IsConst(); ok && len(g.Inputs) == 0 {
+					id = f.net.AddConst(prefix+g.Output, v)
+				} else {
+					id = f.net.AddGate(prefix+g.Output, tt, fanins...)
+				}
+				if _, dup := scope[g.Output]; dup {
+					return nil, fmt.Errorf("blif: model %q: signal %q multiply driven", m.Name, g.Output)
+				}
+				scope[g.Output] = id
+				progress = true
+			case it.subckt != nil:
+				sc := it.subckt
+				inner, ok := f.lib.Get(sc.Model)
+				if !ok {
+					return nil, fmt.Errorf("blif: model %q references unknown model %q", m.Name, sc.Model)
+				}
+				innerPorts := make(map[string]int, len(inner.Inputs))
+				ready := true
+				for _, formal := range inner.Inputs {
+					actual, bound := sc.Bindings[formal]
+					if !bound {
+						return nil, fmt.Errorf("blif: %q instance in %q: input %q unbound", sc.Model, m.Name, formal)
+					}
+					id, defined := scope[actual]
+					if !defined {
+						ready = false
+						break
+					}
+					innerPorts[formal] = id
+				}
+				if !ready {
+					next = append(next, it)
+					continue
+				}
+				instPrefix := fmt.Sprintf("%su%d/", prefix, f.inst)
+				f.inst++
+				outs, err := f.elaborate(inner, instPrefix, innerPorts)
+				if err != nil {
+					return nil, err
+				}
+				for _, formal := range inner.Outputs {
+					actual, bound := sc.Bindings[formal]
+					if !bound {
+						continue // unconnected output
+					}
+					id, ok := outs[formal]
+					if !ok {
+						return nil, fmt.Errorf("blif: model %q: output %q undriven", sc.Model, formal)
+					}
+					if _, dup := scope[actual]; dup {
+						return nil, fmt.Errorf("blif: model %q: signal %q multiply driven", m.Name, actual)
+					}
+					scope[actual] = id
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("blif: model %q: combinational cycle or undefined signal (%d items unresolved)", m.Name, len(next))
+		}
+		pending = next
+	}
+
+	// Connect latch D inputs now that all signals exist.
+	for _, la := range m.Latches {
+		d, ok := scope[la.Input]
+		if !ok {
+			return nil, fmt.Errorf("blif: model %q: latch input %q undefined", m.Name, la.Input)
+		}
+		f.net.ConnectLatch(scope[la.Output], d)
+	}
+
+	outs := make(map[string]int, len(m.Outputs))
+	for _, out := range m.Outputs {
+		id, ok := scope[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: model %q: output %q undriven", m.Name, out)
+		}
+		outs[out] = id
+	}
+	// Return the full scope so callers binding internal names also work;
+	// outputs are the contract, so return those.
+	return outs, nil
+}

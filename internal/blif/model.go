@@ -1,0 +1,222 @@
+// Package blif reads and writes netlists in the Berkeley Logic Interchange
+// Format (BLIF) as defined by SIS [19 in the paper]. It supports the
+// constructs the HLPower flow needs: .model/.inputs/.outputs/.names
+// two-level covers, .latch, hierarchical .subckt instantiation, .search
+// includes, and flattening a hierarchy into a logic.Network. The paper's
+// partial-datapath generation (Fig. 2) emits exactly this subset.
+package blif
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Cube is one row of a two-level cover: one input character per input
+// ('0', '1' or '-') and an output value.
+type Cube struct {
+	Inputs string
+	Output byte // '1' for on-set rows, '0' for off-set rows
+}
+
+// Gate is a .names logic function: a named single-output node defined by
+// a two-level cover over named inputs.
+type Gate struct {
+	Inputs []string
+	Output string
+	Cover  []Cube
+}
+
+// Latch is a .latch D flip-flop. Init follows BLIF: 0, 1, 2 (don't care)
+// or 3 (unknown); we treat anything other than 1 as reset-to-0.
+type Latch struct {
+	Input  string
+	Output string
+	Init   int
+}
+
+// Subckt is a .subckt instantiation: formal-to-actual pin bindings of a
+// referenced model.
+type Subckt struct {
+	Model    string
+	Bindings map[string]string
+}
+
+// Model is one .model section.
+type Model struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Gates   []Gate
+	Latches []Latch
+	Subckts []Subckt
+}
+
+// Library is a set of models indexed by name, e.g. the resource library
+// (mux2.blif, mux3.blif, mult.blif, ...) the binder draws from.
+type Library struct {
+	Models map[string]*Model
+	// Order preserves first-definition order for deterministic output.
+	Order []string
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{Models: make(map[string]*Model)}
+}
+
+// Add inserts a model, replacing any previous definition of the same name.
+func (l *Library) Add(m *Model) {
+	if _, ok := l.Models[m.Name]; !ok {
+		l.Order = append(l.Order, m.Name)
+	}
+	l.Models[m.Name] = m
+}
+
+// Get returns the named model.
+func (l *Library) Get(name string) (*Model, bool) {
+	m, ok := l.Models[name]
+	return m, ok
+}
+
+// CoverToTruthTable converts a two-level cover over n inputs into a truth
+// table. BLIF semantics: all rows of a cover must share the same output
+// phase; a '1' phase cover lists the on-set, a '0' phase cover the
+// off-set. An empty cover is constant 0 (".names x" with no rows).
+func CoverToTruthTable(n int, cover []Cube) (*bitvec.TruthTable, error) {
+	if len(cover) == 0 {
+		return bitvec.Const(n, false), nil
+	}
+	phase := cover[0].Output
+	for _, c := range cover {
+		if c.Output != phase {
+			return nil, fmt.Errorf("blif: mixed output phases in cover")
+		}
+		if len(c.Inputs) != n {
+			return nil, fmt.Errorf("blif: cube %q has %d literals, want %d", c.Inputs, len(c.Inputs), n)
+		}
+	}
+	set := bitvec.New(n)
+	for _, c := range cover {
+		// Expand the cube over its don't-cares.
+		var fixedMask, fixedVal uint
+		for i := 0; i < n; i++ {
+			switch c.Inputs[i] {
+			case '1':
+				fixedMask |= 1 << uint(i)
+				fixedVal |= 1 << uint(i)
+			case '0':
+				fixedMask |= 1 << uint(i)
+			case '-':
+			default:
+				return nil, fmt.Errorf("blif: bad cube character %q", c.Inputs[i])
+			}
+		}
+		for m := 0; m < 1<<n; m++ {
+			if uint(m)&fixedMask == fixedVal {
+				set.Set(uint(m), true)
+			}
+		}
+	}
+	if phase == '0' {
+		return set.Not(set), nil
+	}
+	return set, nil
+}
+
+// TruthTableToCover converts a truth table into a two-level cover. It
+// emits whichever of on-set/off-set is smaller, one cube per minterm with
+// a light single-pass cube-merging cleanup (adjacent minterms differing in
+// one variable merge into a '-'). The result is valid BLIF, not a minimal
+// cover.
+func TruthTableToCover(tt *bitvec.TruthTable) []Cube {
+	n := tt.NumVars()
+	ones := tt.CountOnes()
+	size := tt.Size()
+	phase := byte('1')
+	want := true
+	if ones > size/2 {
+		phase = '0'
+		want = false
+	}
+	// Collect minterms of the chosen phase.
+	terms := make([]uint, 0, size)
+	for m := 0; m < size; m++ {
+		if tt.Get(uint(m)) == want {
+			terms = append(terms, uint(m))
+		}
+	}
+	// Greedy pairwise merge on one variable: repeatedly combine pairs that
+	// differ in exactly one bit. Represent a cube as (value, careMask).
+	type cube struct{ val, care uint }
+	cubes := make([]cube, len(terms))
+	full := uint(1<<n) - 1
+	for i, m := range terms {
+		cubes[i] = cube{val: m, care: full}
+	}
+	merged := true
+	for merged {
+		merged = false
+		seen := make(map[[2]uint]bool, len(cubes))
+		var next []cube
+		used := make([]bool, len(cubes))
+		for i := 0; i < len(cubes); i++ {
+			if used[i] {
+				continue
+			}
+			found := false
+			for j := i + 1; j < len(cubes); j++ {
+				if used[j] || cubes[i].care != cubes[j].care {
+					continue
+				}
+				diff := (cubes[i].val ^ cubes[j].val) & cubes[i].care
+				if diff != 0 && diff&(diff-1) == 0 { // exactly one differing care bit
+					nc := cube{val: cubes[i].val &^ diff, care: cubes[i].care &^ diff}
+					key := [2]uint{nc.val, nc.care}
+					if !seen[key] {
+						seen[key] = true
+						next = append(next, nc)
+					}
+					used[i], used[j] = true, true
+					found, merged = true, true
+					break
+				}
+			}
+			if !found {
+				key := [2]uint{cubes[i].val, cubes[i].care}
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, cubes[i])
+				}
+				used[i] = true
+			}
+		}
+		cubes = next
+	}
+	out := make([]Cube, 0, len(cubes))
+	for _, c := range cubes {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			bit := uint(1) << uint(i)
+			switch {
+			case c.care&bit == 0:
+				sb.WriteByte('-')
+			case c.val&bit != 0:
+				sb.WriteByte('1')
+			default:
+				sb.WriteByte('0')
+			}
+		}
+		out = append(out, Cube{Inputs: sb.String(), Output: phase})
+	}
+	if len(out) == 0 {
+		// Constant function: on-set empty => const 0 (no rows); off-set
+		// empty => const 1 (single all-dash row with output 1).
+		if v, ok := tt.IsConst(); ok && v {
+			return []Cube{{Inputs: strings.Repeat("-", n), Output: '1'}}
+		}
+		return nil
+	}
+	return out
+}

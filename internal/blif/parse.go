@@ -1,0 +1,231 @@
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Resolver locates files referenced by .search directives. The default
+// resolver used by ParseFile opens paths relative to the including file.
+type Resolver func(name string) (io.ReadCloser, error)
+
+// Parser reads BLIF text into a Library.
+type Parser struct {
+	resolve Resolver
+	lib     *Library
+}
+
+// NewParser returns a parser that resolves .search includes with resolve
+// (nil disables includes).
+func NewParser(resolve Resolver) *Parser {
+	return &Parser{resolve: resolve, lib: NewLibrary()}
+}
+
+// Library returns the models parsed so far.
+func (p *Parser) Library() *Library { return p.lib }
+
+// Parse reads every model from r into the parser's library. src is used
+// in error messages.
+func (p *Parser) Parse(r io.Reader, src string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var logical []string // logical lines after continuation splicing
+	var pending strings.Builder
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		cont := strings.HasSuffix(line, "\\")
+		if cont {
+			line = strings.TrimSuffix(line, "\\")
+		}
+		pending.WriteString(line)
+		if cont {
+			pending.WriteByte(' ')
+			continue
+		}
+		logical = append(logical, pending.String())
+		pending.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("blif: reading %s: %w", src, err)
+	}
+	if pending.Len() > 0 {
+		logical = append(logical, pending.String())
+	}
+
+	var cur *Model
+	var curGate *Gate
+	flushGate := func() {
+		if curGate != nil {
+			cur.Gates = append(cur.Gates, *curGate)
+			curGate = nil
+		}
+	}
+	for idx, raw := range logical {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("blif: %s:%d: %s", src, idx+1, fmt.Sprintf(format, args...))
+		}
+		if !strings.HasPrefix(fields[0], ".") {
+			// Cover row for the current .names.
+			if curGate == nil {
+				return errf("cover row %q outside .names", line)
+			}
+			switch {
+			case len(curGate.Inputs) == 0 && len(fields) == 1 && len(fields[0]) == 1:
+				curGate.Cover = append(curGate.Cover, Cube{Inputs: "", Output: fields[0][0]})
+			case len(fields) == 2:
+				curGate.Cover = append(curGate.Cover, Cube{Inputs: fields[0], Output: fields[1][0]})
+			default:
+				return errf("malformed cover row %q", line)
+			}
+			continue
+		}
+		switch fields[0] {
+		case ".model":
+			flushGate()
+			if cur != nil {
+				p.lib.Add(cur)
+			}
+			name := ""
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			cur = &Model{Name: name}
+		case ".inputs":
+			if cur == nil {
+				return errf(".inputs outside .model")
+			}
+			flushGate()
+			cur.Inputs = append(cur.Inputs, fields[1:]...)
+		case ".outputs":
+			if cur == nil {
+				return errf(".outputs outside .model")
+			}
+			flushGate()
+			cur.Outputs = append(cur.Outputs, fields[1:]...)
+		case ".names":
+			if cur == nil {
+				return errf(".names outside .model")
+			}
+			flushGate()
+			if len(fields) < 2 {
+				return errf(".names needs at least an output")
+			}
+			curGate = &Gate{
+				Inputs: append([]string(nil), fields[1:len(fields)-1]...),
+				Output: fields[len(fields)-1],
+			}
+		case ".latch":
+			if cur == nil {
+				return errf(".latch outside .model")
+			}
+			flushGate()
+			if len(fields) < 3 {
+				return errf(".latch needs input and output")
+			}
+			la := Latch{Input: fields[1], Output: fields[2], Init: 3}
+			// Optional trailing fields: [type control] [init].
+			if len(fields) >= 4 {
+				if v, err := strconv.Atoi(fields[len(fields)-1]); err == nil {
+					la.Init = v
+				}
+			}
+			cur.Latches = append(cur.Latches, la)
+		case ".subckt":
+			if cur == nil {
+				return errf(".subckt outside .model")
+			}
+			flushGate()
+			if len(fields) < 2 {
+				return errf(".subckt needs a model name")
+			}
+			sc := Subckt{Model: fields[1], Bindings: make(map[string]string)}
+			for _, b := range fields[2:] {
+				eq := strings.Index(b, "=")
+				if eq <= 0 {
+					return errf("malformed binding %q", b)
+				}
+				sc.Bindings[b[:eq]] = b[eq+1:]
+			}
+			cur.Subckts = append(cur.Subckts, sc)
+		case ".search":
+			flushGate()
+			if len(fields) < 2 {
+				return errf(".search needs a file name")
+			}
+			if p.resolve == nil {
+				return errf(".search %q: no resolver configured", fields[1])
+			}
+			rc, err := p.resolve(fields[1])
+			if err != nil {
+				return errf(".search %q: %v", fields[1], err)
+			}
+			err = p.Parse(rc, fields[1])
+			rc.Close()
+			if err != nil {
+				return err
+			}
+		case ".end":
+			flushGate()
+			if cur != nil {
+				p.lib.Add(cur)
+				cur = nil
+			}
+		case ".exdc", ".wire_load_slope", ".clock", ".default_input_arrival",
+			".default_output_required", ".area", ".delay":
+			// Recognized but irrelevant directives: ignore.
+			flushGate()
+		default:
+			return errf("unknown directive %q", fields[0])
+		}
+	}
+	flushGate()
+	if cur != nil {
+		p.lib.Add(cur)
+	}
+	return nil
+}
+
+// ParseString parses BLIF text from a string into a fresh library.
+func ParseString(text string) (*Library, error) {
+	p := NewParser(nil)
+	if err := p.Parse(strings.NewReader(text), "<string>"); err != nil {
+		return nil, err
+	}
+	return p.Library(), nil
+}
+
+// ParseFile parses a BLIF file; .search references resolve relative to
+// the file's directory.
+func ParseFile(path string) (*Library, error) {
+	dir := filepath.Dir(path)
+	p := NewParser(func(name string) (io.ReadCloser, error) {
+		if filepath.IsAbs(name) {
+			return os.Open(name)
+		}
+		return os.Open(filepath.Join(dir, name))
+	})
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := p.Parse(f, path); err != nil {
+		return nil, err
+	}
+	return p.Library(), nil
+}

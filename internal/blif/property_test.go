@@ -1,0 +1,163 @@
+package blif
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+)
+
+// randomNetwork builds a random combinational network with occasional
+// constants and shared fanout.
+func randomNetwork(rng *rand.Rand, name string) *logic.Network {
+	net := logic.NewNetwork(name)
+	var pool []int
+	nIn := 2 + rng.Intn(4)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, net.AddInput("i"+string(rune('0'+i))))
+	}
+	if rng.Intn(3) == 0 {
+		pool = append(pool, net.AddConst("", rng.Intn(2) == 0))
+	}
+	gates := 3 + rng.Intn(15)
+	fns := []*bitvec.TruthTable{
+		logic.TTAnd2(), logic.TTOr2(), logic.TTXor2(), logic.TTNand2(),
+		logic.TTNot(), logic.TTMaj3(), logic.TTXor3(), logic.TTMux2(),
+	}
+	for i := 0; i < gates; i++ {
+		fn := fns[rng.Intn(len(fns))]
+		fanins := make([]int, fn.NumVars())
+		for j := range fanins {
+			fanins[j] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, net.AddGate("", fn, fanins...))
+	}
+	outs := 1 + rng.Intn(3)
+	for i := 0; i < outs; i++ {
+		net.MarkOutput("o"+string(rune('0'+i)), pool[len(pool)-1-rng.Intn(3)])
+	}
+	return net
+}
+
+// TestWriteParseFlattenEquivalence: any network survives the full BLIF
+// round trip functionally.
+func TestWriteParseFlattenEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNetwork(rng, "m")
+		text := ModelString(FromNetwork(net))
+		lib, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		back, err := Flatten(lib, "m")
+		if err != nil {
+			return false
+		}
+		// Inputs align by name.
+		for trial := 0; trial < 20; trial++ {
+			in := make([]bool, len(net.Inputs))
+			for i := range in {
+				in[i] = rng.Intn(2) == 0
+			}
+			in2 := make([]bool, len(back.Inputs))
+			for i, id := range back.Inputs {
+				nm := back.Node(id).Name
+				oid, ok := net.FindNode(nm)
+				if !ok {
+					return false
+				}
+				for j, id1 := range net.Inputs {
+					if id1 == oid {
+						in2[i] = in[j]
+					}
+				}
+			}
+			o1 := net.OutputValues(net.Eval(in, nil))
+			o2 := back.OutputValues(back.Eval(in2, nil))
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterDeterministic: the same network always renders identically.
+func TestWriterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := randomNetwork(rng, "d")
+	a := ModelString(FromNetwork(net))
+	b := ModelString(FromNetwork(net))
+	if a != b {
+		t.Fatal("writer output not deterministic")
+	}
+}
+
+// TestCoverRowCounts: the emitted cover never exceeds the minterm count
+// of the chosen phase (the merger only shrinks).
+func TestCoverRowCounts(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw % 5)
+		rng := rand.New(rand.NewSource(seed))
+		tt := bitvec.New(n)
+		for m := 0; m < 1<<n; m++ {
+			if rng.Intn(2) == 0 {
+				tt.Set(uint(m), true)
+			}
+		}
+		cover := TruthTableToCover(tt)
+		ones := tt.CountOnes()
+		phaseSize := ones
+		if ones > tt.Size()/2 {
+			phaseSize = tt.Size() - ones
+		}
+		if phaseSize == 0 {
+			return len(cover) <= 1
+		}
+		return len(cover) <= phaseSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDontCareExpansionConsistency: covers with '-' decode the same as
+// their expanded minterm form.
+func TestDontCareExpansionConsistency(t *testing.T) {
+	cover := []Cube{{Inputs: "1-0-", Output: '1'}}
+	tt, err := CoverToTruthTable(4, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expanded []Cube
+	for _, m := range []string{"1000", "1100", "1001", "1101"} {
+		expanded = append(expanded, Cube{Inputs: m, Output: '1'})
+	}
+	tt2, err := CoverToTruthTable(4, expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.Equal(tt2) {
+		t.Fatalf("dash expansion inconsistent: %s vs %s", tt, tt2)
+	}
+}
+
+func TestModelStringContainsAllSections(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := randomNetwork(rng, "sec")
+	text := ModelString(FromNetwork(net))
+	for _, want := range []string{".model sec", ".inputs", ".outputs", ".names", ".end"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}

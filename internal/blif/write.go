@@ -1,0 +1,176 @@
+package blif
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// WriteModel renders a single model as BLIF text.
+func WriteModel(w io.Writer, m *Model) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n", m.Name)
+	writeNameList(&b, ".inputs", m.Inputs)
+	writeNameList(&b, ".outputs", m.Outputs)
+	for _, la := range m.Latches {
+		fmt.Fprintf(&b, ".latch %s %s %d\n", la.Input, la.Output, la.Init)
+	}
+	for _, sc := range m.Subckts {
+		fmt.Fprintf(&b, ".subckt %s", sc.Model)
+		// Deterministic binding order.
+		keys := make([]string, 0, len(sc.Bindings))
+		for k := range sc.Bindings {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, sc.Bindings[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, g := range m.Gates {
+		fmt.Fprintf(&b, ".names %s %s\n", strings.Join(g.Inputs, " "), g.Output)
+		for _, c := range g.Cover {
+			if len(g.Inputs) == 0 {
+				fmt.Fprintf(&b, "%c\n", c.Output)
+			} else {
+				fmt.Fprintf(&b, "%s %c\n", c.Inputs, c.Output)
+			}
+		}
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteLibrary renders every model in definition order.
+func WriteLibrary(w io.Writer, lib *Library) error {
+	for _, name := range lib.Order {
+		if err := WriteModel(w, lib.Models[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ModelString renders a model to a string.
+func ModelString(m *Model) string {
+	var b strings.Builder
+	_ = WriteModel(&b, m)
+	return b.String()
+}
+
+func writeNameList(b *strings.Builder, directive string, names []string) {
+	if len(names) == 0 {
+		return
+	}
+	b.WriteString(directive)
+	col := len(directive)
+	for _, n := range names {
+		if col+1+len(n) > 78 {
+			b.WriteString(" \\\n ")
+			col = 1
+		}
+		b.WriteByte(' ')
+		b.WriteString(n)
+		col += 1 + len(n)
+	}
+	b.WriteByte('\n')
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FromNetwork converts a flat logic.Network into a single BLIF model.
+// Unnamed nodes receive synthetic names n<ID>.
+func FromNetwork(n *logic.Network) *Model {
+	m := &Model{Name: n.Name}
+	name := nodeNamer(n)
+	for _, id := range n.Inputs {
+		m.Inputs = append(m.Inputs, name(id))
+	}
+	for _, o := range n.Outputs {
+		m.Outputs = append(m.Outputs, o.Name)
+	}
+	for _, q := range n.Latches {
+		nd := n.Node(q)
+		init := 0
+		if nd.LatchInit {
+			init = 1
+		}
+		m.Latches = append(m.Latches, Latch{Input: name(nd.LatchInput), Output: name(q), Init: init})
+	}
+	for _, nd := range n.Nodes {
+		switch nd.Kind {
+		case logic.KindConst:
+			cover := []Cube{}
+			if nd.ConstVal {
+				cover = append(cover, Cube{Inputs: "", Output: '1'})
+			}
+			m.Gates = append(m.Gates, Gate{Output: name(nd.ID), Cover: cover})
+		case logic.KindGate:
+			ins := make([]string, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				ins[i] = name(f)
+			}
+			m.Gates = append(m.Gates, Gate{
+				Inputs: ins,
+				Output: name(nd.ID),
+				Cover:  TruthTableToCover(nd.Func),
+			})
+		}
+	}
+	// Primary outputs must be driven by a node of the same name; insert
+	// buffers where the driver's name differs.
+	for _, o := range n.Outputs {
+		driver := name(o.Node)
+		if driver != o.Name {
+			m.Gates = append(m.Gates, Gate{
+				Inputs: []string{driver},
+				Output: o.Name,
+				Cover:  []Cube{{Inputs: "1", Output: '1'}},
+			})
+		}
+	}
+	return m
+}
+
+// nodeNamer returns a naming function that uses the node's declared name
+// when present and unique synthetic names otherwise. If an output shares
+// its driver node and the node is unnamed, the driver gets the output
+// name directly to avoid a useless buffer.
+func nodeNamer(n *logic.Network) func(int) string {
+	names := make([]string, n.NumNodes())
+	used := make(map[string]bool)
+	for _, nd := range n.Nodes {
+		if nd.Name != "" {
+			names[nd.ID] = nd.Name
+			used[nd.Name] = true
+		}
+	}
+	// Give unnamed output drivers the output's name (first output wins).
+	for _, o := range n.Outputs {
+		if names[o.Node] == "" && !used[o.Name] {
+			names[o.Node] = o.Name
+			used[o.Name] = true
+		}
+	}
+	return func(id int) string {
+		if names[id] == "" {
+			c := fmt.Sprintf("n%d", id)
+			for used[c] {
+				c = "_" + c
+			}
+			names[id] = c
+			used[c] = true
+		}
+		return names[id]
+	}
+}

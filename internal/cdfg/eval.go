@@ -1,0 +1,40 @@
+package cdfg
+
+// Eval computes every node's value for a W-bit datapath given primary
+// input values (indexed like Graph.Inputs). Arithmetic is unsigned
+// modulo 2^width, matching the truncating gate-level resource library —
+// the functional reference the elaborated datapath is verified against.
+func Eval(g *Graph, inputs []uint64, width int) []uint64 {
+	if len(inputs) != len(g.Inputs) {
+		panic("cdfg: Eval input count mismatch")
+	}
+	mask := uint64(1)<<uint(width) - 1
+	val := make([]uint64, len(g.Nodes))
+	for i, id := range g.Inputs {
+		val[id] = inputs[i] & mask
+	}
+	for _, n := range g.Nodes {
+		if !n.Kind.IsOp() {
+			continue
+		}
+		a, b := val[n.Args[0]], val[n.Args[1]]
+		switch n.Kind {
+		case KindAdd:
+			val[n.ID] = (a + b) & mask
+		case KindSub:
+			val[n.ID] = (a - b) & mask
+		case KindMult:
+			val[n.ID] = (a * b) & mask
+		}
+	}
+	return val
+}
+
+// OutputValues extracts the primary-output values from an Eval result.
+func OutputValues(g *Graph, val []uint64) []uint64 {
+	out := make([]uint64, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out[i] = val[o]
+	}
+	return out
+}

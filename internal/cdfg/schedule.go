@@ -1,0 +1,279 @@
+package cdfg
+
+import (
+	"fmt"
+
+	"repro/internal/netgen"
+)
+
+// Schedule assigns every operation a control step in 1..Len. Inputs are
+// available from step 0. All library resources are single-cycle (paper
+// §6.1), so an operation occupies exactly its assigned step.
+type Schedule struct {
+	// Step is each operation's start step (1..Len); 0 for inputs.
+	Step []int
+	// Len is the schedule length in control steps.
+	Len int
+	// Lib carries the resource latencies the schedule was built for;
+	// the zero value is the single-cycle library.
+	Lib Library
+}
+
+// ResourceConstraint bounds the number of concurrently usable FUs per
+// class, e.g. {Add: 3, Mult: 2} like the paper's Table 2.
+type ResourceConstraint struct {
+	Add  int
+	Mult int
+}
+
+// Limit returns the bound for an FU class (0 means unbounded).
+func (rc ResourceConstraint) Limit(class netgen.FUKind) int {
+	switch class {
+	case netgen.FUAdd:
+		return rc.Add
+	case netgen.FUMult:
+		return rc.Mult
+	}
+	return 0
+}
+
+// ASAP returns the as-soon-as-possible schedule (unlimited resources).
+func ASAP(g *Graph) *Schedule {
+	s := &Schedule{Step: make([]int, len(g.Nodes))}
+	for _, n := range g.Nodes {
+		if !n.Kind.IsOp() {
+			s.Step[n.ID] = 0
+			continue
+		}
+		max := 0
+		for _, a := range n.Args {
+			if s.Step[a] > max {
+				max = s.Step[a]
+			}
+		}
+		s.Step[n.ID] = max + 1
+		if s.Step[n.ID] > s.Len {
+			s.Len = s.Step[n.ID]
+		}
+	}
+	return s
+}
+
+// ALAP returns the as-late-as-possible schedule for a target length L
+// (which must be >= the critical path length).
+func ALAP(g *Graph, L int) (*Schedule, error) {
+	asap := ASAP(g)
+	if L < asap.Len {
+		return nil, fmt.Errorf("cdfg: ALAP length %d below critical path %d", L, asap.Len)
+	}
+	s := &Schedule{Step: make([]int, len(g.Nodes)), Len: L}
+	consumers := g.Consumers()
+	for id := len(g.Nodes) - 1; id >= 0; id-- {
+		n := g.Nodes[id]
+		if !n.Kind.IsOp() {
+			s.Step[id] = 0
+			continue
+		}
+		late := L
+		for _, c := range consumers[id] {
+			if s.Step[c]-1 < late {
+				late = s.Step[c] - 1
+			}
+		}
+		s.Step[id] = late
+	}
+	return s, nil
+}
+
+// ListSchedule performs resource-constrained list scheduling with
+// ALAP-slack priority (most urgent first). It returns the schedule, or
+// an error if the constraint has a zero entry for a class that is used.
+func ListSchedule(g *Graph, rc ResourceConstraint) (*Schedule, error) {
+	asap := ASAP(g)
+	alap, err := ALAP(g, asap.Len)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range g.Ops() {
+		class := g.Nodes[id].Kind.FUClass()
+		if rc.Limit(class) <= 0 {
+			return nil, fmt.Errorf("cdfg: resource constraint has no %s units", class)
+		}
+	}
+
+	s := &Schedule{Step: make([]int, len(g.Nodes))}
+	scheduled := make([]bool, len(g.Nodes))
+	for _, id := range g.Inputs {
+		scheduled[id] = true
+	}
+	remaining := len(g.Ops())
+	step := 0
+	for remaining > 0 {
+		step++
+		used := map[netgen.FUKind]int{}
+		// Ready ops: all args scheduled in earlier steps.
+		var ready []int
+		for _, id := range g.Ops() {
+			if scheduled[id] {
+				continue
+			}
+			ok := true
+			for _, a := range g.Nodes[id].Args {
+				if !scheduled[a] || (g.Nodes[a].Kind.IsOp() && s.Step[a] >= step) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, id)
+			}
+		}
+		// Priority: smaller ALAP step = less slack = more urgent; break
+		// ties by ID for determinism.
+		sortByKey(ready, func(id int) int { return alap.Step[id]*len(g.Nodes) + id })
+		for _, id := range ready {
+			class := g.Nodes[id].Kind.FUClass()
+			if used[class] >= rc.Limit(class) {
+				continue
+			}
+			used[class]++
+			s.Step[id] = step
+			scheduled[id] = true
+			remaining--
+		}
+		if step > 4*len(g.Nodes)+16 {
+			return nil, fmt.Errorf("cdfg: list scheduling did not converge")
+		}
+	}
+	s.Len = step
+	return s, nil
+}
+
+// sortByKey sorts ints ascending by a key function (insertion sort; the
+// ready lists are small).
+func sortByKey(xs []int, key func(int) int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && key(xs[j]) < key(xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MinResources returns, per FU class, the maximum number of operations
+// of that class in any single control step — the lower bound on the
+// resource constraint that Theorem 1 guarantees the binder can meet.
+func MinResources(g *Graph, s *Schedule) ResourceConstraint {
+	addPerStep := make(map[int]int)
+	multPerStep := make(map[int]int)
+	for _, id := range g.Ops() {
+		switch g.Nodes[id].Kind.FUClass() {
+		case netgen.FUAdd:
+			addPerStep[s.Step[id]]++
+		case netgen.FUMult:
+			multPerStep[s.Step[id]]++
+		}
+	}
+	rc := ResourceConstraint{}
+	for _, c := range addPerStep {
+		if c > rc.Add {
+			rc.Add = c
+		}
+	}
+	for _, c := range multPerStep {
+		if c > rc.Mult {
+			rc.Mult = c
+		}
+	}
+	return rc
+}
+
+// ValidateSchedule checks precedence (args strictly earlier), range, and
+// the resource constraint (zero limits are ignored).
+func ValidateSchedule(g *Graph, s *Schedule, rc ResourceConstraint) error {
+	if len(s.Step) != len(g.Nodes) {
+		return fmt.Errorf("cdfg: schedule size mismatch")
+	}
+	used := make(map[[2]int]int) // (step, classIdx) -> count
+	for _, n := range g.Nodes {
+		if !n.Kind.IsOp() {
+			continue
+		}
+		st := s.Step[n.ID]
+		if st < 1 || st > s.Len {
+			return fmt.Errorf("cdfg: op %d scheduled at invalid step %d", n.ID, st)
+		}
+		for _, a := range n.Args {
+			if g.Nodes[a].Kind.IsOp() && s.Step[a] >= st {
+				return fmt.Errorf("cdfg: op %d at step %d uses value %d from step %d", n.ID, st, a, s.Step[a])
+			}
+		}
+		ci := 0
+		if n.Kind.FUClass() == netgen.FUMult {
+			ci = 1
+		}
+		used[[2]int{st, ci}]++
+	}
+	if rc.Add > 0 || rc.Mult > 0 {
+		for k, c := range used {
+			limit := rc.Add
+			if k[1] == 1 {
+				limit = rc.Mult
+			}
+			if limit > 0 && c > limit {
+				return fmt.Errorf("cdfg: step %d exceeds resource constraint (%d used, %d allowed)", k[0], c, limit)
+			}
+		}
+	}
+	return nil
+}
+
+// Lifetime is the register-lifetime interval of a value: the value is
+// born at the end of step Birth and must be held through step Death
+// (i.e. it is read during steps Birth+1..Death). Two values can share a
+// register iff their (Birth, Death] intervals do not overlap.
+type Lifetime struct {
+	Birth, Death int
+}
+
+// Overlaps reports whether two lifetimes conflict. Empty lifetimes
+// (Birth == Death, a value never stored across a step boundary) overlap
+// nothing.
+func (l Lifetime) Overlaps(o Lifetime) bool {
+	if l.Birth >= l.Death || o.Birth >= o.Death {
+		return false
+	}
+	return l.Birth < o.Death && o.Birth < l.Death
+}
+
+// Lifetimes computes value lifetimes under the schedule. Inputs are born
+// at step 0; an operation's value is born at its completion step. A
+// value dies at its last consumer's completion step (a multi-cycle
+// consumer holds its operands for its whole occupation); primary
+// outputs live through the end of the schedule.
+func Lifetimes(g *Graph, s *Schedule) []Lifetime {
+	lt := make([]Lifetime, len(g.Nodes))
+	isOutput := make(map[int]bool)
+	for _, o := range g.Outputs {
+		isOutput[o] = true
+	}
+	consumers := g.Consumers()
+	for _, n := range g.Nodes {
+		birth := 0
+		if n.Kind.IsOp() {
+			birth = s.Completion(g, n.ID)
+		}
+		death := birth
+		for _, c := range consumers[n.ID] {
+			// Pipelined consumers capture operands at their start step;
+			// non-pipelined units hold them through completion.
+			if d := s.Step[c] + s.Lib.OperandHold(g.Nodes[c].Kind) - 1; d > death {
+				death = d
+			}
+		}
+		if isOutput[n.ID] && s.Len > death {
+			death = s.Len
+		}
+		lt[n.ID] = Lifetime{Birth: birth, Death: death}
+	}
+	return lt
+}

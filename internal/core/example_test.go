@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+)
+
+// Example binds a 4-operation CDFG to 1 adder and 1 multiplier.
+func Example() {
+	g := cdfg.NewGraph("demo")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	s1 := g.AddOp(cdfg.KindAdd, "s1", a, b)
+	p1 := g.AddOp(cdfg.KindMult, "p1", s1, c)
+	s2 := g.AddOp(cdfg.KindAdd, "s2", p1, a)
+	p2 := g.AddOp(cdfg.KindMult, "p2", s2, b)
+	g.MarkOutput(p2)
+
+	sched, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 1, Mult: 1})
+	if err != nil {
+		panic(err)
+	}
+	regs, err := regbind.Bind(g, sched)
+	if err != nil {
+		panic(err)
+	}
+	table := satable.New(8, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, sched, regs, cdfg.ResourceConstraint{Add: 1, Mult: 1}, core.DefaultOptions(table))
+	if err != nil {
+		panic(err)
+	}
+	for _, fu := range res.FUs {
+		fmt.Printf("%s unit executes %d operations\n", fu.Kind, len(fu.Ops))
+	}
+	// Output:
+	// add unit executes 2 operations
+	// mult unit executes 2 operations
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdfg"
+	"repro/internal/regbind"
+)
+
+// TestRandomGraphsBindValidly drives Algorithm 1 over random scheduled
+// CDFGs: every produced binding must validate (all ops bound, class
+// match, no occupation clash, constraint met), including with
+// multi-cycle libraries.
+func TestRandomGraphsBindValidly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cdfg.NewGraph("rand")
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			g.AddInput("")
+		}
+		ops := 5 + rng.Intn(25)
+		for i := 0; i < ops; i++ {
+			kind := cdfg.KindAdd
+			switch rng.Intn(3) {
+			case 1:
+				kind = cdfg.KindMult
+			case 2:
+				kind = cdfg.KindSub
+			}
+			g.AddOp(kind, "", rng.Intn(len(g.Nodes)), rng.Intn(len(g.Nodes)))
+		}
+		consumers := g.Consumers()
+		for _, nd := range g.Nodes {
+			if nd.Kind.IsOp() && len(consumers[nd.ID]) == 0 {
+				g.MarkOutput(nd.ID)
+			}
+		}
+		lib := cdfg.Library{AddLatency: 1 + rng.Intn(2), MultLatency: 1 + rng.Intn(2)}
+		rc := cdfg.ResourceConstraint{Add: 1 + rng.Intn(3), Mult: 1 + rng.Intn(3)}
+		s, err := cdfg.ListScheduleLat(g, rc, lib)
+		if err != nil {
+			return false
+		}
+		rb, err := regbind.Bind(g, s)
+		if err != nil {
+			return false
+		}
+		opt := DefaultOptions(sharedTable)
+		opt.Alpha = []float64{0, 0.5, 1}[rng.Intn(3)]
+		opt.MergesPerIteration = rng.Intn(3)
+		res, _, err := Bind(g, s, rb, rc, opt)
+		if err != nil {
+			// Theorem 1 guarantees the constraint is reachable only for
+			// single-cycle libraries (paper §5.2.1); multi-cycle
+			// occupation conflicts may legitimately make a schedule's
+			// constraint unreachable by iterative merging.
+			return lib != cdfg.SingleCycle()
+		}
+		return res.Validate(g, s, rc) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

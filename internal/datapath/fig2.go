@@ -1,0 +1,86 @@
+package datapath
+
+import (
+	"fmt"
+
+	"repro/internal/blif"
+	"repro/internal/netgen"
+)
+
+// PartialDatapathLibrary builds the hierarchical BLIF library of the
+// paper's Figure 2: one model per mux size and functional unit, plus the
+// composed partial-datapath model that instantiates them with .subckt
+// (mux2.blif, mux3.blif, mult.blif in the figure). The composed model is
+// what the binder's SA estimator evaluates for an edge.
+func PartialDatapathLibrary(kind netgen.FUKind, kL, kR, width int) (*blif.Library, string) {
+	lib := blif.NewLibrary()
+	add := func(m *blif.Model) { lib.Add(m) }
+
+	muxName := func(k int) string { return fmt.Sprintf("mux%d_w%d", k, width) }
+	if kL > 1 {
+		add(blif.FromNetwork(netgen.MuxNetwork(kL, width)))
+	}
+	if kR > 1 && kR != kL {
+		add(blif.FromNetwork(netgen.MuxNetwork(kR, width)))
+	}
+	var fuNet = netgen.AdderNetwork(width)
+	if kind == netgen.FUMult {
+		fuNet = netgen.MultiplierNetwork(width)
+	}
+	add(blif.FromNetwork(fuNet))
+
+	// Composed model: input/output ports mirror the generator's partial
+	// datapath, wiring muxes into the FU with .subckt instantiations —
+	// the Figure 2 netlist.
+	top := &blif.Model{Name: fmt.Sprintf("%s_%d_%d_w%d", kind, kL, kR, width)}
+	outBase := "S"
+	if kind == netgen.FUMult {
+		outBase = "P"
+	}
+
+	wirePort := func(side string, k int) []string {
+		bus := make([]string, width)
+		if k == 1 {
+			for b := 0; b < width; b++ {
+				name := fmt.Sprintf("%s0_%d", side, b)
+				top.Inputs = append(top.Inputs, name)
+				bus[b] = name
+			}
+			return bus
+		}
+		sc := blif.Subckt{Model: muxName(k), Bindings: map[string]string{}}
+		for s := 0; s < netgen.SelBits(k); s++ {
+			name := fmt.Sprintf("SEL%s%d", side, s)
+			top.Inputs = append(top.Inputs, name)
+			sc.Bindings[fmt.Sprintf("SEL%d", s)] = name
+		}
+		for i := 0; i < k; i++ {
+			for b := 0; b < width; b++ {
+				name := fmt.Sprintf("%s%d_%d", side, i, b)
+				top.Inputs = append(top.Inputs, name)
+				sc.Bindings[fmt.Sprintf("D%d_%d", i, b)] = name
+			}
+		}
+		for b := 0; b < width; b++ {
+			wire := fmt.Sprintf("%smux_%d", side, b)
+			sc.Bindings[fmt.Sprintf("Y%d", b)] = wire
+			bus[b] = wire
+		}
+		top.Subckts = append(top.Subckts, sc)
+		return bus
+	}
+	left := wirePort("L", kL)
+	right := wirePort("R", kR)
+
+	fu := blif.Subckt{Model: fuNet.Name, Bindings: map[string]string{}}
+	for b := 0; b < width; b++ {
+		fu.Bindings[fmt.Sprintf("A%d", b)] = left[b]
+		fu.Bindings[fmt.Sprintf("B%d", b)] = right[b]
+		out := fmt.Sprintf("O%d", b)
+		fu.Bindings[fmt.Sprintf("%s%d", outBase, b)] = out
+		top.Outputs = append(top.Outputs, out)
+	}
+	top.Subckts = append(top.Subckts, fu)
+	add(top)
+	return lib, top.Name
+}

@@ -1,0 +1,111 @@
+package datapath
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/lopass"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/workload"
+)
+
+// TestMultiCycleDatapathFunctional is the end-to-end check of the
+// multi-cycle extension (the paper's §7 future work): a FIR kernel
+// scheduled with a 2-cycle multiplier, bound by HLPower, elaborated,
+// and simulated against the arithmetic reference. Operand registers and
+// port selections must hold across the multiplier's occupation
+// interval, and results must be captured at completion edges.
+func TestMultiCycleDatapathFunctional(t *testing.T) {
+	g := workload.FIR(4)
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 2}
+	lib := cdfg.Library{AddLatency: 1, MultLatency: 2}
+	s, err := cdfg.ListScheduleLat(g, rc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(g, s, rb, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDesign(t, g, d, 20, 11)
+}
+
+func TestMultiCycleLOPASSDatapathFunctional(t *testing.T) {
+	g := workload.DCT8()
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 3}
+	lib := cdfg.Library{AddLatency: 1, MultLatency: 3}
+	s, err := cdfg.ListScheduleLat(g, rc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := lopass.Bind(g, s, rb, rc, lopass.Options{PortSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(g, s, rb, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDesign(t, g, d, 6, 12)
+}
+
+func TestMultiCycleBothLatencies(t *testing.T) {
+	// 2-cycle adds AND 3-cycle mults together, with subtractions.
+	g := workload.Butterfly(2)
+	rc := cdfg.ResourceConstraint{Add: 3, Mult: 2}
+	lib := cdfg.Library{AddLatency: 2, MultLatency: 3}
+	s, err := cdfg.ListScheduleLat(g, rc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g, s, rc); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(g, s, rb, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDesign(t, g, d, 12, 13)
+}
+
+// TestMultiCycleSchedulesLonger sanity-checks that latency stretches the
+// schedule (the price paid for smaller/faster clock periods).
+func TestMultiCycleSchedulesLonger(t *testing.T) {
+	g := workload.FIR(8)
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 2}
+	s1, err := cdfg.ListScheduleLat(g, rc, cdfg.SingleCycle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cdfg.ListScheduleLat(g, rc, cdfg.Library{AddLatency: 1, MultLatency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len <= s1.Len {
+		t.Fatalf("2-cycle mult schedule (%d) should be longer than single-cycle (%d)", s2.Len, s1.Len)
+	}
+}

@@ -1,0 +1,108 @@
+package datapath
+
+import (
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+	"repro/internal/sim"
+)
+
+// TestSelectHoldFreezesIdlePorts builds a design where one FU is idle
+// for several steps and checks that its port mux selection (and thus
+// the FU inputs, absent register writes) stays frozen during idle
+// steps instead of bouncing to source 0.
+func TestSelectHoldFreezesIdlePorts(t *testing.T) {
+	// Schedule: add at step 1 and step 4 (idle during 2-3); a mult keeps
+	// the schedule 4 steps long.
+	g := cdfg.NewGraph("hold")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	s1 := g.AddOp(cdfg.KindAdd, "s1", a, b)
+	m1 := g.AddOp(cdfg.KindMult, "m1", s1, c)
+	m2 := g.AddOp(cdfg.KindMult, "m2", m1, c)
+	s2 := g.AddOp(cdfg.KindAdd, "s2", m2, s1)
+	g.MarkOutput(s2)
+	s := &cdfg.Schedule{Step: make([]int, len(g.Nodes)), Len: 4}
+	s.Step[s1], s.Step[m1], s.Step[m2], s.Step[s2] = 1, 2, 3, 4
+
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := binding.NewResult(g)
+	addFU := &binding.FU{ID: 0, Kind: netgen.FUAdd, Ops: []int{s1, s2}}
+	mulFU := &binding.FU{ID: 1, Kind: netgen.FUMult, Ops: []int{m1, m2}}
+	res.FUs = []*binding.FU{addFU, mulFU}
+	res.FUOf[s1], res.FUOf[s2] = 0, 0
+	res.FUOf[m1], res.FUOf[m2] = 1, 1
+
+	d, err := Elaborate(g, s, rb, res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the adder's left-port select hold latch if any (the port
+	// has >= 2 sources since s1 reads a and s2 reads m2's register).
+	heldName := "fu0_L_selq0"
+	held, ok := d.Net.FindNode(heldName)
+	if !ok {
+		t.Skipf("adder left port has a single source in this binding; no select latch %s", heldName)
+	}
+
+	simr, err := sim.New(d.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, len(d.Net.Inputs))
+	for i := range in {
+		in[i] = i%2 == 0
+	}
+	// Run several full iterations tracking the held select at idle
+	// steps: between the add's two executions the held value must stay
+	// constant cycle over cycle.
+	prevHeld := false
+	havePrev := false
+	for cyc := 0; cyc < 3*d.StepCount; cyc++ {
+		simr.Step(in)
+		step := d.CounterValue(simr.Values()) + 1
+		v := simr.Values()[held]
+		if step == 3 { // mid-idle window for the adder (busy at 1 and 4)
+			if havePrev && v != prevHeld {
+				t.Fatalf("cycle %d: held select changed during idle window", cyc)
+			}
+			prevHeld = v
+			havePrev = true
+		}
+	}
+	// And the design still computes the right value.
+	verifyDesign(t, g, d, 10, 21)
+}
+
+func TestSetInputVectorPanicsOnMismatch(t *testing.T) {
+	g := cdfg.NewGraph("p")
+	g.AddInput("a")
+	g.MarkOutput(g.AddOp(cdfg.KindAdd, "x", 0, 0))
+	s := &cdfg.Schedule{Step: make([]int, len(g.Nodes)), Len: 1}
+	s.Step[1] = 1
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := binding.NewResult(g)
+	fu := &binding.FU{ID: 0, Kind: netgen.FUAdd, Ops: []int{1}}
+	res.FUs = []*binding.FU{fu}
+	res.FUOf[1] = 0
+	d, err := Elaborate(g, s, rb, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input count")
+		}
+	}()
+	d.SetInputVector(g, []uint64{1, 2, 3})
+}

@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/logic"
+	"repro/internal/lopass"
+	"repro/internal/mapper"
+	"repro/internal/modsel"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AblationRow is one (benchmark, variant) measurement of the ablation
+// study: estimator variants inside HLPower, the stronger flow-based
+// baseline, and module selection on top of the main configuration.
+type AblationRow struct {
+	Bench    string
+	Variant  string
+	PowerMW  float64
+	LUTs     int
+	MuxLen   int
+	DiffMean float64
+	BindTime time.Duration
+}
+
+// ablationVariants enumerates the study: binder/estimator combinations
+// the paper's design decisions are tested against.
+var ablationVariants = []string{
+	"LOPASS",            // the paper's baseline (glitch-blind power table)
+	"LOPASS-flow",       // path-cover flow binder (temporal-stability control)
+	"HLPower-glitch",    // the paper's configuration
+	"HLPower-zerodelay", // Eq. 4 with the glitch-blind SA table
+	"HLPower-najm",      // Eq. 4 with Najm's overestimating table
+	"HLPower+modsel",    // paper config + module selection (future work)
+	"HLPower+portopt",   // paper config + post-binding port re-assignment [2]
+}
+
+// AblationData runs every ablation variant over the session's
+// benchmarks. Runs are not cached in the session (variant space differs
+// from the main binder matrix).
+func AblationData(se *Session) ([]AblationRow, error) {
+	cfg := se.Cfg
+	var rows []AblationRow
+	tables := map[string]*satable.Table{
+		"HLPower-glitch":    cfg.Table,
+		"HLPower-zerodelay": satable.New(cfg.Width, satable.EstimatorZeroDelay),
+		"HLPower-najm":      satable.New(cfg.Width, satable.EstimatorNajm),
+		"HLPower+modsel":    cfg.Table,
+		"HLPower+portopt":   cfg.Table,
+	}
+	for _, p := range se.Benchmarks {
+		g := workload.Generate(p)
+		s, err := workload.Schedule(p, g)
+		if err != nil {
+			return nil, err
+		}
+		swap := binding.RandomPortAssignment(g, cfg.PortSeed)
+		rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
+		if err != nil {
+			return nil, err
+		}
+		for _, variant := range ablationVariants {
+			var res *binding.Result
+			var bindTime time.Duration
+			switch variant {
+			case "LOPASS":
+				r, rep, err := lopass.Bind(g, s, rb, p.RC, lopass.Options{Swap: swap, Table: cfg.BaselineTable})
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+				}
+				res, bindTime = r, rep.Runtime
+			case "LOPASS-flow":
+				r, rep, err := lopass.BindFlow(g, s, rb, p.RC, lopass.Options{Swap: swap})
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+				}
+				res, bindTime = r, rep.Runtime
+			default:
+				opt := core.DefaultOptions(tables[variant])
+				opt.Alpha = 0.5
+				opt.BetaAdd, opt.BetaMult = cfg.BetaAdd, cfg.BetaMult
+				opt.MergesPerIteration = 1
+				opt.Swap = swap
+				r, rep, err := core.Bind(g, s, rb, p.RC, opt)
+				if err != nil {
+					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+				}
+				res, bindTime = r, rep.Runtime
+			}
+			if variant == "HLPower+portopt" {
+				binding.OptimizePorts(g, rb, res)
+			}
+			row, err := measureAblation(g, s, rb, res, cfg, variant == "HLPower+modsel")
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+			}
+			row.Bench = p.Name
+			row.Variant = variant
+			row.BindTime = bindTime
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func measureAblation(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, cfg Config, useModSel bool) (*AblationRow, error) {
+	var arch *datapath.Arch
+	if useModSel {
+		opt := modsel.DefaultOptions()
+		opt.Width = cfg.Width
+		opt.MapOpt = cfg.MapOpt
+		sel, err := modsel.NewSelector(opt).Select(g, rb, res)
+		if err != nil {
+			return nil, err
+		}
+		adder, mult := sel.Arch()
+		arch = &datapath.Arch{Adder: adder, Mult: mult}
+	}
+	d, err := datapath.ElaborateArch(g, s, rb, res, cfg.Width, arch)
+	if err != nil {
+		return nil, err
+	}
+	toMap := d.Net
+	if cfg.PreOptimize {
+		toMap, _ = logic.Optimize(d.Net)
+	}
+	m, err := mapper.Map(toMap, cfg.MapOpt)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := sim.NewWithDelays(m.Mapped, cfg.Delay, cfg.DelaySeed)
+	if err != nil {
+		return nil, err
+	}
+	counts := sr.RunRandom(cfg.Vectors, cfg.VectorSeed)
+	rep := cfg.Power.Analyze(m.Mapped, counts)
+	st := binding.ComputeMuxStats(g, rb, res)
+	return &AblationRow{
+		PowerMW:  rep.DynamicPowerMW,
+		LUTs:     m.LUTs,
+		MuxLen:   st.Length,
+		DiffMean: st.DiffMean,
+	}, nil
+}
+
+// Ablation prints the ablation study.
+func Ablation(w io.Writer, se *Session) error {
+	rows, err := AblationData(se)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tVariant\tPower(mW)\tLUTs\tMUXLen\tmuxDiff\tBindTime")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%d\t%d\t%.2f\t%v\n",
+			r.Bench, r.Variant, r.PowerMW, r.LUTs, r.MuxLen, r.DiffMean, r.BindTime.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestGoldenPr pins the vector-count-independent measurements of the pr
+// benchmark under the default configuration — the regression guard for
+// the numbers recorded in EXPERIMENTS.md (Table 3 row "pr"). A failure
+// means some pipeline stage changed behaviour; regenerate the
+// experiment record if the change is intentional.
+func TestGoldenPr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	cfg := DefaultConfig()
+	cfg.Vectors = 10 // LUT/mux metrics do not depend on the vector count
+	se := NewSession(cfg)
+	p, _ := workload.ByName("pr")
+
+	lo, err := se.Run(p, BinderLOPASS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := se.Run(p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type pin struct {
+		luts, largest, muxlen, regs, csteps int
+	}
+	wantLo := pin{luts: 1114, largest: 10, muxlen: 61, regs: 20, csteps: 16}
+	wantHi := pin{luts: 1061, largest: 9, muxlen: 54, regs: 20, csteps: 16}
+	check := func(name string, r *Result, want pin) {
+		got := pin{
+			luts:    r.LUTs,
+			largest: r.FUMux.Largest,
+			muxlen:  r.FUMux.Length,
+			regs:    r.NumRegs,
+			csteps:  r.Schedule.Len,
+		}
+		if got != want {
+			t.Errorf("%s: %+v, want %+v — pipeline behaviour changed; update EXPERIMENTS.md and this pin", name, got, want)
+		}
+	}
+	check("LOPASS", lo, wantLo)
+	check("HLPower", hi, wantHi)
+}

@@ -1,0 +1,314 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/workload"
+)
+
+// Table1 prints the benchmark profiles (paper Table 1) from the actual
+// generated graphs, with the paper's edge counts alongside for
+// reference.
+func Table1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tPIs\tPOs\tAdds\tMults\tEdges\tEdges(paper)")
+	for _, p := range workload.Benchmarks {
+		g := workload.Generate(p)
+		st := g.Stats()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.Name, st.PIs, st.POs, st.Adds, st.Mults, st.Edges, p.PaperEdges)
+	}
+	return tw.Flush()
+}
+
+// Table2 prints resource constraints, schedule length, register count,
+// and HLPower runtime (paper Table 2).
+func Table2(w io.Writer, se *Session) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tAdd\tMult\tCycle\tReg\tHLPower Runtime")
+	for _, p := range se.Benchmarks {
+		r, err := se.Run(p, BinderHLPower05)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%v\n",
+			p.Name, p.RC.Add, p.RC.Mult, r.Schedule.Len, r.NumRegs, r.BindTime.Round(1000))
+	}
+	return tw.Flush()
+}
+
+// Table3Row is one benchmark's LOPASS/HLPower comparison (paper Table 3).
+type Table3Row struct {
+	Bench              string
+	PowerL, PowerH     float64 // dynamic power, mW
+	ClkL, ClkH         float64 // clock period, ns
+	LUTsL, LUTsH       int
+	LargestL, LargestH int
+	MuxLenL, MuxLenH   int
+	PowerPct, ClkPct   float64
+	LUTsPct            float64
+	LargestDelta       int
+	MuxLenPct          float64
+}
+
+// Table3Data computes the Table 3 comparison for every benchmark.
+func Table3Data(se *Session) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, p := range se.Benchmarks {
+		lo, err := se.Run(p, BinderLOPASS)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := se.Run(p, BinderHLPower05)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Bench:    p.Name,
+			PowerL:   lo.Power.DynamicPowerMW,
+			PowerH:   hi.Power.DynamicPowerMW,
+			ClkL:     lo.Power.ClockPeriodNs,
+			ClkH:     hi.Power.ClockPeriodNs,
+			LUTsL:    lo.LUTs,
+			LUTsH:    hi.LUTs,
+			LargestL: lo.FUMux.Largest,
+			LargestH: hi.FUMux.Largest,
+			MuxLenL:  lo.FUMux.Length,
+			MuxLenH:  hi.FUMux.Length,
+		}
+		row.PowerPct = pct(row.PowerL, row.PowerH)
+		row.ClkPct = pct(row.ClkL, row.ClkH)
+		row.LUTsPct = pct(float64(row.LUTsL), float64(row.LUTsH))
+		row.LargestDelta = row.LargestH - row.LargestL
+		row.MuxLenPct = pct(float64(row.MuxLenL), float64(row.MuxLenH))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// pct returns the percentage change from base to new (negative = drop).
+func pct(base, val float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (val - base) / base * 100
+}
+
+// Table3 prints the power/area comparison (paper Table 3).
+func Table3(w io.Writer, se *Session) error {
+	rows, err := Table3Data(se)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tDynPow(mW) L/H\tClk(ns) L/H\tLUTs L/H\tLrgstMUX L/H\tMUXLen L/H\tPow%\tClk%\tLUTs%\tLrgst\tMUXLen%")
+	var sp, sc, sl, sm float64
+	var sd int
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f/%.1f\t%.1f/%.1f\t%d/%d\t%d/%d\t%d/%d\t%+.2f\t%+.2f\t%+.2f\t%+d\t%+.1f\n",
+			r.Bench, r.PowerL, r.PowerH, r.ClkL, r.ClkH, r.LUTsL, r.LUTsH,
+			r.LargestL, r.LargestH, r.MuxLenL, r.MuxLenH,
+			r.PowerPct, r.ClkPct, r.LUTsPct, r.LargestDelta, r.MuxLenPct)
+		sp += r.PowerPct
+		sc += r.ClkPct
+		sl += r.LUTsPct
+		sd += r.LargestDelta
+		sm += r.MuxLenPct
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(tw, "Average\t\t\t\t\t\t%+.2f\t%+.2f\t%+.2f\t%+.1f\t%+.1f\n",
+		sp/n, sc/n, sl/n, float64(sd)/n, sm/n)
+	return tw.Flush()
+}
+
+// Table4Row is one benchmark's muxDiff statistics (paper Table 4).
+type Table4Row struct {
+	Bench         string
+	MeanL, VarL   float64 // LOPASS
+	Mean1, Var1   float64 // HLPower alpha = 1
+	Mean05, Var05 float64 // HLPower alpha = 0.5
+	NumMuxes      int
+}
+
+// Table4Data computes muxDiff mean/variance for the three binders.
+func Table4Data(se *Session) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, p := range se.Benchmarks {
+		lo, err := se.Run(p, BinderLOPASS)
+		if err != nil {
+			return nil, err
+		}
+		h1, err := se.Run(p, BinderHLPower1)
+		if err != nil {
+			return nil, err
+		}
+		h05, err := se.Run(p, BinderHLPower05)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{
+			Bench:    p.Name,
+			MeanL:    lo.FUMux.DiffMean,
+			VarL:     lo.FUMux.DiffVar,
+			Mean1:    h1.FUMux.DiffMean,
+			Var1:     h1.FUMux.DiffVar,
+			Mean05:   h05.FUMux.DiffMean,
+			Var05:    h05.FUMux.DiffVar,
+			NumMuxes: h05.FUMux.NumFUs,
+		})
+	}
+	return rows, nil
+}
+
+// Table4 prints the muxDiff statistics (paper Table 4).
+func Table4(w io.Writer, se *Session) error {
+	rows, err := Table4Data(se)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tLOPASS mean/var\ta=1 mean/var\ta=0.5 mean/var\t#muxes")
+	var ml, vl, m1, v1, m5, v5 float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f/%.1f\t%.1f/%.1f\t%.1f/%.1f\t%d\n",
+			r.Bench, r.MeanL, r.VarL, r.Mean1, r.Var1, r.Mean05, r.Var05, r.NumMuxes)
+		ml += r.MeanL
+		vl += r.VarL
+		m1 += r.Mean1
+		v1 += r.Var1
+		m5 += r.Mean05
+		v5 += r.Var05
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(tw, "average\t%.1f/%.1f\t%.1f/%.1f\t%.1f/%.1f\t\n", ml/n, vl/n, m1/n, v1/n, m5/n, v5/n)
+	return tw.Flush()
+}
+
+// Figure3Row is one benchmark's average toggle rates (paper Figure 3).
+type Figure3Row struct {
+	Bench                string
+	RateL, Rate1, Rate05 float64 // millions of transitions/sec
+}
+
+// Figure3Data computes the toggle-rate series of Figure 3.
+func Figure3Data(se *Session) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, p := range se.Benchmarks {
+		lo, err := se.Run(p, BinderLOPASS)
+		if err != nil {
+			return nil, err
+		}
+		h1, err := se.Run(p, BinderHLPower1)
+		if err != nil {
+			return nil, err
+		}
+		h05, err := se.Run(p, BinderHLPower05)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure3Row{
+			Bench:  p.Name,
+			RateL:  lo.Power.AvgToggleRateMHz,
+			Rate1:  h1.Power.AvgToggleRateMHz,
+			Rate05: h05.Power.AvgToggleRateMHz,
+		})
+	}
+	return rows, nil
+}
+
+// Figure3 prints the average toggle-rate comparison with an ASCII bar
+// chart (paper Figure 3).
+func Figure3(w io.Writer, se *Session) error {
+	rows, err := Figure3Data(se)
+	if err != nil {
+		return err
+	}
+	max := 0.0
+	for _, r := range rows {
+		for _, v := range []float64{r.RateL, r.Rate1, r.Rate05} {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	bar := func(v float64) string {
+		n := 0
+		if max > 0 {
+			n = int(v / max * 40)
+		}
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = '#'
+		}
+		return string(out)
+	}
+	var dec1, dec05 float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s LOPASS  %8.2f M/s %s\n", r.Bench, r.RateL, bar(r.RateL))
+		fmt.Fprintf(w, "%-8s a=1.0   %8.2f M/s %s\n", "", r.Rate1, bar(r.Rate1))
+		fmt.Fprintf(w, "%-8s a=0.5   %8.2f M/s %s\n", "", r.Rate05, bar(r.Rate05))
+		dec1 += pct(r.RateL, r.Rate1)
+		dec05 += pct(r.RateL, r.Rate05)
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "\nAverage toggle-rate change: a=1.0 %+.1f%%, a=0.5 %+.1f%%\n", dec1/n, dec05/n)
+	return nil
+}
+
+// ValidateAgainstPaper checks the headline result shapes of the paper
+// hold for the session's measurements: HLPower alpha=0.5 beats LOPASS on
+// average power and toggle rate, muxDiff drops from LOPASS to alpha=0.5,
+// and the clock-period change stays small. It returns a list of
+// deviations (empty = all shapes hold).
+func ValidateAgainstPaper(se *Session) ([]string, error) {
+	var devs []string
+	t3, err := Table3Data(se)
+	if err != nil {
+		return nil, err
+	}
+	var powAvg, clkAvg, lutAvg float64
+	for _, r := range t3 {
+		powAvg += r.PowerPct
+		clkAvg += r.ClkPct
+		lutAvg += r.LUTsPct
+	}
+	n := float64(len(t3))
+	powAvg, clkAvg, lutAvg = powAvg/n, clkAvg/n, lutAvg/n
+	if powAvg >= 0 {
+		devs = append(devs, fmt.Sprintf("average dynamic power did not drop (%+.2f%%)", powAvg))
+	}
+	if clkAvg > 10 {
+		devs = append(devs, fmt.Sprintf("clock period regression too large (%+.2f%%)", clkAvg))
+	}
+	if lutAvg >= 5 {
+		devs = append(devs, fmt.Sprintf("LUT area grew (%+.2f%%)", lutAvg))
+	}
+	t4, err := Table4Data(se)
+	if err != nil {
+		return nil, err
+	}
+	var ml, m05 float64
+	for _, r := range t4 {
+		ml += r.MeanL
+		m05 += r.Mean05
+	}
+	// Small slack: per-benchmark muxDiff means are quantized to a few
+	// discrete values, so tiny subsets can tie or flip by one notch.
+	if m05 > ml+0.25*n {
+		devs = append(devs, fmt.Sprintf("muxDiff mean did not improve (LOPASS %.2f vs a=0.5 %.2f)", ml/n, m05/n))
+	}
+	f3, err := Figure3Data(se)
+	if err != nil {
+		return nil, err
+	}
+	var tr float64
+	for _, r := range f3 {
+		tr += pct(r.RateL, r.Rate05)
+	}
+	if tr/n >= 0 {
+		devs = append(devs, fmt.Sprintf("average toggle rate did not drop (%+.2f%%)", tr/n))
+	}
+	return devs, nil
+}

@@ -1,0 +1,197 @@
+// Package glitch implements the unit-delay, discrete-time switching
+// model the paper adopts from GlitchMap [6] (§4): signal transitions
+// occur only at integer time steps; a gate (or LUT) output may switch at
+// time t+1 whenever any of its inputs switches at time t; the transition
+// at the settling time D is the functional transition and every earlier
+// one is a glitch. Per-time-step activities are computed with the
+// Chou–Roy simultaneous-switching model (Eq. 2) and summed into an
+// effective switching activity.
+package glitch
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+	"repro/internal/prob"
+)
+
+// Component is one discrete-time activity contribution: the signal
+// toggles at time Time with probability S per clock cycle.
+type Component struct {
+	Time int
+	S    float64
+}
+
+// Waveform is the timed switching profile of one signal: its settled
+// signal probability and its activity components sorted by time.
+type Waveform struct {
+	P     float64
+	Comps []Component
+}
+
+// SourceWaveform models a combinational source (primary input or
+// register output) that presents one potential transition at time 0.
+func SourceWaveform(p, s float64) Waveform {
+	if s == 0 {
+		return Waveform{P: p}
+	}
+	return Waveform{P: p, Comps: []Component{{Time: 0, S: s}}}
+}
+
+// ConstWaveform models a constant driver: no transitions ever.
+func ConstWaveform(v bool) Waveform {
+	p := 0.0
+	if v {
+		p = 1.0
+	}
+	return Waveform{P: p}
+}
+
+// Total returns the effective switching activity: the sum over all time
+// steps. With glitching this may exceed 1 transition per cycle.
+func (w Waveform) Total() float64 {
+	t := 0.0
+	for _, c := range w.Comps {
+		t += c.S
+	}
+	return t
+}
+
+// Settle returns the functional settling time: the last time step at
+// which the signal may still switch (0 for static signals).
+func (w Waveform) Settle() int {
+	if len(w.Comps) == 0 {
+		return 0
+	}
+	return w.Comps[len(w.Comps)-1].Time
+}
+
+// Functional returns the activity of the functional (final) transition.
+func (w Waveform) Functional() float64 {
+	if len(w.Comps) == 0 {
+		return 0
+	}
+	return w.Comps[len(w.Comps)-1].S
+}
+
+// GlitchActivity returns the summed activity of the spurious (non-final)
+// transitions.
+func (w Waveform) GlitchActivity() float64 {
+	return w.Total() - w.Functional()
+}
+
+// Propagate computes the output waveform of a unit-delay gate or LUT
+// with local function f whose fanins carry the given waveforms. For each
+// time step t at which at least one input may switch, the output may
+// switch at t+1 with the Chou–Roy activity computed from the inputs'
+// component activities at t. The settled output probability comes from
+// the settled input probabilities.
+func Propagate(f *bitvec.TruthTable, ins []Waveform) Waveform {
+	n := f.NumVars()
+	if len(ins) != n {
+		panic("glitch: fanin waveform count mismatch")
+	}
+	p := make([]float64, n)
+	for i, w := range ins {
+		p[i] = w.P
+	}
+	out := Waveform{P: prob.SignalProb(f, p)}
+
+	// Gather the distinct input transition times.
+	var times []int
+	seen := make(map[int]bool)
+	for _, w := range ins {
+		for _, c := range w.Comps {
+			if !seen[c.Time] {
+				seen[c.Time] = true
+				times = append(times, c.Time)
+			}
+		}
+	}
+	if len(times) == 0 {
+		return out
+	}
+	sort.Ints(times)
+
+	s := make([]float64, n)
+	for _, t := range times {
+		for i, w := range ins {
+			s[i] = 0
+			for _, c := range w.Comps {
+				if c.Time == t {
+					s[i] = c.S
+					break
+				}
+			}
+		}
+		a := prob.ChouRoyActivity(f, p, s)
+		if a > 0 {
+			out.Comps = append(out.Comps, Component{Time: t + 1, S: a})
+		}
+	}
+	return out
+}
+
+// Estimate holds a waveform per network node.
+type Estimate struct {
+	Waves []Waveform
+}
+
+// EstimateNetwork propagates waveforms through every gate of the network
+// under the unit-delay model. Sources follow src (paper: P = s = 0.5).
+func EstimateNetwork(net *logic.Network, src prob.SourceValues) Estimate {
+	e := Estimate{Waves: make([]Waveform, net.NumNodes())}
+	for _, id := range net.TopoOrder() {
+		nd := net.Node(id)
+		switch nd.Kind {
+		case logic.KindInput:
+			e.Waves[id] = SourceWaveform(src.InputP, src.InputS)
+		case logic.KindLatchOut:
+			e.Waves[id] = SourceWaveform(src.LatchP, src.LatchS)
+		case logic.KindConst:
+			e.Waves[id] = ConstWaveform(nd.ConstVal)
+		case logic.KindGate:
+			ins := make([]Waveform, len(nd.Fanins))
+			for i, fid := range nd.Fanins {
+				ins[i] = e.Waves[fid]
+			}
+			e.Waves[id] = Propagate(nd.Func, ins)
+		}
+	}
+	return e
+}
+
+// TotalActivity sums effective switching activity over gate nodes
+// (paper Eq. 3 at the gate level).
+func (e Estimate) TotalActivity(net *logic.Network) float64 {
+	t := 0.0
+	for _, nd := range net.Nodes {
+		if nd.Kind == logic.KindGate {
+			t += e.Waves[nd.ID].Total()
+		}
+	}
+	return t
+}
+
+// TotalGlitch sums glitch (spurious-transition) activity over gates.
+func (e Estimate) TotalGlitch(net *logic.Network) float64 {
+	t := 0.0
+	for _, nd := range net.Nodes {
+		if nd.Kind == logic.KindGate {
+			t += e.Waves[nd.ID].GlitchActivity()
+		}
+	}
+	return t
+}
+
+// TotalFunctional sums functional-transition activity over gates.
+func (e Estimate) TotalFunctional(net *logic.Network) float64 {
+	t := 0.0
+	for _, nd := range net.Nodes {
+		if nd.Kind == logic.KindGate {
+			t += e.Waves[nd.ID].Functional()
+		}
+	}
+	return t
+}

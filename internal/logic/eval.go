@@ -1,0 +1,65 @@
+package logic
+
+// Eval computes the steady-state (zero-delay) value of every node given
+// primary-input values and the current latch states. inputs is indexed
+// like Network.Inputs; latchState like Network.Latches. The returned
+// slice is indexed by node ID. This is the functional reference the
+// event-driven simulator and the estimator are validated against.
+func (n *Network) Eval(inputs []bool, latchState []bool) []bool {
+	if len(inputs) != len(n.Inputs) {
+		panic("logic: Eval input vector length mismatch")
+	}
+	if len(latchState) != len(n.Latches) {
+		panic("logic: Eval latch state length mismatch")
+	}
+	val := make([]bool, len(n.Nodes))
+	for i, id := range n.Inputs {
+		val[id] = inputs[i]
+	}
+	for i, id := range n.Latches {
+		val[id] = latchState[i]
+	}
+	for _, id := range n.TopoOrder() {
+		nd := n.Nodes[id]
+		switch nd.Kind {
+		case KindConst:
+			val[id] = nd.ConstVal
+		case KindGate:
+			var assign uint
+			for i, f := range nd.Fanins {
+				if val[f] {
+					assign |= 1 << uint(i)
+				}
+			}
+			val[id] = nd.Func.Eval(assign)
+		}
+	}
+	return val
+}
+
+// OutputValues extracts primary-output values from a node-value slice.
+func (n *Network) OutputValues(val []bool) []bool {
+	out := make([]bool, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[i] = val[o.Node]
+	}
+	return out
+}
+
+// NextLatchState extracts the values presented at latch D inputs.
+func (n *Network) NextLatchState(val []bool) []bool {
+	next := make([]bool, len(n.Latches))
+	for i, q := range n.Latches {
+		next[i] = val[n.Nodes[q].LatchInput]
+	}
+	return next
+}
+
+// InitialLatchState returns the declared reset state of all latches.
+func (n *Network) InitialLatchState() []bool {
+	st := make([]bool, len(n.Latches))
+	for i, q := range n.Latches {
+		st[i] = n.Nodes[q].LatchInit
+	}
+	return st
+}

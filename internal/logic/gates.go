@@ -1,0 +1,69 @@
+package logic
+
+import "repro/internal/bitvec"
+
+// Canonical small-gate truth tables shared by the library generators and
+// the BLIF front end. Variable 0 is the first fanin.
+
+// TTBuf returns the 1-input identity function.
+func TTBuf() *bitvec.TruthTable { return bitvec.Var(1, 0) }
+
+// TTNot returns the 1-input inverter.
+func TTNot() *bitvec.TruthTable {
+	t := bitvec.New(1)
+	return t.Not(bitvec.Var(1, 0))
+}
+
+// TTAnd2 returns the 2-input AND.
+func TTAnd2() *bitvec.TruthTable {
+	return bitvec.FromFunc(2, func(a uint) bool { return a == 3 })
+}
+
+// TTOr2 returns the 2-input OR.
+func TTOr2() *bitvec.TruthTable {
+	return bitvec.FromFunc(2, func(a uint) bool { return a != 0 })
+}
+
+// TTXor2 returns the 2-input XOR.
+func TTXor2() *bitvec.TruthTable {
+	return bitvec.FromFunc(2, func(a uint) bool { return a == 1 || a == 2 })
+}
+
+// TTNand2 returns the 2-input NAND.
+func TTNand2() *bitvec.TruthTable {
+	return bitvec.FromFunc(2, func(a uint) bool { return a != 3 })
+}
+
+// TTNor2 returns the 2-input NOR.
+func TTNor2() *bitvec.TruthTable {
+	return bitvec.FromFunc(2, func(a uint) bool { return a == 0 })
+}
+
+// TTXor3 returns the 3-input XOR (full-adder sum).
+func TTXor3() *bitvec.TruthTable {
+	return bitvec.FromFunc(3, func(a uint) bool {
+		return ((a>>0)&1 ^ (a>>1)&1 ^ (a>>2)&1) == 1
+	})
+}
+
+// TTMaj3 returns the 3-input majority (full-adder carry).
+func TTMaj3() *bitvec.TruthTable {
+	return bitvec.FromFunc(3, func(a uint) bool {
+		ones := (a & 1) + ((a >> 1) & 1) + ((a >> 2) & 1)
+		return ones >= 2
+	})
+}
+
+// TTMux2 returns the 2:1 multiplexer with fanins (sel, d0, d1):
+// out = d1 if sel else d0.
+func TTMux2() *bitvec.TruthTable {
+	return bitvec.FromFunc(3, func(a uint) bool {
+		sel := a&1 != 0
+		d0 := a&2 != 0
+		d1 := a&4 != 0
+		if sel {
+			return d1
+		}
+		return d0
+	})
+}

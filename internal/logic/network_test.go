@@ -1,0 +1,249 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+// buildFullAdder creates a 1-bit full adder network for reuse in tests.
+func buildFullAdder() (*Network, int, int) {
+	n := NewNetwork("fa")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	cin := n.AddInput("cin")
+	sum := n.AddGate("sum", TTXor3(), a, b, cin)
+	cout := n.AddGate("cout", TTMaj3(), a, b, cin)
+	n.MarkOutput("sum", sum)
+	n.MarkOutput("cout", cout)
+	return n, sum, cout
+}
+
+func TestFullAdderEval(t *testing.T) {
+	n, _, _ := buildFullAdder()
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 8; m++ {
+		in := []bool{m&1 != 0, m&2 != 0, m&4 != 0}
+		val := n.Eval(in, nil)
+		out := n.OutputValues(val)
+		ones := (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1)
+		if out[0] != (ones%2 == 1) {
+			t.Fatalf("sum wrong for inputs %03b", m)
+		}
+		if out[1] != (ones >= 2) {
+			t.Fatalf("cout wrong for inputs %03b", m)
+		}
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	n := NewNetwork("chain")
+	x := n.AddInput("x")
+	cur := x
+	for i := 0; i < 5; i++ {
+		cur = n.AddGate("", TTNot(), cur)
+	}
+	n.MarkOutput("y", cur)
+	lv := n.Levels()
+	if lv[x] != 0 {
+		t.Fatalf("input level = %d, want 0", lv[x])
+	}
+	if lv[cur] != 5 {
+		t.Fatalf("chain end level = %d, want 5", lv[cur])
+	}
+	if d := n.Depth(); d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+}
+
+func TestLatchRoundTrip(t *testing.T) {
+	// Toggle flip-flop: q' = NOT q.
+	n := NewNetwork("toggle")
+	q := n.AddLatch("q", false)
+	d := n.AddGate("d", TTNot(), q)
+	n.ConnectLatch(q, d)
+	n.MarkOutput("q", q)
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.InitialLatchState()
+	seq := make([]bool, 0, 4)
+	for cyc := 0; cyc < 4; cyc++ {
+		val := n.Eval(nil, st)
+		seq = append(seq, n.OutputValues(val)[0])
+		st = n.NextLatchState(val)
+	}
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("toggle sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestCheckCatchesUnconnectedLatch(t *testing.T) {
+	n := NewNetwork("bad")
+	n.AddLatch("q", false)
+	if err := n.Check(); err == nil {
+		t.Fatal("expected Check to fail for unconnected latch")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	n := NewNetwork("dup")
+	n.AddInput("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	n.AddInput("a")
+}
+
+func TestGateArityMismatchPanics(t *testing.T) {
+	n := NewNetwork("bad")
+	a := n.AddInput("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	n.AddGate("g", TTAnd2(), a) // 2-var function, 1 fanin
+}
+
+func TestFanoutCounts(t *testing.T) {
+	n, sum, cout := buildFullAdder()
+	fo := n.FanoutCounts()
+	a, _ := n.FindNode("a")
+	if fo[a] != 2 {
+		t.Fatalf("fanout of a = %d, want 2", fo[a])
+	}
+	if fo[sum] != 1 || fo[cout] != 1 {
+		t.Fatalf("output driver fanouts = %d,%d, want 1,1", fo[sum], fo[cout])
+	}
+	adj := n.Fanouts()
+	if len(adj[a]) != 2 {
+		t.Fatalf("fanout adjacency of a = %v, want 2 entries", adj[a])
+	}
+}
+
+func TestStats(t *testing.T) {
+	n, _, _ := buildFullAdder()
+	s := n.Stats()
+	if s.Inputs != 3 || s.Outputs != 2 || s.Gates != 2 || s.Depth != 1 || s.MaxFanin != 3 {
+		t.Fatalf("unexpected stats: %s", s)
+	}
+}
+
+func TestSweepDangling(t *testing.T) {
+	n := NewNetwork("sweep")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	used := n.AddGate("used", TTAnd2(), a, b)
+	n.AddGate("dead", TTOr2(), a, b)
+	deadChain := n.AddGate("dead2", TTNot(), a)
+	n.AddGate("dead3", TTNot(), deadChain)
+	n.MarkOutput("y", used)
+
+	swept, remap := n.SweepDangling()
+	if err := swept.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if swept.NumGates() != 1 {
+		t.Fatalf("swept gates = %d, want 1", swept.NumGates())
+	}
+	if remap[used] < 0 {
+		t.Fatal("live gate was removed")
+	}
+	if _, ok := swept.FindNode("dead"); ok {
+		t.Fatal("dead gate survived sweep")
+	}
+	// Functional equivalence on all input vectors.
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 != 0, m&2 != 0}
+		if n.OutputValues(n.Eval(in, nil))[0] != swept.OutputValues(swept.Eval(in, nil))[0] {
+			t.Fatalf("sweep changed function at input %02b", m)
+		}
+	}
+}
+
+// TestRandomNetworkEvalAgainstTruthTable builds random 4-input single-output
+// networks and checks Eval against a flattened truth-table computation.
+func TestRandomNetworkEvalAgainstTruthTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork("rand")
+		ids := make([]int, 0, 20)
+		tts := make([]*bitvec.TruthTable, 0, 20) // function of the 4 PIs
+		for i := 0; i < 4; i++ {
+			ids = append(ids, n.AddInput(""))
+			tts = append(tts, bitvec.Var(4, i))
+		}
+		gateFns := []*bitvec.TruthTable{TTAnd2(), TTOr2(), TTXor2(), TTNand2(), TTNor2()}
+		for g := 0; g < 12; g++ {
+			fn := gateFns[rng.Intn(len(gateFns))]
+			i := rng.Intn(len(ids))
+			j := rng.Intn(len(ids))
+			id := n.AddGate("", fn, ids[i], ids[j])
+			// Flatten: substitute fanin functions into the gate function.
+			ref := bitvec.FromFunc(4, func(a uint) bool {
+				var assign uint
+				if tts[i].Get(a) {
+					assign |= 1
+				}
+				if tts[j].Get(a) {
+					assign |= 2
+				}
+				return fn.Get(assign)
+			})
+			ids = append(ids, id)
+			tts = append(tts, ref)
+		}
+		top := len(ids) - 1
+		n.MarkOutput("y", ids[top])
+		for m := 0; m < 16; m++ {
+			in := []bool{m&1 != 0, m&2 != 0, m&4 != 0, m&8 != 0}
+			got := n.OutputValues(n.Eval(in, nil))[0]
+			if got != tts[top].Get(uint(m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateTruthTables(t *testing.T) {
+	cases := []struct {
+		name string
+		tt   *bitvec.TruthTable
+		f    func(a uint) bool
+	}{
+		{"buf", TTBuf(), func(a uint) bool { return a&1 != 0 }},
+		{"not", TTNot(), func(a uint) bool { return a&1 == 0 }},
+		{"and2", TTAnd2(), func(a uint) bool { return a == 3 }},
+		{"or2", TTOr2(), func(a uint) bool { return a != 0 }},
+		{"xor2", TTXor2(), func(a uint) bool { return a == 1 || a == 2 }},
+		{"nand2", TTNand2(), func(a uint) bool { return a != 3 }},
+		{"nor2", TTNor2(), func(a uint) bool { return a == 0 }},
+		{"mux2", TTMux2(), func(a uint) bool {
+			if a&1 != 0 {
+				return a&4 != 0
+			}
+			return a&2 != 0
+		}},
+	}
+	for _, c := range cases {
+		for m := 0; m < c.tt.Size(); m++ {
+			if c.tt.Get(uint(m)) != c.f(uint(m)) {
+				t.Fatalf("%s: wrong value at minterm %d", c.name, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Optimize performs the technology-independent cleanup a synthesis front
+// end applies before mapping: constant propagation (folding gates whose
+// inputs are known), redundant-input elimination (dropping fanins the
+// local function does not depend on), and structural hashing
+// (deduplicating gates with identical function and fanins). The result
+// is a new, functionally equivalent network plus the old-to-new node ID
+// mapping (-1 for nodes folded away; their value is representable by the
+// mapped constant or the deduplicated survivor).
+func Optimize(n *Network) (*Network, []int) {
+	out := NewNetwork(n.Name)
+	remap := make([]int, len(n.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	// constOf[newID] holds the known constant value of a new node, used
+	// for folding consumers.
+	constOf := make(map[int]bool)
+	// constNode lazily materializes shared constant sources.
+	constNode := map[bool]int{}
+	getConst := func(v bool) int {
+		if id, ok := constNode[v]; ok {
+			return id
+		}
+		name := fmt.Sprintf("const%d", b2i(v))
+		if _, taken := out.FindNode(name); taken {
+			name = "_" + name
+		}
+		id := out.AddConst(name, v)
+		constOf[id] = v
+		constNode[v] = id
+		return id
+	}
+	// Structural hash: function + fanins -> existing node.
+	strash := make(map[string]int)
+
+	for _, id := range n.TopoOrder() {
+		nd := n.Nodes[id]
+		switch nd.Kind {
+		case KindInput:
+			remap[id] = out.AddInput(nd.Name)
+		case KindLatchOut:
+			remap[id] = out.AddLatch(nd.Name, nd.LatchInit)
+		case KindConst:
+			remap[id] = getConst(nd.ConstVal)
+		case KindGate:
+			remap[id] = foldGate(n, out, nd, remap, constOf, getConst, strash)
+		}
+	}
+	for _, q := range n.Latches {
+		out.ConnectLatch(remap[q], remap[n.Nodes[q].LatchInput])
+	}
+	for _, o := range n.Outputs {
+		out.MarkOutput(o.Name, remap[o.Node])
+	}
+	swept, sweepMap := out.SweepDangling()
+	final := make([]int, len(remap))
+	for i, m := range remap {
+		if m < 0 {
+			final[i] = -1
+		} else {
+			final[i] = sweepMap[m]
+		}
+	}
+	return swept, final
+}
+
+// foldGate rebuilds one gate with constants folded, redundant inputs
+// dropped, and structure hashed.
+func foldGate(n *Network, out *Network, nd *Node, remap []int, constOf map[int]bool, getConst func(bool) int, strash map[string]int) int {
+	// Substitute known-constant fanins into the local function.
+	fn := nd.Func
+	var fanins []int
+	var keepVars []int
+	for i, f := range nd.Fanins {
+		nf := remap[f]
+		if v, isConst := constOf[nf]; isConst {
+			fn = fn.Cofactor(i, v)
+			continue
+		}
+		fanins = append(fanins, nf)
+		keepVars = append(keepVars, i)
+	}
+	// Compress the function onto the surviving variables.
+	compressed := bitvec.FromFunc(len(keepVars), func(assign uint) bool {
+		var full uint
+		for j, v := range keepVars {
+			if assign&(1<<uint(j)) != 0 {
+				full |= 1 << uint(v)
+			}
+		}
+		return fn.Get(full)
+	})
+	// Tie duplicate fanins (common after structural hashing upstream) to
+	// a single variable.
+	var uniq []int
+	varMap := make([]int, len(fanins))
+	seen := map[int]int{}
+	for i, f := range fanins {
+		if u, ok := seen[f]; ok {
+			varMap[i] = u
+		} else {
+			seen[f] = len(uniq)
+			varMap[i] = len(uniq)
+			uniq = append(uniq, f)
+		}
+	}
+	if len(uniq) != len(fanins) {
+		tied := bitvec.FromFunc(len(uniq), func(assign uint) bool {
+			var full uint
+			for i := range fanins {
+				if assign&(1<<uint(varMap[i])) != 0 {
+					full |= 1 << uint(i)
+				}
+			}
+			return compressed.Get(full)
+		})
+		compressed, fanins = tied, uniq
+	}
+	// Drop inputs the compressed function ignores.
+	var finalFanins []int
+	var depVars []int
+	for i := 0; i < compressed.NumVars(); i++ {
+		if compressed.DependsOn(i) {
+			depVars = append(depVars, i)
+			finalFanins = append(finalFanins, fanins[i])
+		}
+	}
+	reduced := bitvec.FromFunc(len(depVars), func(assign uint) bool {
+		var full uint
+		for j, v := range depVars {
+			if assign&(1<<uint(j)) != 0 {
+				full |= 1 << uint(v)
+			}
+		}
+		// Don't-care variables read as 0.
+		return compressed.Get(full)
+	})
+
+	if v, isConst := reduced.IsConst(); isConst {
+		// After dependency pruning a constant function has zero arity.
+		return getConst(v)
+	}
+	// Identity buffer collapses onto its fanin.
+	if reduced.NumVars() == 1 {
+		if reduced.Get(1) && !reduced.Get(0) {
+			return finalFanins[0]
+		}
+	}
+	// Structural hashing.
+	key := strashKey(reduced, finalFanins)
+	if prev, ok := strash[key]; ok {
+		return prev
+	}
+	// Unique-ify the name if a folded sibling took it.
+	name := nd.Name
+	if name != "" {
+		if _, taken := out.FindNode(name); taken {
+			name = ""
+		}
+	}
+	id := out.AddGate(name, reduced, finalFanins...)
+	strash[key] = id
+	return id
+}
+
+func strashKey(fn *bitvec.TruthTable, fanins []int) string {
+	var sb strings.Builder
+	sb.WriteString(fn.String())
+	for _, f := range fanins {
+		fmt.Fprintf(&sb, ",%d", f)
+	}
+	return sb.String()
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	net := NewNetwork("cf")
+	a := net.AddInput("a")
+	zero := net.AddConst("z", false)
+	and := net.AddGate("and", TTAnd2(), a, zero) // always 0
+	or := net.AddGate("or", TTOr2(), and, a)     // collapses to a
+	net.MarkOutput("y", or)
+
+	opt, remap := Optimize(net)
+	if err := opt.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The AND folds to constant 0; the OR becomes a buffer of a and
+	// collapses; the output is driven directly by the input.
+	if opt.NumGates() != 0 {
+		t.Fatalf("expected full collapse, got %d gates", opt.NumGates())
+	}
+	if remap[or] != remap[a] {
+		t.Fatal("OR should collapse onto input a")
+	}
+	for m := 0; m < 2; m++ {
+		in := []bool{m == 1}
+		if net.OutputValues(net.Eval(in, nil))[0] != opt.OutputValues(opt.Eval(in, nil))[0] {
+			t.Fatal("optimization changed function")
+		}
+	}
+}
+
+func TestOptimizeRedundantInput(t *testing.T) {
+	// A 3-input gate that ignores its middle input.
+	net := NewNetwork("ri")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	c := net.AddInput("c")
+	fn := bitvec.FromFunc(3, func(m uint) bool { return (m&1 != 0) != (m&4 != 0) }) // a xor c
+	g := net.AddGate("g", fn, a, b, c)
+	net.MarkOutput("y", g)
+
+	opt, remap := Optimize(net)
+	nd := opt.Node(remap[g])
+	if len(nd.Fanins) != 2 {
+		t.Fatalf("redundant input kept: %d fanins", len(nd.Fanins))
+	}
+}
+
+func TestOptimizeStructuralHashing(t *testing.T) {
+	net := NewNetwork("sh")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	x1 := net.AddGate("x1", TTXor2(), a, b)
+	x2 := net.AddGate("x2", TTXor2(), a, b) // duplicate
+	o := net.AddGate("o", TTOr2(), x1, x2)  // or(x, x) -> buffer -> collapse
+	net.MarkOutput("y", o)
+
+	opt, remap := Optimize(net)
+	if opt.NumGates() != 1 {
+		t.Fatalf("strash should leave a single XOR, got %d gates", opt.NumGates())
+	}
+	if remap[x1] != remap[x2] {
+		t.Fatal("duplicates not merged")
+	}
+}
+
+func TestOptimizeKeepsLatches(t *testing.T) {
+	net := NewNetwork("seq")
+	q := net.AddLatch("q", true)
+	inv := net.AddGate("inv", TTNot(), q)
+	net.ConnectLatch(q, inv)
+	net.MarkOutput("y", q)
+
+	opt, _ := Optimize(net)
+	if len(opt.Latches) != 1 || opt.NumGates() != 1 {
+		t.Fatalf("sequential structure damaged: %s", opt.Stats())
+	}
+	if !opt.InitialLatchState()[0] {
+		t.Fatal("latch init lost")
+	}
+	// Two-cycle behaviour preserved.
+	st := opt.InitialLatchState()
+	v1 := opt.Eval(nil, st)
+	if !opt.OutputValues(v1)[0] {
+		t.Fatal("cycle 0 wrong")
+	}
+	st = opt.NextLatchState(v1)
+	if opt.OutputValues(opt.Eval(nil, st))[0] {
+		t.Fatal("cycle 1 wrong")
+	}
+}
+
+// TestOptimizeEquivalenceRandom: optimization never changes the function.
+func TestOptimizeEquivalenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := NewNetwork("rand")
+		pool := []int{}
+		for i := 0; i < 4; i++ {
+			pool = append(pool, net.AddInput(""))
+		}
+		pool = append(pool, net.AddConst("", rng.Intn(2) == 0))
+		fns := []*bitvec.TruthTable{TTAnd2(), TTOr2(), TTXor2(), TTNand2(), TTNot(), TTMux2(), TTMaj3()}
+		for i := 0; i < 15; i++ {
+			fn := fns[rng.Intn(len(fns))]
+			fanins := make([]int, fn.NumVars())
+			for j := range fanins {
+				fanins[j] = pool[rng.Intn(len(pool))]
+			}
+			pool = append(pool, net.AddGate("", fn, fanins...))
+		}
+		net.MarkOutput("y", pool[len(pool)-1])
+		net.MarkOutput("z", pool[len(pool)-2])
+
+		opt, _ := Optimize(net)
+		if opt.Check() != nil {
+			return false
+		}
+		if opt.NumGates() > net.NumGates() {
+			return false // optimization must never grow the netlist
+		}
+		for m := 0; m < 16; m++ {
+			in := []bool{m&1 != 0, m&2 != 0, m&4 != 0, m&8 != 0}
+			o1 := net.OutputValues(net.Eval(in, nil))
+			o2 := opt.OutputValues(opt.Eval(in, nil))
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	net := NewNetwork("idem")
+	var pool []int
+	for i := 0; i < 4; i++ {
+		pool = append(pool, net.AddInput(""))
+	}
+	for i := 0; i < 12; i++ {
+		fn := []*bitvec.TruthTable{TTAnd2(), TTXor2(), TTNot()}[rng.Intn(3)]
+		fanins := make([]int, fn.NumVars())
+		for j := range fanins {
+			fanins[j] = pool[rng.Intn(len(pool))]
+		}
+		pool = append(pool, net.AddGate("", fn, fanins...))
+	}
+	net.MarkOutput("y", pool[len(pool)-1])
+	once, _ := Optimize(net)
+	twice, _ := Optimize(once)
+	if twice.NumGates() != once.NumGates() {
+		t.Fatalf("not idempotent: %d then %d gates", once.NumGates(), twice.NumGates())
+	}
+}

@@ -1,0 +1,117 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestMapPassThroughOutput(t *testing.T) {
+	// PO driven directly by a PI: no LUTs needed, interface preserved.
+	net := logic.NewNetwork("wire")
+	a := net.AddInput("a")
+	net.MarkOutput("y", a)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 0 {
+		t.Fatalf("wire should map to 0 LUTs, got %d", res.LUTs)
+	}
+	if !res.Mapped.OutputValues(res.Mapped.Eval([]bool{true}, nil))[0] {
+		t.Fatal("pass-through broken")
+	}
+}
+
+func TestMapConstantOutput(t *testing.T) {
+	net := logic.NewNetwork("const")
+	net.AddInput("a") // unused input stays in the interface
+	one := net.AddConst("one", true)
+	net.MarkOutput("y", one)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mapped.Inputs) != 1 {
+		t.Fatal("interface input lost")
+	}
+	if !res.Mapped.OutputValues(res.Mapped.Eval([]bool{false}, nil))[0] {
+		t.Fatal("constant output wrong")
+	}
+}
+
+func TestMapSingleGate(t *testing.T) {
+	net := logic.NewNetwork("g1")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	g := net.AddGate("g", logic.TTXor2(), a, b)
+	net.MarkOutput("y", g)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 1 || res.Depth != 1 {
+		t.Fatalf("single gate maps to %d LUTs depth %d", res.LUTs, res.Depth)
+	}
+}
+
+func TestMapDanglingLogicDropped(t *testing.T) {
+	// Logic reaching no output is not covered.
+	net := logic.NewNetwork("dangle")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	used := net.AddGate("used", logic.TTAnd2(), a, b)
+	dead := net.AddGate("dead", logic.TTOr2(), a, b)
+	net.AddGate("dead2", logic.TTNot(), dead)
+	net.MarkOutput("y", used)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 1 {
+		t.Fatalf("dead logic mapped: %d LUTs, want 1", res.LUTs)
+	}
+}
+
+func TestMapLatchOnlyNetwork(t *testing.T) {
+	// A shift register with no combinational logic at all.
+	net := logic.NewNetwork("shift")
+	a := net.AddInput("a")
+	q1 := net.AddLatch("q1", false)
+	q2 := net.AddLatch("q2", false)
+	net.ConnectLatch(q1, a)
+	net.ConnectLatch(q2, q1)
+	net.MarkOutput("y", q2)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs != 0 || len(res.Mapped.Latches) != 2 {
+		t.Fatalf("shift register mapping wrong: %d LUTs, %d latches", res.LUTs, len(res.Mapped.Latches))
+	}
+	if res.Depth != 0 {
+		t.Fatalf("depth should be 0, got %d", res.Depth)
+	}
+}
+
+func TestMapSharedLogicNotDuplicated(t *testing.T) {
+	// A node feeding two outputs should produce a shared LUT, not two.
+	net := logic.NewNetwork("share")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	x := net.AddGate("x", logic.TTXor2(), a, b)
+	n1 := net.AddGate("n1", logic.TTNot(), x)
+	n2 := net.AddGate("n2", logic.TTNot(), x)
+	net.MarkOutput("y1", n1)
+	net.MarkOutput("y2", n2)
+	res, err := Map(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n1 and n2 each absorb x into a 2-input LUT; the cover has exactly
+	// two LUTs (x need not exist separately) or three if x is kept —
+	// never four.
+	if res.LUTs > 3 {
+		t.Fatalf("shared logic duplicated: %d LUTs", res.LUTs)
+	}
+}

@@ -1,0 +1,293 @@
+// Package mapper implements FPGA technology mapping to K-input LUTs with
+// glitch-aware switching-activity costing, in the style of GlitchMap [6
+// in the paper]: K-feasible cuts are enumerated per node [8], each cut's
+// output waveform is evaluated under the unit-delay discrete-time model,
+// and the cover is chosen to minimize estimated switching activity
+// (including glitches). The total estimated SA of the selected cover is
+// the SA quantity of the paper's Eq. (3) that drives HLPower's binding
+// edge weights.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/cuts"
+	"repro/internal/glitch"
+	"repro/internal/logic"
+	"repro/internal/prob"
+)
+
+// Mode selects the mapping objective.
+type Mode int
+
+const (
+	// ModePower minimizes glitch-aware switching-activity flow, with
+	// arrival time as tie break (the GlitchMap objective).
+	ModePower Mode = iota
+	// ModeDepth minimizes arrival time first (a conventional speed-
+	// oriented mapper, used as an ablation baseline).
+	ModeDepth
+	// ModeArea minimizes LUT-count flow, glitch-blind (ablation).
+	ModeArea
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePower:
+		return "power"
+	case ModeDepth:
+		return "depth"
+	case ModeArea:
+		return "area"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Options configures the mapper.
+type Options struct {
+	// K is the LUT input count (Cyclone II: 4).
+	K int
+	// Keep bounds the number of cuts retained per node during pruning.
+	Keep int
+	// Mode is the mapping objective.
+	Mode Mode
+	// Sources sets the probability/activity of combinational sources.
+	Sources prob.SourceValues
+}
+
+// DefaultOptions returns the configuration used throughout the
+// reproduction: 4-LUTs, 8 cuts per node, power-driven mapping with the
+// paper's source assumptions.
+func DefaultOptions() Options {
+	return Options{K: 4, Keep: 8, Mode: ModePower, Sources: prob.DefaultSources()}
+}
+
+// Result is a completed mapping.
+type Result struct {
+	// Mapped is the LUT-level network (every gate is one LUT).
+	Mapped *logic.Network
+	// NodeMap maps original node IDs to mapped node IDs (-1 if the node
+	// was absorbed into a LUT and has no mapped counterpart).
+	NodeMap []int
+	// LUTs is the number of LUTs in the cover (the paper's area metric).
+	LUTs int
+	// Depth is the LUT-level depth of the mapped network.
+	Depth int
+	// EstSA is the total estimated switching activity of the selected
+	// cover under the unit-delay glitch model (paper Eq. 3).
+	EstSA float64
+	// EstGlitch is the glitch portion of EstSA.
+	EstGlitch float64
+}
+
+type nodeState struct {
+	best    cuts.Cut
+	wave    glitch.Waveform
+	arrival int
+	flow    float64 // objective flow value of the selected cut
+}
+
+// Map covers the combinational logic of net with K-input LUTs.
+func Map(net *logic.Network, opt Options) (*Result, error) {
+	if opt.K < 2 {
+		return nil, fmt.Errorf("mapper: K must be >= 2, got %d", opt.K)
+	}
+	if opt.Keep < 1 {
+		return nil, fmt.Errorf("mapper: Keep must be >= 1, got %d", opt.Keep)
+	}
+	if err := net.Check(); err != nil {
+		return nil, fmt.Errorf("mapper: invalid input network: %w", err)
+	}
+	if maxFanin := net.Stats().MaxFanin; opt.K < maxFanin {
+		return nil, fmt.Errorf("mapper: K=%d smaller than widest gate (%d inputs); decompose first", opt.K, maxFanin)
+	}
+
+	fanout := net.FanoutCounts()
+	states := make([]*nodeState, net.NumNodes())
+
+	// Forward pass: enumerate cuts per node, evaluate each cut's output
+	// waveform from the leaves' selected waveforms, and keep the best.
+	sets := make([][]cuts.Cut, net.NumNodes())
+	for _, id := range net.TopoOrder() {
+		nd := net.Node(id)
+		st := &nodeState{}
+		switch nd.Kind {
+		case logic.KindInput:
+			st.wave = glitch.SourceWaveform(opt.Sources.InputP, opt.Sources.InputS)
+			sets[id] = []cuts.Cut{cuts.Trivial(id)}
+		case logic.KindLatchOut:
+			st.wave = glitch.SourceWaveform(opt.Sources.LatchP, opt.Sources.LatchS)
+			sets[id] = []cuts.Cut{cuts.Trivial(id)}
+		case logic.KindConst:
+			st.wave = glitch.ConstWaveform(nd.ConstVal)
+			sets[id] = []cuts.Cut{cuts.Trivial(id)}
+		case logic.KindGate:
+			faninSets := make([][]cuts.Cut, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				faninSets[i] = sets[f]
+			}
+			candidates := cuts.EnumerateNode(nd, faninSets, opt.K)
+			bestIdx := -1
+			var bestWave glitch.Waveform
+			var bestArr int
+			var bestFlow float64
+			for i, c := range candidates {
+				if len(c.Leaves) == 1 && c.Leaves[0] == id {
+					continue // trivial self-cut is not implementable
+				}
+				arr := 0
+				flowIn := 0.0
+				leafWaves := make([]glitch.Waveform, len(c.Leaves))
+				for j, l := range c.Leaves {
+					ls := states[l]
+					if ls.arrival+1 > arr {
+						arr = ls.arrival + 1
+					}
+					leafWaves[j] = ls.wave
+					fo := fanout[l]
+					if fo < 1 {
+						fo = 1
+					}
+					flowIn += ls.flow / float64(fo)
+				}
+				wave := glitch.Propagate(c.Func, leafWaves)
+				var flow float64
+				switch opt.Mode {
+				case ModeArea:
+					flow = 1 + flowIn
+				default:
+					flow = wave.Total() + flowIn
+				}
+				if bestIdx < 0 || better(opt.Mode, flow, arr, len(c.Leaves), bestFlow, bestArr, len(candidates[bestIdx].Leaves)) {
+					bestIdx, bestWave, bestArr, bestFlow = i, wave, arr, flow
+				}
+			}
+			if bestIdx < 0 {
+				return nil, fmt.Errorf("mapper: node %d (%s) has no implementable cut", id, nd.Name)
+			}
+			st.best = candidates[bestIdx]
+			st.wave = bestWave
+			st.arrival = bestArr
+			st.flow = bestFlow
+			// Prune the candidate set for consumers upstream.
+			sets[id] = cuts.Prune(id, candidates, opt.Keep, func(_ int, a, b cuts.Cut) bool {
+				return len(a.Leaves) < len(b.Leaves)
+			})
+		}
+		states[id] = st
+	}
+
+	return extractCover(net, states, opt)
+}
+
+// better compares candidate cut costs lexicographically per mode.
+func better(mode Mode, flow float64, arr, leaves int, bFlow float64, bArr, bLeaves int) bool {
+	switch mode {
+	case ModeDepth:
+		if arr != bArr {
+			return arr < bArr
+		}
+		if flow != bFlow {
+			return flow < bFlow
+		}
+		return leaves < bLeaves
+	default: // ModePower, ModeArea
+		if flow != bFlow {
+			return flow < bFlow
+		}
+		if arr != bArr {
+			return arr < bArr
+		}
+		return leaves < bLeaves
+	}
+}
+
+// extractCover walks backward from the roots (primary outputs and latch
+// D inputs), instantiating one LUT per needed node, then rebuilds a
+// LUT-level logic.Network and evaluates the cover's SA.
+func extractCover(net *logic.Network, states []*nodeState, opt Options) (*Result, error) {
+	needed := make([]bool, net.NumNodes())
+	var need func(int)
+	need = func(id int) {
+		if needed[id] {
+			return
+		}
+		needed[id] = true
+		nd := net.Node(id)
+		if nd.Kind != logic.KindGate {
+			return
+		}
+		for _, l := range states[id].best.Leaves {
+			need(l)
+		}
+	}
+	for _, o := range net.Outputs {
+		need(o.Node)
+	}
+	for _, q := range net.Latches {
+		need(net.Node(q).LatchInput)
+	}
+
+	mapped := logic.NewNetwork(net.Name + "_mapped")
+	nodeMap := make([]int, net.NumNodes())
+	for i := range nodeMap {
+		nodeMap[i] = -1
+	}
+	// Sources first (all kept to preserve the interface), then LUTs in
+	// topological (ascending-ID) order.
+	for _, id := range net.Inputs {
+		nodeMap[id] = mapped.AddInput(net.Node(id).Name)
+	}
+	for _, q := range net.Latches {
+		nodeMap[q] = mapped.AddLatch(net.Node(q).Name, net.Node(q).LatchInit)
+	}
+	for _, nd := range net.Nodes {
+		if nd.Kind == logic.KindConst && needed[nd.ID] {
+			nodeMap[nd.ID] = mapped.AddConst(nd.Name, nd.ConstVal)
+		}
+	}
+	luts := 0
+	for _, nd := range net.Nodes {
+		if nd.Kind != logic.KindGate || !needed[nd.ID] {
+			continue
+		}
+		c := states[nd.ID].best
+		fanins := make([]int, len(c.Leaves))
+		for i, l := range c.Leaves {
+			if nodeMap[l] < 0 {
+				return nil, fmt.Errorf("mapper: internal error: leaf %d unmapped", l)
+			}
+			fanins[i] = nodeMap[l]
+		}
+		nodeMap[nd.ID] = mapped.AddGate(lutName(net, nd.ID), c.Func.Clone(), fanins...)
+		luts++
+	}
+	for _, q := range net.Latches {
+		d := net.Node(q).LatchInput
+		mapped.ConnectLatch(nodeMap[q], nodeMap[d])
+	}
+	for _, o := range net.Outputs {
+		mapped.MarkOutput(o.Name, nodeMap[o.Node])
+	}
+	if err := mapped.Check(); err != nil {
+		return nil, fmt.Errorf("mapper: produced invalid network: %w", err)
+	}
+
+	est := glitch.EstimateNetwork(mapped, opt.Sources)
+	return &Result{
+		Mapped:    mapped,
+		NodeMap:   nodeMap,
+		LUTs:      luts,
+		Depth:     mapped.Depth(),
+		EstSA:     est.TotalActivity(mapped),
+		EstGlitch: est.TotalGlitch(mapped),
+	}, nil
+}
+
+// lutName derives a stable, unique name for the LUT rooted at id.
+func lutName(net *logic.Network, id int) string {
+	if name := net.Node(id).Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("lut_%d", id)
+}

@@ -1,0 +1,105 @@
+package matching
+
+import (
+	"container/list"
+	"math"
+)
+
+// Flow is a min-cost max-flow network (successive shortest augmenting
+// paths with SPFA, adequate for binding-sized graphs).
+type Flow struct {
+	n     int
+	head  [][]int // adjacency: node -> edge indices
+	to    []int
+	cap   []int
+	cost  []float64
+	first []int // index of each user-added edge (for EdgeFlow)
+}
+
+// NewFlow creates a flow network with n nodes (0..n-1).
+func NewFlow(n int) *Flow {
+	return &Flow{n: n, head: make([][]int, n)}
+}
+
+// AddEdge adds a directed edge u->v with the given capacity and cost and
+// returns an edge handle usable with EdgeFlow.
+func (f *Flow) AddEdge(u, v, capacity int, cost float64) int {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n {
+		panic("matching: flow edge endpoint out of range")
+	}
+	id := len(f.to)
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, capacity)
+	f.cost = append(f.cost, cost)
+	f.head[u] = append(f.head[u], id)
+	// Reverse edge.
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.cost = append(f.cost, -cost)
+	f.head[v] = append(f.head[v], id+1)
+	f.first = append(f.first, id)
+	return len(f.first) - 1
+}
+
+// EdgeFlow returns the flow pushed through a user-added edge.
+func (f *Flow) EdgeFlow(handle int) int {
+	id := f.first[handle]
+	return f.cap[id^1] // reverse capacity accumulates the pushed flow
+}
+
+// MinCostMaxFlow augments along successive cheapest paths from s to t
+// until no augmenting path remains, returning total flow and cost.
+func (f *Flow) MinCostMaxFlow(s, t int) (flow int, cost float64) {
+	for {
+		dist := make([]float64, f.n)
+		inQueue := make([]bool, f.n)
+		prevEdge := make([]int, f.n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := list.New()
+		q.PushBack(s)
+		inQueue[s] = true
+		for q.Len() > 0 {
+			u := q.Remove(q.Front()).(int)
+			inQueue[u] = false
+			for _, id := range f.head[u] {
+				if f.cap[id] <= 0 {
+					continue
+				}
+				v := f.to[id]
+				nd := dist[u] + f.cost[id]
+				if nd < dist[v]-1e-12 {
+					dist[v] = nd
+					prevEdge[v] = id
+					if !inQueue[v] {
+						q.PushBack(v)
+						inQueue[v] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return flow, cost
+		}
+		// Bottleneck along the path.
+		push := math.MaxInt32
+		for v := t; v != s; {
+			id := prevEdge[v]
+			if f.cap[id] < push {
+				push = f.cap[id]
+			}
+			v = f.to[id^1]
+		}
+		for v := t; v != s; {
+			id := prevEdge[v]
+			f.cap[id] -= push
+			f.cap[id^1] += push
+			v = f.to[id^1]
+		}
+		flow += push
+		cost += float64(push) * dist[t]
+	}
+}

@@ -1,0 +1,132 @@
+// Package matching provides the exact combinatorial solvers both binders
+// are built on: maximum-weight bipartite matching (the core of HLPower's
+// iterative binding, Alg. 1 line 14, and of Huang et al.'s register
+// binding [11]) and min-cost max-flow (the network-flow simultaneous
+// binding of the LOPASS baseline [2]).
+package matching
+
+import (
+	"math"
+)
+
+// Edge is a weighted edge between left vertex U and right vertex V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// MaxWeight computes a maximum-total-weight matching of a bipartite
+// graph with nU left and nV right vertices. Vertices may stay unmatched
+// (this is not an assignment problem: only edges with positive
+// contribution are taken). It returns matchU (for each left vertex the
+// matched right vertex or -1) and the total weight.
+//
+// Weights must be finite; non-positive-weight edges are never selected.
+// Runs the O(n^3) Hungarian algorithm on a padded square matrix.
+func MaxWeight(nU, nV int, edges []Edge) (matchU []int, total float64) {
+	matchU = make([]int, nU)
+	for i := range matchU {
+		matchU[i] = -1
+	}
+	if nU == 0 || nV == 0 || len(edges) == 0 {
+		return matchU, 0
+	}
+	n := nU
+	if nV > n {
+		n = nV
+	}
+	// cost[i][j]: negative weight for minimization; 0 for dummy pairs so
+	// "unmatched" is free.
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	real := make([][]bool, n)
+	for i := range real {
+		real[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= nU || e.V < 0 || e.V >= nV {
+			panic("matching: edge endpoint out of range")
+		}
+		if e.W > 0 && -e.W < cost[e.U][e.V] {
+			cost[e.U][e.V] = -e.W
+			real[e.U][e.V] = true
+		}
+	}
+
+	assignment := solveAssignment(cost)
+	for i := 0; i < nU; i++ {
+		j := assignment[i]
+		if j >= 0 && j < nV && real[i][j] {
+			matchU[i] = j
+			total += -cost[i][j]
+		}
+	}
+	return matchU, total
+}
+
+// solveAssignment solves the square min-cost assignment problem with the
+// standard potentials-based Hungarian algorithm (O(n^3)). Returns for
+// each row its assigned column.
+func solveAssignment(a [][]float64) []int {
+	n := len(a)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j]: row assigned to column j (1-based rows)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	res := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			res[p[j]-1] = j - 1
+		}
+	}
+	return res
+}

@@ -1,0 +1,267 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxWeightSimple(t *testing.T) {
+	// 2x2 with a clear optimum: (0-1, 1-0) = 5 + 4 = 9.
+	edges := []Edge{
+		{0, 0, 1}, {0, 1, 5},
+		{1, 0, 4}, {1, 1, 2},
+	}
+	match, total := MaxWeight(2, 2, edges)
+	if total != 9 {
+		t.Fatalf("total = %v, want 9", total)
+	}
+	if match[0] != 1 || match[1] != 0 {
+		t.Fatalf("match = %v, want [1 0]", match)
+	}
+}
+
+func TestMaxWeightLeavesUnmatched(t *testing.T) {
+	// A single edge: the other vertices stay unmatched.
+	match, total := MaxWeight(3, 3, []Edge{{1, 2, 7}})
+	if total != 7 {
+		t.Fatalf("total = %v", total)
+	}
+	if match[0] != -1 || match[1] != 2 || match[2] != -1 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// More left than right vertices.
+	edges := []Edge{
+		{0, 0, 3}, {1, 0, 5}, {2, 0, 4},
+	}
+	match, total := MaxWeight(3, 1, edges)
+	if total != 5 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+	if match[1] != 0 || match[0] != -1 || match[2] != -1 {
+		t.Fatalf("match = %v", match)
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	match, total := MaxWeight(0, 5, nil)
+	if len(match) != 0 || total != 0 {
+		t.Fatal("empty left side should yield empty matching")
+	}
+	match, total = MaxWeight(3, 3, nil)
+	if total != 0 {
+		t.Fatal("no edges should yield zero weight")
+	}
+	for _, m := range match {
+		if m != -1 {
+			t.Fatal("no edges should leave all unmatched")
+		}
+	}
+}
+
+func TestMaxWeightIgnoresNonPositive(t *testing.T) {
+	match, total := MaxWeight(2, 2, []Edge{{0, 0, -5}, {1, 1, 0}})
+	if total != 0 || match[0] != -1 || match[1] != -1 {
+		t.Fatalf("non-positive edges selected: %v %v", match, total)
+	}
+}
+
+// bruteForceMax enumerates all matchings (small sizes).
+func bruteForceMax(nU, nV int, edges []Edge) float64 {
+	w := make(map[[2]int]float64)
+	for _, e := range edges {
+		if e.W > 0 {
+			if old, ok := w[[2]int{e.U, e.V}]; !ok || e.W > old {
+				w[[2]int{e.U, e.V}] = e.W
+			}
+		}
+	}
+	usedV := make([]bool, nV)
+	var rec func(u int) float64
+	rec = func(u int) float64 {
+		if u == nU {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for v := 0; v < nV; v++ {
+			if usedV[v] {
+				continue
+			}
+			if wt, ok := w[[2]int{u, v}]; ok {
+				usedV[v] = true
+				if c := wt + rec(u+1); c > best {
+					best = c
+				}
+				usedV[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nU := 1 + rng.Intn(5)
+		nV := 1 + rng.Intn(5)
+		var edges []Edge
+		for u := 0; u < nU; u++ {
+			for v := 0; v < nV; v++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, Edge{u, v, float64(1+rng.Intn(20)) / 2})
+				}
+			}
+		}
+		_, got := MaxWeight(nU, nV, edges)
+		want := bruteForceMax(nU, nV, edges)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nU := 1 + rng.Intn(8)
+		nV := 1 + rng.Intn(8)
+		var edges []Edge
+		exists := make(map[[2]int]bool)
+		for u := 0; u < nU; u++ {
+			for v := 0; v < nV; v++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, Edge{u, v, rng.Float64() * 10})
+					exists[[2]int{u, v}] = true
+				}
+			}
+		}
+		match, _ := MaxWeight(nU, nV, edges)
+		seen := make(map[int]bool)
+		for u, v := range match {
+			if v == -1 {
+				continue
+			}
+			if !exists[[2]int{u, v}] {
+				return false // matched a non-edge
+			}
+			if seen[v] {
+				return false // right vertex used twice
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowSimplePath(t *testing.T) {
+	f := NewFlow(4)
+	e0 := f.AddEdge(0, 1, 3, 1)
+	e1 := f.AddEdge(1, 2, 2, 1)
+	e2 := f.AddEdge(2, 3, 3, 1)
+	flow, cost := f.MinCostMaxFlow(0, 3)
+	if flow != 2 {
+		t.Fatalf("flow = %d, want 2 (bottleneck)", flow)
+	}
+	if math.Abs(cost-6) > 1e-9 {
+		t.Fatalf("cost = %v, want 6", cost)
+	}
+	if f.EdgeFlow(e0) != 2 || f.EdgeFlow(e1) != 2 || f.EdgeFlow(e2) != 2 {
+		t.Fatal("edge flows wrong")
+	}
+}
+
+func TestFlowPrefersCheapPath(t *testing.T) {
+	// Two parallel paths; cheaper one must carry the flow.
+	f := NewFlow(4)
+	cheap := f.AddEdge(0, 1, 1, 1)
+	f.AddEdge(1, 3, 1, 1)
+	exp := f.AddEdge(0, 2, 1, 10)
+	f.AddEdge(2, 3, 1, 10)
+	flow, cost := f.MinCostMaxFlow(0, 3)
+	if flow != 2 {
+		t.Fatalf("flow = %d, want 2", flow)
+	}
+	if math.Abs(cost-22) > 1e-9 {
+		t.Fatalf("cost = %v, want 22", cost)
+	}
+	if f.EdgeFlow(cheap) != 1 || f.EdgeFlow(exp) != 1 {
+		t.Fatal("both paths should be used at max flow")
+	}
+}
+
+func TestFlowAsAssignment(t *testing.T) {
+	// Min-cost flow solves the assignment problem; compare against the
+	// Hungarian solver on random instances.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = float64(1 + rng.Intn(30))
+			}
+		}
+		// Hungarian maximization.
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				edges = append(edges, Edge{i, j, w[i][j]})
+			}
+		}
+		_, best := MaxWeight(n, n, edges)
+
+		// Flow formulation: source->left, left->right (cost = -w),
+		// right->sink; max flow n, min cost = -max weight.
+		fl := NewFlow(2*n + 2)
+		s, t0 := 2*n, 2*n+1
+		for i := 0; i < n; i++ {
+			fl.AddEdge(s, i, 1, 0)
+			fl.AddEdge(n+i, t0, 1, 0)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				fl.AddEdge(i, n+j, 1, -w[i][j])
+			}
+		}
+		flow, cost := fl.MinCostMaxFlow(s, t0)
+		return flow == n && math.Abs(-cost-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowDisconnected(t *testing.T) {
+	f := NewFlow(2)
+	flow, cost := f.MinCostMaxFlow(0, 1)
+	if flow != 0 || cost != 0 {
+		t.Fatal("disconnected network should carry no flow")
+	}
+}
+
+func BenchmarkMaxWeight50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var edges []Edge
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			if rng.Intn(3) != 0 {
+				edges = append(edges, Edge{u, v, rng.Float64() * 100})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeight(50, 50, edges)
+	}
+}

@@ -1,0 +1,288 @@
+// Package modsel implements module selection — the paper's stated
+// future work (§7): after binding, choose a gate-level implementation
+// for every functional unit (ripple/carry-lookahead/carry-select adder;
+// array/Wallace multiplier) that minimizes the glitch-aware estimated
+// switching activity of the unit's partial datapath, optionally under a
+// LUT-depth budget. The evaluation reuses exactly the machinery the
+// binder's SA table is built on: generate the partial datapath with the
+// candidate architecture, map it to 4-LUTs, and read the unit-delay
+// glitch estimate.
+package modsel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/logic"
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+)
+
+// Options configures module selection.
+type Options struct {
+	// Width is the datapath bit width.
+	Width int
+	// MaxDepth bounds the mapped LUT depth of a unit's partial datapath
+	// (0 = unconstrained). Candidates deeper than the budget are
+	// rejected; if none fits, the shallowest candidate wins.
+	MaxDepth int
+	// MapOpt configures the embedded mapper.
+	MapOpt mapper.Options
+	// Margin is the minimum relative SA improvement a non-baseline
+	// architecture must show to displace the baseline (the estimator is
+	// evaluated on free-running partial datapaths, which is optimistic
+	// about in-situ gains; a margin keeps selection conservative).
+	Margin float64
+}
+
+// DefaultOptions returns an 8-bit, depth-unconstrained configuration
+// with a 25% switching margin (ablation runs showed the free-running
+// estimate overstates in-situ gains by roughly 10-20%, so smaller
+// margins flip units that do not pay off on the measured datapath).
+func DefaultOptions() Options {
+	return Options{Width: netgen.DefaultWidth, MapOpt: mapper.DefaultOptions(), Margin: 0.25}
+}
+
+// Selection holds the chosen architecture per functional unit.
+type Selection struct {
+	// Adders maps adder-class FU IDs to their selected architecture.
+	Adders map[int]netgen.AdderArch
+	// Mults maps multiplier FU IDs to their selected architecture.
+	Mults map[int]netgen.MultArch
+	// EstSA is the summed estimated SA of the selected partial
+	// datapaths; BaselineSA is the same sum with the baseline library.
+	EstSA, BaselineSA float64
+}
+
+// Arch adapts the selection for datapath.ElaborateArch.
+func (sel *Selection) Arch() (adder func(*binding.FU) netgen.AdderArch, mult func(*binding.FU) netgen.MultArch) {
+	return func(fu *binding.FU) netgen.AdderArch {
+			if a, ok := sel.Adders[fu.ID]; ok {
+				return a
+			}
+			return netgen.AdderRipple
+		}, func(fu *binding.FU) netgen.MultArch {
+			if m, ok := sel.Mults[fu.ID]; ok {
+				return m
+			}
+			return netgen.MultArray
+		}
+}
+
+// evaluation caches (kind, arch, kl, kr) -> (estSA, depth).
+type evalKey struct {
+	kind netgen.FUKind
+	arch string
+	kl   int
+	kr   int
+}
+
+type evalResult struct {
+	sa    float64
+	depth int
+}
+
+// Selector performs module selection with a shared evaluation cache.
+type Selector struct {
+	Opt Options
+
+	mu    sync.Mutex
+	cache map[evalKey]evalResult
+}
+
+// NewSelector returns a selector with an empty cache.
+func NewSelector(opt Options) *Selector {
+	return &Selector{Opt: opt, cache: make(map[evalKey]evalResult)}
+}
+
+// Select chooses an architecture for every FU of the binding. FUs that
+// execute subtractions keep the ripple add/sub unit (the variant
+// library has no carry-in).
+func (se *Selector) Select(g *cdfg.Graph, rb *regbind.Binding, res *binding.Result) (*Selection, error) {
+	sel := &Selection{
+		Adders: make(map[int]netgen.AdderArch),
+		Mults:  make(map[int]netgen.MultArch),
+	}
+	for _, fu := range res.FUs {
+		kl, kr := binding.MuxSizes(g, rb, res, fu)
+		switch fu.Kind {
+		case netgen.FUAdd:
+			if hasSub(g, fu) {
+				sel.Adders[fu.ID] = netgen.AdderRipple
+				base, err := se.evaluate(fu.Kind, "ripple", kl, kr)
+				if err != nil {
+					return nil, err
+				}
+				sel.EstSA += base.sa
+				sel.BaselineSA += base.sa
+				continue
+			}
+			best := netgen.AdderRipple
+			var bestRes, baseRes evalResult
+			first := true
+			for _, arch := range []netgen.AdderArch{netgen.AdderRipple, netgen.AdderCLA, netgen.AdderCarrySelect} {
+				r, err := se.evaluate(fu.Kind, arch.String(), kl, kr)
+				if err != nil {
+					return nil, err
+				}
+				if arch == netgen.AdderRipple {
+					baseRes = r
+				}
+				if se.better(r, bestRes, first) {
+					best, bestRes, first = arch, r, false
+				}
+			}
+			if best != netgen.AdderRipple && !se.clearsMargin(bestRes, baseRes) {
+				best, bestRes = netgen.AdderRipple, baseRes
+			}
+			sel.Adders[fu.ID] = best
+			sel.EstSA += bestRes.sa
+			sel.BaselineSA += baseRes.sa
+		case netgen.FUMult:
+			best := netgen.MultArray
+			var bestRes, baseRes evalResult
+			first := true
+			for _, arch := range []netgen.MultArch{netgen.MultArray, netgen.MultWallace} {
+				r, err := se.evaluate(fu.Kind, arch.String(), kl, kr)
+				if err != nil {
+					return nil, err
+				}
+				if arch == netgen.MultArray {
+					baseRes = r
+				}
+				if se.better(r, bestRes, first) {
+					best, bestRes, first = arch, r, false
+				}
+			}
+			if best != netgen.MultArray && !se.clearsMargin(bestRes, baseRes) {
+				best, bestRes = netgen.MultArray, baseRes
+			}
+			sel.Mults[fu.ID] = best
+			sel.EstSA += bestRes.sa
+			sel.BaselineSA += baseRes.sa
+		}
+	}
+	return sel, nil
+}
+
+// clearsMargin reports whether a non-baseline candidate improves on the
+// baseline by at least the configured margin. Depth-budget rescues (the
+// baseline violating MaxDepth while the candidate fits) bypass the
+// margin.
+func (se *Selector) clearsMargin(candidate, baseline evalResult) bool {
+	if se.Opt.MaxDepth > 0 && baseline.depth > se.Opt.MaxDepth && candidate.depth <= se.Opt.MaxDepth {
+		return true
+	}
+	return candidate.sa < baseline.sa*(1-se.Opt.Margin)
+}
+
+// better compares candidates: prefer fitting the depth budget, then
+// lower SA, then lower depth.
+func (se *Selector) better(candidate, best evalResult, first bool) bool {
+	if first {
+		return true
+	}
+	if se.Opt.MaxDepth > 0 {
+		cFits := candidate.depth <= se.Opt.MaxDepth
+		bFits := best.depth <= se.Opt.MaxDepth
+		if cFits != bFits {
+			return cFits
+		}
+		if !cFits && !bFits {
+			return candidate.depth < best.depth
+		}
+	}
+	if candidate.sa != best.sa {
+		return candidate.sa < best.sa
+	}
+	return candidate.depth < best.depth
+}
+
+// evaluate maps the candidate partial datapath and reads its estimate.
+func (se *Selector) evaluate(kind netgen.FUKind, arch string, kl, kr int) (evalResult, error) {
+	if kl < 1 {
+		kl = 1
+	}
+	if kr < 1 {
+		kr = 1
+	}
+	key := evalKey{kind: kind, arch: arch, kl: kl, kr: kr}
+	se.mu.Lock()
+	if r, ok := se.cache[key]; ok {
+		se.mu.Unlock()
+		return r, nil
+	}
+	se.mu.Unlock()
+
+	net := buildVariantPartial(kind, arch, kl, kr, se.Opt.Width)
+	mres, err := mapper.Map(net, se.Opt.MapOpt)
+	if err != nil {
+		return evalResult{}, fmt.Errorf("modsel: %s/%s(%d,%d): %w", kind, arch, kl, kr, err)
+	}
+	r := evalResult{sa: mres.EstSA, depth: mres.Depth}
+	se.mu.Lock()
+	se.cache[key] = r
+	se.mu.Unlock()
+	return r, nil
+}
+
+// buildVariantPartial is netgen.PartialDatapathNetwork with a selectable
+// FU architecture.
+func buildVariantPartial(kind netgen.FUKind, arch string, kL, kR, w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("%s_%s_%d_%d_w%d", kind, arch, kL, kR, w))
+	buildPort := func(side string, k int) []int {
+		sel := make([]int, netgen.SelBits(k))
+		for i := range sel {
+			sel[i] = net.AddInput(fmt.Sprintf("SEL%s%d", side, i))
+		}
+		data := make([][]int, k)
+		for i := range data {
+			data[i] = make([]int, w)
+			for b := 0; b < w; b++ {
+				data[i][b] = net.AddInput(fmt.Sprintf("%s%d_%d", side, i, b))
+			}
+		}
+		return netgen.BuildMux(net, side+"mux_", sel, data)
+	}
+	left := buildPort("L", kL)
+	right := buildPort("R", kR)
+	var out []int
+	if kind == netgen.FUAdd {
+		out = netgen.BuildAdderArch(net, adderArchByName(arch), "fu_", left, right)
+	} else {
+		out = netgen.BuildMultArch(net, multArchByName(arch), "fu_", left, right)
+	}
+	for b, id := range out {
+		net.MarkOutput(fmt.Sprintf("O%d", b), id)
+	}
+	return net
+}
+
+func adderArchByName(name string) netgen.AdderArch {
+	switch name {
+	case "cla":
+		return netgen.AdderCLA
+	case "cselect":
+		return netgen.AdderCarrySelect
+	}
+	return netgen.AdderRipple
+}
+
+func multArchByName(name string) netgen.MultArch {
+	if name == "wallace" {
+		return netgen.MultWallace
+	}
+	return netgen.MultArray
+}
+
+func hasSub(g *cdfg.Graph, fu *binding.FU) bool {
+	for _, op := range fu.Ops {
+		if g.Nodes[op].Kind == cdfg.KindSub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package modsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func boundKernel(t *testing.T) (*cdfg.Graph, *cdfg.Schedule, *regbind.Binding, *binding.Result) {
+	t.Helper()
+	g := workload.FIR(6)
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 2}
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, rb, res
+}
+
+func TestSelectCoversEveryFU(t *testing.T) {
+	g, _, rb, res := boundKernel(t)
+	opt := DefaultOptions()
+	opt.Width = 4
+	sel, err := NewSelector(opt).Select(g, rb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fu := range res.FUs {
+		switch fu.Kind {
+		case netgen.FUAdd:
+			if _, ok := sel.Adders[fu.ID]; !ok {
+				t.Fatalf("adder FU %d unselected", fu.ID)
+			}
+		case netgen.FUMult:
+			if _, ok := sel.Mults[fu.ID]; !ok {
+				t.Fatalf("mult FU %d unselected", fu.ID)
+			}
+		}
+	}
+	if sel.EstSA <= 0 || sel.BaselineSA <= 0 {
+		t.Fatal("SA sums not populated")
+	}
+	// Selection never estimates worse than the baseline library.
+	if sel.EstSA > sel.BaselineSA+1e-9 {
+		t.Fatalf("selection (%v) worse than baseline (%v)", sel.EstSA, sel.BaselineSA)
+	}
+}
+
+func TestSelectedDatapathStaysFunctional(t *testing.T) {
+	g, s, rb, res := boundKernel(t)
+	opt := DefaultOptions()
+	opt.Width = 4
+	sel, err := NewSelector(opt).Select(g, rb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adder, mult := sel.Arch()
+	d, err := datapath.ElaborateArch(g, s, rb, res, 4, &datapath.Arch{Adder: adder, Mult: mult})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, g, d, 15, 3)
+}
+
+func TestDepthBudgetForcesShallowArch(t *testing.T) {
+	g, _, rb, res := boundKernel(t)
+	opt := DefaultOptions()
+	opt.Width = 8
+	opt.MaxDepth = 1 // unsatisfiable: falls back to the shallowest
+	sel, err := NewSelector(opt).Select(g, rb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under an unsatisfiable budget the selector picks by depth; the
+	// Wallace tree is the shallow multiplier.
+	for id, m := range sel.Mults {
+		if m != netgen.MultWallace {
+			t.Fatalf("mult FU %d: depth budget should force wallace, got %s", id, m)
+		}
+	}
+}
+
+func TestSubtractionFUsStayRipple(t *testing.T) {
+	g := workload.Butterfly(2)
+	rc := cdfg.ResourceConstraint{Add: 4, Mult: 2}
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Width = 4
+	sel, err := NewSelector(opt).Select(g, rb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fu := range res.FUs {
+		if fu.Kind != netgen.FUAdd {
+			continue
+		}
+		hasSubOp := false
+		for _, op := range fu.Ops {
+			if g.Nodes[op].Kind == cdfg.KindSub {
+				hasSubOp = true
+			}
+		}
+		if hasSubOp && sel.Adders[fu.ID] != netgen.AdderRipple {
+			t.Fatalf("sub-carrying FU %d must stay ripple, got %s", fu.ID, sel.Adders[fu.ID])
+		}
+	}
+	// And the selected design still computes the butterfly.
+	adder, mult := sel.Arch()
+	d, err := datapath.ElaborateArch(g, s, rb, res, 4, &datapath.Arch{Adder: adder, Mult: mult})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, g, d, 10, 5)
+}
+
+func TestEvaluationCacheHits(t *testing.T) {
+	se := NewSelector(Options{Width: 4, MapOpt: DefaultOptions().MapOpt})
+	r1, err := se.evaluate(netgen.FUAdd, "cla", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := se.evaluate(netgen.FUAdd, "cla", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("cache returned different result")
+	}
+	if len(se.cache) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(se.cache))
+	}
+}
+
+// verify simulates the design against the CDFG arithmetic reference
+// (same harness as the datapath tests).
+func verify(t *testing.T, g *cdfg.Graph, d *datapath.Design, trials int, seed int64) {
+	t.Helper()
+	simr, err := sim.New(d.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		values := make([]uint64, len(g.Inputs))
+		for i := range values {
+			values[i] = uint64(rng.Intn(1 << d.Width))
+		}
+		in := d.SetInputVector(g, values)
+		ref := cdfg.Eval(g, values, d.Width)
+		sampled := false
+		for cyc := 0; cyc < 3*d.StepCount+2; cyc++ {
+			simr.Step(in)
+			if cyc >= 2*d.StepCount && d.CounterValue(simr.Values()) == d.StepCount-1 {
+				for i, o := range g.Outputs {
+					if got := d.ReadOutput(simr.Values(), i); got != ref[o] {
+						t.Fatalf("trial %d output %d: got %d want %d", trial, i, got, ref[o])
+					}
+				}
+				sampled = true
+				break
+			}
+		}
+		if !sampled {
+			t.Fatal("never reached sampling step")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package netgen generates gate-level implementations of the HLPower
+// resource library: ripple-carry adders/subtractors, array multipliers,
+// multiplexer trees, and registers, plus the partial datapaths
+// (mux + mux + functional unit) whose switching activity drives the
+// binder's edge weights (paper §5.2.2, Fig. 2). All generators build into
+// a logic.Network out of 2- and 3-input gates so the 4-LUT mapper has
+// realistic structure (and realistic glitching) to work with.
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// DefaultWidth is the datapath bit width used throughout the
+// reproduction when no width is specified. The paper's flow is
+// width-agnostic; 8 bits keeps the gate-level experiments tractable
+// while exercising multi-level carry and partial-product glitching.
+const DefaultWidth = 8
+
+// BuildAdder appends a ripple-carry adder to net computing sum = a + b +
+// cin, returning the sum bits (LSB first) and the carry out. cin may be
+// -1 for no carry in. Names are prefixed for hierarchy-style readability.
+func BuildAdder(net *logic.Network, prefix string, a, b []int, cin int) (sum []int, cout int) {
+	if len(a) != len(b) {
+		panic("netgen: adder operand widths differ")
+	}
+	carry := cin
+	sum = make([]int, len(a))
+	for i := range a {
+		if carry < 0 {
+			// Half adder for the first stage without carry-in.
+			sum[i] = net.AddGate(fmt.Sprintf("%ss%d", prefix, i), logic.TTXor2(), a[i], b[i])
+			carry = net.AddGate(fmt.Sprintf("%sc%d", prefix, i), logic.TTAnd2(), a[i], b[i])
+			continue
+		}
+		sum[i] = net.AddGate(fmt.Sprintf("%ss%d", prefix, i), logic.TTXor3(), a[i], b[i], carry)
+		carry = net.AddGate(fmt.Sprintf("%sc%d", prefix, i), logic.TTMaj3(), a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// BuildSubtractor appends a ripple-borrow subtractor computing a - b
+// (two's complement: a + ^b + 1), returning the difference bits.
+func BuildSubtractor(net *logic.Network, prefix string, a, b []int) []int {
+	nb := make([]int, len(b))
+	for i := range b {
+		nb[i] = net.AddGate(fmt.Sprintf("%snb%d", prefix, i), logic.TTNot(), b[i])
+	}
+	one := net.AddConst(fmt.Sprintf("%sone", prefix), true)
+	diff, _ := BuildAdder(net, prefix, a, nb, one)
+	return diff
+}
+
+// BuildMultiplier appends an unsigned array (shift-and-add) multiplier
+// truncated to the operand width, matching a fixed-width datapath.
+// Partial products are accumulated with ripple adders row by row; the
+// long unbalanced carry chains are exactly the structures whose glitches
+// the paper's estimator targets.
+func BuildMultiplier(net *logic.Network, prefix string, a, b []int) []int {
+	if len(a) != len(b) {
+		panic("netgen: multiplier operand widths differ")
+	}
+	w := len(a)
+	// Row 0: pp[0][j] = a0 & bj placed at bit j.
+	acc := make([]int, w)
+	for j := 0; j < w; j++ {
+		acc[j] = net.AddGate(fmt.Sprintf("%spp0_%d", prefix, j), logic.TTAnd2(), a[0], b[j])
+	}
+	for i := 1; i < w; i++ {
+		// Row i contributes to bits i..w-1 (truncated product).
+		row := make([]int, 0, w-i)
+		for j := 0; i+j < w; j++ {
+			row = append(row, net.AddGate(fmt.Sprintf("%spp%d_%d", prefix, i, j), logic.TTAnd2(), a[i], b[j]))
+		}
+		// acc[i..w-1] += row, rippling a carry to the truncated top.
+		carry := -1
+		for j := range row {
+			bit := i + j
+			if carry < 0 {
+				s := net.AddGate(fmt.Sprintf("%sr%d_s%d", prefix, i, j), logic.TTXor2(), acc[bit], row[j])
+				carry = net.AddGate(fmt.Sprintf("%sr%d_c%d", prefix, i, j), logic.TTAnd2(), acc[bit], row[j])
+				acc[bit] = s
+			} else {
+				s := net.AddGate(fmt.Sprintf("%sr%d_s%d", prefix, i, j), logic.TTXor3(), acc[bit], row[j], carry)
+				carry = net.AddGate(fmt.Sprintf("%sr%d_c%d", prefix, i, j), logic.TTMaj3(), acc[bit], row[j], carry)
+				acc[bit] = s
+			}
+		}
+	}
+	return acc
+}
+
+// BuildMux appends a W-bit K-input multiplexer tree built from 2:1 muxes.
+// sel supplies ceil(log2(K)) select lines (LSB first); data[k] is the
+// W-bit input selected when the select value equals k. Returns the W
+// output bits. K = 1 returns data[0] unchanged (no hardware).
+func BuildMux(net *logic.Network, prefix string, sel []int, data [][]int) []int {
+	k := len(data)
+	if k == 0 {
+		panic("netgen: mux with no data inputs")
+	}
+	w := len(data[0])
+	for _, d := range data {
+		if len(d) != w {
+			panic("netgen: mux data width mismatch")
+		}
+	}
+	if k == 1 {
+		return data[0]
+	}
+	need := selBits(k)
+	if len(sel) < need {
+		panic(fmt.Sprintf("netgen: mux of %d inputs needs %d select lines, got %d", k, need, len(sel)))
+	}
+	cur := make([][]int, k)
+	copy(cur, data)
+	level := 0
+	for len(cur) > 1 {
+		var next [][]int
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 == len(cur) {
+				next = append(next, cur[i])
+				continue
+			}
+			y := make([]int, w)
+			for bitIdx := 0; bitIdx < w; bitIdx++ {
+				y[bitIdx] = net.AddGate(
+					fmt.Sprintf("%sl%d_m%d_b%d", prefix, level, i/2, bitIdx),
+					logic.TTMux2(), sel[level], cur[i][bitIdx], cur[i+1][bitIdx])
+			}
+			next = append(next, y)
+		}
+		cur = next
+		level++
+	}
+	return cur[0]
+}
+
+// BuildRegister appends a W-bit register (bank of D flip-flops) with the
+// given initial value, returning the Q bits. The D inputs are connected
+// immediately from d.
+func BuildRegister(net *logic.Network, prefix string, d []int, init bool) []int {
+	q := make([]int, len(d))
+	for i := range d {
+		q[i] = net.AddLatch(fmt.Sprintf("%sq%d", prefix, i), init)
+		net.ConnectLatch(q[i], d[i])
+	}
+	return q
+}
+
+// selBits returns ceil(log2(k)) with selBits(1) = 0.
+func selBits(k int) int {
+	b := 0
+	for (1 << b) < k {
+		b++
+	}
+	return b
+}
+
+// SelBits exposes the select-line count needed by a K-input mux.
+func SelBits(k int) int { return selBits(k) }
+
+// addInputBus declares a W-bit input bus named <name>0..<name>{w-1}.
+func addInputBus(net *logic.Network, name string, w int) []int {
+	ids := make([]int, w)
+	for i := range ids {
+		ids[i] = net.AddInput(fmt.Sprintf("%s%d", name, i))
+	}
+	return ids
+}
+
+// markOutputBus declares W outputs named <name>0..<name>{w-1}.
+func markOutputBus(net *logic.Network, name string, bits []int) {
+	for i, id := range bits {
+		net.MarkOutput(fmt.Sprintf("%s%d", name, i), id)
+	}
+}
+
+// AdderNetwork returns a standalone W-bit adder with inputs A*/B* and
+// outputs S* (truncated sum, no carry out — fixed-width datapath).
+func AdderNetwork(w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("add%d", w))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	s, _ := BuildAdder(net, "", a, b, -1)
+	markOutputBus(net, "S", s)
+	return net
+}
+
+// SubtractorNetwork returns a standalone W-bit subtractor (A - B).
+func SubtractorNetwork(w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("sub%d", w))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	d := BuildSubtractor(net, "", a, b)
+	markOutputBus(net, "S", d)
+	return net
+}
+
+// MultiplierNetwork returns a standalone W-bit (truncated) multiplier.
+func MultiplierNetwork(w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("mult%d", w))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	p := BuildMultiplier(net, "", a, b)
+	markOutputBus(net, "P", p)
+	return net
+}
+
+// MuxNetwork returns a standalone K-input, W-bit multiplexer with select
+// inputs SEL*, data inputs D<k>_<bit>, and outputs Y*.
+func MuxNetwork(k, w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("mux%d_w%d", k, w))
+	sel := addInputBus(net, "SEL", selBits(k))
+	data := make([][]int, k)
+	for i := range data {
+		data[i] = addInputBus(net, fmt.Sprintf("D%d_", i), w)
+	}
+	y := BuildMux(net, "", sel, data)
+	markOutputBus(net, "Y", y)
+	return net
+}
+
+// RegisterNetwork returns a standalone W-bit register with inputs D* and
+// outputs Q*.
+func RegisterNetwork(w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("reg%d", w))
+	d := addInputBus(net, "D", w)
+	q := BuildRegister(net, "", d, false)
+	markOutputBus(net, "Q", q)
+	return net
+}

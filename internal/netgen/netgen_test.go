@@ -1,0 +1,298 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blif"
+	"repro/internal/logic"
+)
+
+// evalBus drives a network's inputs from a name->value map and returns
+// the outputs as an unsigned integer built from outputs named base0..N.
+func evalUnsigned(t *testing.T, net *logic.Network, inputs map[string]bool) uint64 {
+	t.Helper()
+	in := make([]bool, len(net.Inputs))
+	for i, id := range net.Inputs {
+		in[i] = inputs[net.Node(id).Name]
+	}
+	val := net.Eval(in, nil)
+	var out uint64
+	for i, o := range net.Outputs {
+		if val[o.Node] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func busAssign(m map[string]bool, base string, w int, v uint64) {
+	for i := 0; i < w; i++ {
+		m[fmtName(base, i)] = v&(1<<uint(i)) != 0
+	}
+}
+
+func fmtName(base string, i int) string {
+	return base + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestAdderFunctional(t *testing.T) {
+	const w = 6
+	net := AdderNetwork(w)
+	if err := net.Check(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		av := uint64(a) & ((1 << w) - 1)
+		bv := uint64(b) & ((1 << w) - 1)
+		in := map[string]bool{}
+		busAssign(in, "A", w, av)
+		busAssign(in, "B", w, bv)
+		got := evalUnsigned(t, net, in)
+		return got == (av+bv)&((1<<w)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractorFunctional(t *testing.T) {
+	const w = 6
+	net := SubtractorNetwork(w)
+	f := func(a, b uint16) bool {
+		av := uint64(a) & ((1 << w) - 1)
+		bv := uint64(b) & ((1 << w) - 1)
+		in := map[string]bool{}
+		busAssign(in, "A", w, av)
+		busAssign(in, "B", w, bv)
+		got := evalUnsigned(t, net, in)
+		return got == (av-bv)&((1<<w)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplierFunctional(t *testing.T) {
+	const w = 6
+	net := MultiplierNetwork(w)
+	if err := net.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive over 6x6 bits.
+	for a := uint64(0); a < 1<<w; a++ {
+		for b := uint64(0); b < 1<<w; b++ {
+			in := map[string]bool{}
+			busAssign(in, "A", w, a)
+			busAssign(in, "B", w, b)
+			got := evalUnsigned(t, net, in)
+			want := (a * b) & ((1 << w) - 1)
+			if got != want {
+				t.Fatalf("%d * %d = %d, want %d (mod 2^%d)", a, b, got, want, w)
+			}
+		}
+	}
+}
+
+func TestMuxSelectsEveryInput(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+		const w = 4
+		net := MuxNetwork(k, w)
+		if err := net.Check(); err != nil {
+			t.Fatalf("mux%d: %v", k, err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for sel := 0; sel < k; sel++ {
+			in := map[string]bool{}
+			vals := make([]uint64, k)
+			for i := range vals {
+				vals[i] = uint64(rng.Intn(1 << w))
+				busAssign(in, fmtName("D", i)+"_", w, vals[i])
+			}
+			for s := 0; s < SelBits(k); s++ {
+				in[fmtName("SEL", s)] = sel&(1<<uint(s)) != 0
+			}
+			got := evalUnsigned(t, net, in)
+			if got != vals[sel] {
+				t.Fatalf("mux%d sel=%d: got %d want %d", k, sel, got, vals[sel])
+			}
+		}
+	}
+}
+
+func TestMuxSizeOneIsWireOnly(t *testing.T) {
+	net := MuxNetwork(1, 8)
+	if g := net.NumGates(); g != 0 {
+		t.Fatalf("1-input mux should cost no gates, got %d", g)
+	}
+}
+
+func TestRegisterHoldsValue(t *testing.T) {
+	const w = 4
+	net := RegisterNetwork(w)
+	if err := net.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := net.InitialLatchState()
+	in := make([]bool, w)
+	in[1], in[3] = true, true // load 0b1010
+	val := net.Eval(in, st)
+	st = net.NextLatchState(val)
+	// Next cycle with different input: Q shows the stored value.
+	val = net.Eval(make([]bool, w), st)
+	var q uint64
+	for i, o := range net.Outputs {
+		if val[o.Node] {
+			q |= 1 << uint(i)
+		}
+	}
+	if q != 0b1010 {
+		t.Fatalf("register Q = %#b, want 0b1010", q)
+	}
+}
+
+func TestSelBits(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for k, want := range cases {
+		if got := SelBits(k); got != want {
+			t.Fatalf("SelBits(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestPartialDatapathAdd(t *testing.T) {
+	const w = 4
+	net := PartialDatapathNetwork(FUAdd, 3, 2, w)
+	if err := net.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		selL := rng.Intn(3)
+		selR := rng.Intn(2)
+		in := map[string]bool{}
+		lv := make([]uint64, 3)
+		rv := make([]uint64, 2)
+		for i := range lv {
+			lv[i] = uint64(rng.Intn(1 << w))
+			busAssign(in, fmtName("L", i)+"_", w, lv[i])
+		}
+		for i := range rv {
+			rv[i] = uint64(rng.Intn(1 << w))
+			busAssign(in, fmtName("R", i)+"_", w, rv[i])
+		}
+		for s := 0; s < SelBits(3); s++ {
+			in[fmtName("SELL", s)] = selL&(1<<uint(s)) != 0
+		}
+		for s := 0; s < SelBits(2); s++ {
+			in[fmtName("SELR", s)] = selR&(1<<uint(s)) != 0
+		}
+		got := evalUnsigned(t, net, in)
+		want := (lv[selL] + rv[selR]) & ((1 << w) - 1)
+		if got != want {
+			t.Fatalf("partial datapath add: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestPartialDatapathMultNoMux(t *testing.T) {
+	const w = 4
+	net := PartialDatapathNetwork(FUMult, 1, 1, w)
+	mult := MultiplierNetwork(w)
+	// Same gate count as a bare multiplier: muxes of size 1 are free.
+	if net.NumGates() != mult.NumGates() {
+		t.Fatalf("1/1 partial datapath gates = %d, bare mult = %d", net.NumGates(), mult.NumGates())
+	}
+}
+
+func TestPartialDatapathGateCountsGrowWithMuxSizes(t *testing.T) {
+	const w = 8
+	prev := -1
+	for _, k := range []int{1, 2, 4, 8} {
+		n := PartialDatapathNetwork(FUAdd, k, k, w).NumGates()
+		if n <= prev {
+			t.Fatalf("gate count did not grow: k=%d gives %d (prev %d)", k, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestLibraryNetworksRoundTripThroughBlif(t *testing.T) {
+	nets := []*logic.Network{
+		AdderNetwork(4),
+		MultiplierNetwork(3),
+		MuxNetwork(3, 2),
+		PartialDatapathNetwork(FUAdd, 2, 3, 3),
+	}
+	for _, net := range nets {
+		m := blif.FromNetwork(net)
+		lib := blif.NewLibrary()
+		lib.Add(m)
+		back, err := blif.Flatten(lib, net.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		// Spot-check functional equivalence on random vectors.
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 30; trial++ {
+			in := make([]bool, len(net.Inputs))
+			for i := range in {
+				in[i] = rng.Intn(2) == 0
+			}
+			// Align by input name.
+			in2 := make([]bool, len(back.Inputs))
+			for i, id := range back.Inputs {
+				name := back.Node(id).Name
+				for j, id1 := range net.Inputs {
+					if net.Node(id1).Name == name {
+						in2[i] = in[j]
+					}
+				}
+			}
+			o1 := net.OutputValues(net.Eval(in, nil))
+			o2 := back.OutputValues(back.Eval(in2, nil))
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					t.Fatalf("%s: blif round trip diverges on output %d", net.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAdderDepthIsLinear(t *testing.T) {
+	d4 := AdderNetwork(4).Depth()
+	d8 := AdderNetwork(8).Depth()
+	if d8 <= d4 {
+		t.Fatalf("ripple adder depth should grow with width: d4=%d d8=%d", d4, d8)
+	}
+}
+
+func BenchmarkBuildMultiplier8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MultiplierNetwork(8)
+	}
+}
+
+func BenchmarkBuildPartialDatapath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PartialDatapathNetwork(FUMult, 4, 4, 8)
+	}
+}

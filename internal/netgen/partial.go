@@ -1,0 +1,61 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// FUKind identifies a functional-unit type in the resource library. The
+// paper's benchmarks contain two operation classes: additions (including
+// subtractions) and multiplications.
+type FUKind string
+
+const (
+	// FUAdd is the adder/subtractor class.
+	FUAdd FUKind = "add"
+	// FUMult is the multiplier class.
+	FUMult FUKind = "mult"
+)
+
+// BuildFU appends the gate-level implementation of an FU to net.
+func BuildFU(net *logic.Network, kind FUKind, prefix string, a, b []int) []int {
+	switch kind {
+	case FUAdd:
+		s, _ := BuildAdder(net, prefix, a, b, -1)
+		return s
+	case FUMult:
+		return BuildMultiplier(net, prefix, a, b)
+	}
+	panic(fmt.Sprintf("netgen: unknown FU kind %q", kind))
+}
+
+// PartialDatapathNetwork generates the gate-level netlist of a partial
+// datapath exactly as the paper's Fig. 2 describes: a kL-input mux on the
+// left FU port, a kR-input mux on the right port, and the functional
+// unit. Mux sizes of 1 mean a direct connection (no mux hardware). The
+// switching-activity estimate of this netlist is the SA term in the edge
+// weight of Eq. (4).
+//
+// Inputs: SELL*/SELR* (select lines, omitted for k<=1), L<k>_<bit> and
+// R<k>_<bit> (data). Outputs: O<bit>.
+func PartialDatapathNetwork(kind FUKind, kL, kR, w int) *logic.Network {
+	if kL < 1 || kR < 1 {
+		panic("netgen: mux sizes must be >= 1")
+	}
+	net := logic.NewNetwork(fmt.Sprintf("%s_%d_%d_w%d", kind, kL, kR, w))
+
+	buildPort := func(side string, k int) []int {
+		sel := addInputBus(net, "SEL"+side, selBits(k))
+		data := make([][]int, k)
+		for i := range data {
+			data[i] = addInputBus(net, fmt.Sprintf("%s%d_", side, i), w)
+		}
+		return BuildMux(net, side+"mux_", sel, data)
+	}
+	left := buildPort("L", kL)
+	right := buildPort("R", kR)
+	out := BuildFU(net, kind, "fu_", left, right)
+	markOutputBus(net, "O", out)
+	return net
+}

@@ -1,0 +1,86 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// BuildPipelinedMultiplier appends an array multiplier with `stages`
+// pipeline stages (stages-1 internal register banks inserted between
+// partial-product row groups): latency = stages cycles, initiation
+// interval = 1 (a new operation can start every cycle). The register
+// cuts shorten the worst combinational cone roughly in proportion,
+// which is what buys the faster clock the multi-cycle extension is
+// after.
+func BuildPipelinedMultiplier(net *logic.Network, prefix string, a, b []int, stages int) []int {
+	if len(a) != len(b) {
+		panic("netgen: multiplier operand widths differ")
+	}
+	if stages < 1 {
+		stages = 1
+	}
+	w := len(a)
+	if stages > w {
+		stages = w
+	}
+	// Row 0.
+	acc := make([]int, w)
+	for j := 0; j < w; j++ {
+		acc[j] = net.AddGate(fmt.Sprintf("%spp0_%d", prefix, j), logic.TTAnd2(), a[0], b[j])
+	}
+	// Stage boundaries: rows 1..w-1 split into `stages` groups; after
+	// each group except the last, register acc plus the operand bits the
+	// remaining rows still need.
+	rowsPerStage := (w - 1 + stages - 1) / stages
+	if rowsPerStage < 1 {
+		rowsPerStage = 1
+	}
+	aCur := append([]int(nil), a...)
+	bCur := append([]int(nil), b...)
+	stage := 0
+	for i := 1; i < w; i++ {
+		row := make([]int, 0, w-i)
+		for j := 0; i+j < w; j++ {
+			row = append(row, net.AddGate(fmt.Sprintf("%spp%d_%d", prefix, i, j), logic.TTAnd2(), aCur[i], bCur[j]))
+		}
+		carry := -1
+		for j := range row {
+			bit := i + j
+			if carry < 0 {
+				s := net.AddGate(fmt.Sprintf("%sr%d_s%d", prefix, i, j), logic.TTXor2(), acc[bit], row[j])
+				carry = net.AddGate(fmt.Sprintf("%sr%d_c%d", prefix, i, j), logic.TTAnd2(), acc[bit], row[j])
+				acc[bit] = s
+			} else {
+				s := net.AddGate(fmt.Sprintf("%sr%d_s%d", prefix, i, j), logic.TTXor3(), acc[bit], row[j], carry)
+				carry = net.AddGate(fmt.Sprintf("%sr%d_c%d", prefix, i, j), logic.TTMaj3(), acc[bit], row[j], carry)
+				acc[bit] = s
+			}
+		}
+		// Insert a pipeline cut after each full group (but not after the
+		// final row).
+		if i%rowsPerStage == 0 && i < w-1 && stage < stages-1 {
+			cut := fmt.Sprintf("%sst%d_", prefix, stage)
+			acc = BuildRegister(net, cut+"acc", acc, false)
+			aCur = BuildRegister(net, cut+"a", aCur, false)
+			bCur = BuildRegister(net, cut+"b", bCur, false)
+			stage++
+		}
+	}
+	// Guarantee exactly stages-1 register banks so the unit's latency
+	// matches the scheduler's assumption even for degenerate widths.
+	for stage < stages-1 {
+		acc = BuildRegister(net, fmt.Sprintf("%sst%d_acc", prefix, stage), acc, false)
+		stage++
+	}
+	return acc
+}
+
+// PipelinedMultiplierNetwork returns a standalone pipelined multiplier.
+func PipelinedMultiplierNetwork(w, stages int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("pmult%d_s%d", w, stages))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	markOutputBus(net, "P", BuildPipelinedMultiplier(net, "", a, b, stages))
+	return net
+}

@@ -1,0 +1,103 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// stepPipe drives the pipelined multiplier one clock cycle and returns
+// the settled output value.
+func stepPipe(net *logic.Network, st *[]bool, w int, a, b uint64) uint64 {
+	in := make([]bool, len(net.Inputs))
+	for i, id := range net.Inputs {
+		name := net.Node(id).Name
+		var v uint64
+		var bit int
+		if name[0] == 'A' {
+			v = a
+			bit = int(name[1] - '0')
+		} else {
+			v = b
+			bit = int(name[1] - '0')
+		}
+		in[i] = v&(1<<uint(bit)) != 0
+	}
+	val := net.Eval(in, *st)
+	*st = net.NextLatchState(val)
+	var out uint64
+	for i, o := range net.Outputs {
+		if val[o.Node] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func TestPipelinedMultiplierLatencyAndThroughput(t *testing.T) {
+	const w = 6
+	for _, stages := range []int{2, 3} {
+		net := PipelinedMultiplierNetwork(w, stages)
+		if err := net.Check(); err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		if len(net.Latches) == 0 {
+			t.Fatalf("stages=%d: no pipeline registers", stages)
+		}
+		st := net.InitialLatchState()
+		rng := rand.New(rand.NewSource(int64(stages)))
+		mask := uint64(1<<w - 1)
+		// Stream random operand pairs at full rate (II = 1) and check
+		// each product appears stages-1 cycles after its operands.
+		type pair struct{ a, b uint64 }
+		var history []pair
+		for cyc := 0; cyc < 40; cyc++ {
+			p := pair{uint64(rng.Intn(1 << w)), uint64(rng.Intn(1 << w))}
+			history = append(history, p)
+			out := stepPipe(net, &st, w, p.a, p.b)
+			if lag := stages - 1; cyc >= lag {
+				src := history[cyc-lag]
+				want := (src.a * src.b) & mask
+				if out != want {
+					t.Fatalf("stages=%d cycle %d: out %d, want %d*%d=%d", stages, cyc, out, src.a, src.b, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelinedStagesOneIsCombinational(t *testing.T) {
+	net := PipelinedMultiplierNetwork(5, 1)
+	if len(net.Latches) != 0 {
+		t.Fatal("1-stage pipeline should have no registers")
+	}
+	ref := MultiplierNetwork(5)
+	if net.NumGates() != ref.NumGates() {
+		t.Fatalf("1-stage pipelined gates %d != array %d", net.NumGates(), ref.NumGates())
+	}
+}
+
+func TestPipelineCutsShortenCriticalDepth(t *testing.T) {
+	comb := MultiplierNetwork(8).Depth()
+	piped := PipelinedMultiplierNetwork(8, 2).Depth()
+	if piped >= comb {
+		t.Fatalf("pipeline cut should shorten depth: %d vs %d", piped, comb)
+	}
+}
+
+func TestPipelinedBankCountMatchesStages(t *testing.T) {
+	const w = 8
+	for _, stages := range []int{2, 3, 4} {
+		net := PipelinedMultiplierNetwork(w, stages)
+		// Latch count must be a multiple of banks; more importantly the
+		// functional latency test above pins the cycle count. Here just
+		// ensure deeper pipelines have more registers.
+		if stages > 2 {
+			prev := PipelinedMultiplierNetwork(w, stages-1)
+			if len(net.Latches) <= len(prev.Latches) {
+				t.Fatalf("stages=%d has %d latches, stages=%d has %d", stages, len(net.Latches), stages-1, len(prev.Latches))
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+)
+
+// This file provides architectural variants of the arithmetic units:
+// carry-lookahead and carry-select adders and a Wallace-tree multiplier.
+// They give the module-selection extension (internal/modsel) a real
+// design space: the variants trade LUT count against depth and glitch
+// behaviour, which is exactly the trade-off the paper's future-work
+// section ("module selection") wants a binder to navigate.
+
+// AdderArch identifies an adder implementation.
+type AdderArch int
+
+const (
+	// AdderRipple is the baseline ripple-carry adder: smallest, deepest,
+	// and the glitchiest per bit of width.
+	AdderRipple AdderArch = iota
+	// AdderCLA is a 4-bit-group carry-lookahead adder: logarithmic-ish
+	// carry depth at moderate area.
+	AdderCLA
+	// AdderCarrySelect duplicates the upper half for both carry
+	// hypotheses: shallow but area-hungry.
+	AdderCarrySelect
+)
+
+func (a AdderArch) String() string {
+	switch a {
+	case AdderRipple:
+		return "ripple"
+	case AdderCLA:
+		return "cla"
+	case AdderCarrySelect:
+		return "cselect"
+	}
+	return fmt.Sprintf("adder(%d)", int(a))
+}
+
+// MultArch identifies a multiplier implementation.
+type MultArch int
+
+const (
+	// MultArray is the baseline shift-and-add array multiplier.
+	MultArray MultArch = iota
+	// MultWallace reduces partial products with a carry-save tree and a
+	// final ripple adder: shallower and less glitchy than the array.
+	MultWallace
+)
+
+func (m MultArch) String() string {
+	switch m {
+	case MultArray:
+		return "array"
+	case MultWallace:
+		return "wallace"
+	}
+	return fmt.Sprintf("mult(%d)", int(m))
+}
+
+// BuildAdderArch appends the selected adder architecture.
+func BuildAdderArch(net *logic.Network, arch AdderArch, prefix string, a, b []int) []int {
+	switch arch {
+	case AdderCLA:
+		return buildCLA(net, prefix, a, b)
+	case AdderCarrySelect:
+		return buildCarrySelect(net, prefix, a, b)
+	default:
+		sum, _ := BuildAdder(net, prefix, a, b, -1)
+		return sum
+	}
+}
+
+// BuildMultArch appends the selected multiplier architecture.
+func BuildMultArch(net *logic.Network, arch MultArch, prefix string, a, b []int) []int {
+	switch arch {
+	case MultWallace:
+		return buildWallace(net, prefix, a, b)
+	default:
+		return BuildMultiplier(net, prefix, a, b)
+	}
+}
+
+// wideAnd and wideOr build n-ary gates as trees of up-to-4-input gates
+// (one 4-LUT each after mapping), keeping lookahead logic shallow.
+func wideAnd(net *logic.Network, prefix string, ins []int) int {
+	return wideGate(net, prefix, ins, func(n int) *bitvec.TruthTable {
+		return bitvec.FromFunc(n, func(a uint) bool { return a == 1<<uint(n)-1 })
+	})
+}
+
+func wideOr(net *logic.Network, prefix string, ins []int) int {
+	return wideGate(net, prefix, ins, func(n int) *bitvec.TruthTable {
+		return bitvec.FromFunc(n, func(a uint) bool { return a != 0 })
+	})
+}
+
+func wideGate(net *logic.Network, prefix string, ins []int, tt func(int) *bitvec.TruthTable) int {
+	if len(ins) == 0 {
+		panic("netgen: wide gate with no inputs")
+	}
+	level := 0
+	cur := ins
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i < len(cur); i += 4 {
+			end := i + 4
+			if end > len(cur) {
+				end = len(cur)
+			}
+			if end-i == 1 {
+				next = append(next, cur[i])
+				continue
+			}
+			next = append(next, net.AddGate(
+				fmt.Sprintf("%s_w%d_%d", prefix, level, i/4), tt(end-i), cur[i:end]...))
+		}
+		cur = next
+		level++
+	}
+	return cur[0]
+}
+
+// buildCLA builds a carry-lookahead adder with 4-bit groups: bit-level
+// generate/propagate, group G/P in two wide-gate levels, a short
+// inter-group carry chain, and in-group carry expansion — the classic
+// structure, shallow because each lookahead term is one 4-LUT.
+func buildCLA(net *logic.Network, prefix string, a, b []int) []int {
+	if len(a) != len(b) {
+		panic("netgen: adder operand widths differ")
+	}
+	w := len(a)
+	gBit := make([]int, w)
+	pBit := make([]int, w)
+	for i := 0; i < w; i++ {
+		gBit[i] = net.AddGate(fmt.Sprintf("%sg%d", prefix, i), logic.TTAnd2(), a[i], b[i])
+		pBit[i] = net.AddGate(fmt.Sprintf("%sp%d", prefix, i), logic.TTXor2(), a[i], b[i])
+	}
+	carry := make([]int, w+1)
+	carry[0] = net.AddConst(prefix+"c0", false)
+	for base := 0; base < w; base += 4 {
+		end := base + 4
+		if end > w {
+			end = w
+		}
+		// In-group carries: c[i+1] = OR over j<=i of (g[j] & p[j+1..i])
+		// OR (c[base] & p[base..i]); every AND term fits one wide gate.
+		for i := base; i < end; i++ {
+			var terms []int
+			for j := i; j >= base; j-- {
+				ins := []int{gBit[j]}
+				for k := j + 1; k <= i; k++ {
+					ins = append(ins, pBit[k])
+				}
+				terms = append(terms, wideAnd(net, fmt.Sprintf("%st%d_%d", prefix, i, j), ins))
+			}
+			ins := []int{carry[base]}
+			for k := base; k <= i; k++ {
+				ins = append(ins, pBit[k])
+			}
+			terms = append(terms, wideAnd(net, fmt.Sprintf("%su%d", prefix, i), ins))
+			carry[i+1] = wideOr(net, fmt.Sprintf("%sc%d", prefix, i+1), terms)
+		}
+	}
+	sum := make([]int, w)
+	for i := 0; i < w; i++ {
+		sum[i] = net.AddGate(fmt.Sprintf("%ss%d", prefix, i), logic.TTXor2(), pBit[i], carry[i])
+	}
+	return sum
+}
+
+// buildCarrySelect splits the operands in half: the low half is a ripple
+// adder; the high half is computed for both carry-in hypotheses and
+// selected by the low half's carry out.
+func buildCarrySelect(net *logic.Network, prefix string, a, b []int) []int {
+	if len(a) != len(b) {
+		panic("netgen: adder operand widths differ")
+	}
+	w := len(a)
+	if w < 4 {
+		sum, _ := BuildAdder(net, prefix, a, b, -1)
+		return sum
+	}
+	half := w / 2
+	low, cmid := BuildAdder(net, prefix+"lo_", a[:half], b[:half], -1)
+	zero := net.AddConst(prefix+"zero", false)
+	one := net.AddConst(prefix+"one", true)
+	hi0, _ := BuildAdder(net, prefix+"h0_", a[half:], b[half:], zero)
+	hi1, _ := BuildAdder(net, prefix+"h1_", a[half:], b[half:], one)
+	sum := make([]int, w)
+	copy(sum, low)
+	for i := half; i < w; i++ {
+		sum[i] = net.AddGate(fmt.Sprintf("%ssel%d", prefix, i), logic.TTMux2(), cmid, hi0[i-half], hi1[i-half])
+	}
+	return sum
+}
+
+// buildWallace reduces the truncated partial-product matrix with 3:2
+// carry-save compressors until two rows remain, then adds them with a
+// ripple adder.
+func buildWallace(net *logic.Network, prefix string, a, b []int) []int {
+	if len(a) != len(b) {
+		panic("netgen: multiplier operand widths differ")
+	}
+	w := len(a)
+	// cols[c] = list of partial-product bits of weight c (c < w).
+	cols := make([][]int, w)
+	for i := 0; i < w; i++ {
+		for j := 0; i+j < w; j++ {
+			cols[i+j] = append(cols[i+j], net.AddGate(fmt.Sprintf("%spp%d_%d", prefix, i, j), logic.TTAnd2(), a[i], b[j]))
+		}
+	}
+	// Carry-save reduction: full adders compress 3 bits of one column
+	// into 1 sum (same column) + 1 carry (next column); half adders
+	// compress 2 into 1+1 when it helps reach the 2-row goal.
+	round := 0
+	for {
+		max := 0
+		for _, col := range cols {
+			if len(col) > max {
+				max = len(col)
+			}
+		}
+		if max <= 2 {
+			break
+		}
+		next := make([][]int, w)
+		for c := 0; c < w; c++ {
+			col := cols[c]
+			i := 0
+			for len(col)-i >= 3 {
+				s := net.AddGate(fmt.Sprintf("%sw%d_s%d_%d", prefix, round, c, i), logic.TTXor3(), col[i], col[i+1], col[i+2])
+				cy := net.AddGate(fmt.Sprintf("%sw%d_c%d_%d", prefix, round, c, i), logic.TTMaj3(), col[i], col[i+1], col[i+2])
+				next[c] = append(next[c], s)
+				if c+1 < w {
+					next[c+1] = append(next[c+1], cy)
+				}
+				i += 3
+			}
+			if len(col)-i == 2 && len(col) > 2 {
+				s := net.AddGate(fmt.Sprintf("%sw%d_hs%d", prefix, round, c), logic.TTXor2(), col[i], col[i+1])
+				cy := net.AddGate(fmt.Sprintf("%sw%d_hc%d", prefix, round, c), logic.TTAnd2(), col[i], col[i+1])
+				next[c] = append(next[c], s)
+				if c+1 < w {
+					next[c+1] = append(next[c+1], cy)
+				}
+				i += 2
+			}
+			for ; i < len(col); i++ {
+				next[c] = append(next[c], col[i])
+			}
+		}
+		cols = next
+		round++
+	}
+	// Final two rows -> ripple addition.
+	zero := -1
+	rowBit := func(col []int, idx int) int {
+		if idx < len(col) {
+			return col[idx]
+		}
+		if zero < 0 {
+			zero = net.AddConst(prefix+"z", false)
+		}
+		return zero
+	}
+	rowA := make([]int, w)
+	rowB := make([]int, w)
+	for c := 0; c < w; c++ {
+		rowA[c] = rowBit(cols[c], 0)
+		rowB[c] = rowBit(cols[c], 1)
+	}
+	sum, _ := BuildAdder(net, prefix+"fa_", rowA, rowB, -1)
+	return sum
+}
+
+// AdderArchNetwork returns a standalone adder of the given architecture.
+func AdderArchNetwork(arch AdderArch, w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("add_%s%d", arch, w))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	markOutputBus(net, "S", BuildAdderArch(net, arch, "", a, b))
+	return net
+}
+
+// MultArchNetwork returns a standalone multiplier of the given
+// architecture.
+func MultArchNetwork(arch MultArch, w int) *logic.Network {
+	net := logic.NewNetwork(fmt.Sprintf("mult_%s%d", arch, w))
+	a := addInputBus(net, "A", w)
+	b := addInputBus(net, "B", w)
+	markOutputBus(net, "P", BuildMultArch(net, arch, "", a, b))
+	return net
+}

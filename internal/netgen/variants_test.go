@@ -1,0 +1,121 @@
+package netgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func evalAdd(t *testing.T, net *logic.Network, w int, a, b uint64) uint64 {
+	t.Helper()
+	in := map[string]bool{}
+	busAssign(in, "A", w, a)
+	busAssign(in, "B", w, b)
+	return evalUnsigned(t, net, in)
+}
+
+func TestAdderArchitecturesFunctional(t *testing.T) {
+	for _, arch := range []AdderArch{AdderRipple, AdderCLA, AdderCarrySelect} {
+		for _, w := range []int{3, 4, 6, 8} {
+			net := AdderArchNetwork(arch, w)
+			if err := net.Check(); err != nil {
+				t.Fatalf("%s w=%d: %v", arch, w, err)
+			}
+			mask := uint64(1)<<uint(w) - 1
+			f := func(a, b uint16) bool {
+				av, bv := uint64(a)&mask, uint64(b)&mask
+				return evalAdd(t, net, w, av, bv) == (av+bv)&mask
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+				t.Fatalf("%s w=%d: %v", arch, w, err)
+			}
+		}
+	}
+}
+
+func TestAdderArchitecturesExhaustiveSmall(t *testing.T) {
+	const w = 5
+	for _, arch := range []AdderArch{AdderCLA, AdderCarrySelect} {
+		net := AdderArchNetwork(arch, w)
+		for a := uint64(0); a < 1<<w; a++ {
+			for b := uint64(0); b < 1<<w; b++ {
+				if got := evalAdd(t, net, w, a, b); got != (a+b)&31 {
+					t.Fatalf("%s: %d+%d = %d, want %d", arch, a, b, got, (a+b)&31)
+				}
+			}
+		}
+	}
+}
+
+func TestWallaceMultiplierFunctional(t *testing.T) {
+	const w = 6
+	net := MultArchNetwork(MultWallace, w)
+	if err := net.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 1<<w; a++ {
+		for b := uint64(0); b < 1<<w; b++ {
+			in := map[string]bool{}
+			busAssign(in, "A", w, a)
+			busAssign(in, "B", w, b)
+			got := evalUnsigned(t, net, in)
+			if got != (a*b)&((1<<w)-1) {
+				t.Fatalf("wallace %d*%d = %d, want %d", a, b, got, (a*b)&((1<<w)-1))
+			}
+		}
+	}
+}
+
+func TestArchDepthOrdering(t *testing.T) {
+	const w = 8
+	ripple := AdderArchNetwork(AdderRipple, w).Depth()
+	cla := AdderArchNetwork(AdderCLA, w).Depth()
+	csel := AdderArchNetwork(AdderCarrySelect, w).Depth()
+	if cla >= ripple {
+		t.Fatalf("CLA depth %d should beat ripple %d", cla, ripple)
+	}
+	if csel >= ripple {
+		t.Fatalf("carry-select depth %d should beat ripple %d", csel, ripple)
+	}
+	array := MultArchNetwork(MultArray, w).Depth()
+	wallace := MultArchNetwork(MultWallace, w).Depth()
+	if wallace >= array {
+		t.Fatalf("wallace depth %d should beat array %d", wallace, array)
+	}
+}
+
+func TestArchAreaOrdering(t *testing.T) {
+	const w = 8
+	ripple := AdderArchNetwork(AdderRipple, w).NumGates()
+	cla := AdderArchNetwork(AdderCLA, w).NumGates()
+	csel := AdderArchNetwork(AdderCarrySelect, w).NumGates()
+	if ripple >= cla || ripple >= csel {
+		t.Fatalf("ripple (%d gates) should be the smallest (cla %d, cselect %d)", ripple, cla, csel)
+	}
+}
+
+func TestArchStrings(t *testing.T) {
+	if AdderRipple.String() != "ripple" || AdderCLA.String() != "cla" || AdderCarrySelect.String() != "cselect" {
+		t.Fatal("adder arch names wrong")
+	}
+	if MultArray.String() != "array" || MultWallace.String() != "wallace" {
+		t.Fatal("mult arch names wrong")
+	}
+}
+
+func TestCarrySelectSmallWidthFallsBack(t *testing.T) {
+	// Below 4 bits carry-select degenerates to ripple.
+	net := AdderArchNetwork(AdderCarrySelect, 3)
+	ref := AdderArchNetwork(AdderRipple, 3)
+	if net.NumGates() != ref.NumGates() {
+		t.Fatalf("w=3 carry-select should fall back to ripple: %d vs %d gates", net.NumGates(), ref.NumGates())
+	}
+}
+
+func BenchmarkBuildWallace8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MultArchNetwork(MultWallace, 8)
+	}
+}

@@ -1,0 +1,110 @@
+// Package power implements the dynamic-power and timing models that
+// substitute for Altera's Quartus II PowerPlay Power Analyzer and timing
+// analysis in the paper's flow (§6.1). Dynamic power follows the
+// standard equation the paper quotes in §1:
+//
+//	Pd = 0.5 × SA × C × Vdd² × f
+//
+// where SA is measured switching activity (transitions per cycle from
+// the gate-level simulator), C an effective per-node capacitance
+// calibrated to Cyclone II's 90 nm fabric (LUT output + average routing
+// load), Vdd the 1.2 V core supply, and f the clock frequency derived
+// from the mapped critical path. Absolute milliwatts are a calibration,
+// not a measurement — the experiments compare ratios, which do not
+// depend on the constants.
+package power
+
+import (
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Model holds the electrical and timing constants of the target fabric.
+type Model struct {
+	// Vdd is the core supply voltage in volts.
+	Vdd float64
+	// CLut is the effective switched capacitance per LUT output in
+	// farads, including average local/global routing load.
+	CLut float64
+	// CReg is the effective switched capacitance per register output.
+	CReg float64
+	// LUTDelayNs is the per-level LUT+routing delay in nanoseconds.
+	LUTDelayNs float64
+	// ClockOverheadNs covers clock-to-Q, setup, and global network skew.
+	ClockOverheadNs float64
+}
+
+// CycloneII returns constants calibrated for the Altera Cyclone II
+// (90 nm, 4-input LUTs, 1.2 V) — the paper's testbed architecture.
+func CycloneII() Model {
+	return Model{
+		Vdd:             1.2,
+		CLut:            4.5e-12,
+		CReg:            3.0e-12,
+		LUTDelayNs:      0.9,
+		ClockOverheadNs: 3.0,
+	}
+}
+
+// ClockPeriodNs returns the achievable clock period for a mapped network
+// of the given LUT depth.
+func (m Model) ClockPeriodNs(depth int) float64 {
+	return m.ClockOverheadNs + float64(depth)*m.LUTDelayNs
+}
+
+// FrequencyHz converts a clock period in nanoseconds to hertz.
+func FrequencyHz(periodNs float64) float64 {
+	if periodNs <= 0 {
+		return 0
+	}
+	return 1e9 / periodNs
+}
+
+// Report is a power/timing summary for one design, mirroring the columns
+// of the paper's Table 3.
+type Report struct {
+	// DynamicPowerMW is the estimated dynamic power in milliwatts.
+	DynamicPowerMW float64
+	// ClockPeriodNs is the achievable clock period.
+	ClockPeriodNs float64
+	// AvgToggleRateMHz is the per-signal average toggle rate in millions
+	// of transitions per second (the Figure 3 metric, as reported by
+	// Quartus II).
+	AvgToggleRateMHz float64
+	// TotalTogglesPerCycle is the raw switching activity per clock.
+	TotalTogglesPerCycle float64
+	// GlitchShare is the fraction of gate transitions that are spurious.
+	GlitchShare float64
+}
+
+// Analyze produces the power/timing report for a mapped network and its
+// measured transition counts.
+func (m Model) Analyze(mapped *logic.Network, counts sim.Counts) Report {
+	period := m.ClockPeriodNs(mapped.Depth())
+	f := FrequencyHz(period)
+	cycles := float64(counts.Cycles)
+	if cycles == 0 {
+		return Report{ClockPeriodNs: period}
+	}
+	gateTps := float64(counts.Gate) / cycles * f
+	latchTps := float64(counts.Latch) / cycles * f
+
+	pd := 0.5 * m.Vdd * m.Vdd * (m.CLut*gateTps + m.CReg*latchTps)
+
+	numSignals := mapped.NumGates() + len(mapped.Latches)
+	avgToggle := 0.0
+	if numSignals > 0 {
+		avgToggle = (gateTps + latchTps) / float64(numSignals) / 1e6
+	}
+	glitchShare := 0.0
+	if counts.Gate > 0 {
+		glitchShare = float64(counts.Glitches()) / float64(counts.Gate)
+	}
+	return Report{
+		DynamicPowerMW:       pd * 1e3,
+		ClockPeriodNs:        period,
+		AvgToggleRateMHz:     avgToggle,
+		TotalTogglesPerCycle: counts.TogglesPerCycle(),
+		GlitchShare:          glitchShare,
+	}
+}

@@ -1,0 +1,110 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+	"repro/internal/sim"
+)
+
+func TestClockPeriodScalesWithDepth(t *testing.T) {
+	m := CycloneII()
+	if m.ClockPeriodNs(0) != m.ClockOverheadNs {
+		t.Fatal("zero-depth period should be pure overhead")
+	}
+	if m.ClockPeriodNs(10) <= m.ClockPeriodNs(5) {
+		t.Fatal("period must grow with depth")
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	if f := FrequencyHz(10); math.Abs(f-1e8) > 1 {
+		t.Fatalf("10 ns -> %v Hz, want 1e8", f)
+	}
+	if FrequencyHz(0) != 0 {
+		t.Fatal("zero period should return 0")
+	}
+}
+
+func TestAnalyzeProducesConsistentReport(t *testing.T) {
+	net := netgen.MultiplierNetwork(8)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(res.Mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.RunRandom(1000, 21)
+	rep := CycloneII().Analyze(res.Mapped, counts)
+
+	if rep.DynamicPowerMW <= 0 {
+		t.Fatal("dynamic power should be positive")
+	}
+	if rep.ClockPeriodNs <= CycloneII().ClockOverheadNs {
+		t.Fatal("clock period should include logic depth")
+	}
+	if rep.AvgToggleRateMHz <= 0 {
+		t.Fatal("toggle rate should be positive")
+	}
+	if rep.GlitchShare <= 0 || rep.GlitchShare >= 1 {
+		t.Fatalf("glitch share out of range: %v", rep.GlitchShare)
+	}
+	if rep.TotalTogglesPerCycle <= 0 {
+		t.Fatal("toggles per cycle should be positive")
+	}
+}
+
+func TestAnalyzeZeroCycles(t *testing.T) {
+	net := netgen.AdderNetwork(4)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CycloneII().Analyze(res.Mapped, sim.Counts{})
+	if rep.DynamicPowerMW != 0 {
+		t.Fatal("no cycles should mean no measured power")
+	}
+	if rep.ClockPeriodNs <= 0 {
+		t.Fatal("period should still be reported")
+	}
+}
+
+func TestPowerScalesWithActivity(t *testing.T) {
+	// Doubling transition counts (same cycles) should double power.
+	net := netgen.AdderNetwork(8)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := sim.Counts{Gate: 1000, GateFunctional: 800, Latch: 100, Cycles: 100}
+	c2 := sim.Counts{Gate: 2000, GateFunctional: 1600, Latch: 200, Cycles: 100}
+	m := CycloneII()
+	p1 := m.Analyze(res.Mapped, c1).DynamicPowerMW
+	p2 := m.Analyze(res.Mapped, c2).DynamicPowerMW
+	if math.Abs(p2-2*p1) > 1e-9 {
+		t.Fatalf("power not linear in activity: %v vs %v", p1, p2)
+	}
+}
+
+func TestDynamicPowerEquation(t *testing.T) {
+	// Hand-check the Pd equation on synthetic counts: only gates, no
+	// latches. Pd = 0.5 * Vdd^2 * CLut * toggles_per_second.
+	net := netgen.AdderNetwork(4)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := CycloneII()
+	counts := sim.Counts{Gate: 500, GateFunctional: 500, Cycles: 100}
+	period := m.ClockPeriodNs(res.Mapped.Depth())
+	f := 1e9 / period
+	want := 0.5 * m.Vdd * m.Vdd * m.CLut * (500.0 / 100.0 * f) * 1e3
+	got := m.Analyze(res.Mapped, counts).DynamicPowerMW
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Pd = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package prob
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+)
+
+// ExactProbabilities computes the exact signal probability of every node
+// of a combinational network by building global BDDs over the sources
+// (primary inputs and latch outputs, assumed independent with the given
+// source probabilities). Unlike the cut-local propagation in
+// EstimateNetwork, this is immune to reconvergent-fanout error — it is
+// the reference the heuristic estimators are validated against.
+//
+// BDD sizes can explode on multiplier-like structures; maxNodes bounds
+// the manager (0 means 1<<20) and an error reports the node that
+// exceeded it.
+func ExactProbabilities(net *logic.Network, src SourceValues, maxNodes int) ([]float64, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	m := bdd.New()
+	refs := make([]bdd.Ref, net.NumNodes())
+	var varProb []float64
+	nextVar := 0
+	addSource := func(id int, p float64) {
+		refs[id] = m.Var(nextVar)
+		varProb = append(varProb, p)
+		nextVar++
+	}
+	for _, id := range net.TopoOrder() {
+		nd := net.Node(id)
+		switch nd.Kind {
+		case logic.KindInput:
+			addSource(id, src.InputP)
+		case logic.KindLatchOut:
+			addSource(id, src.LatchP)
+		case logic.KindConst:
+			refs[id] = bdd.False
+			if nd.ConstVal {
+				refs[id] = bdd.True
+			}
+		case logic.KindGate:
+			// Compose: Shannon-expand the local function over the fanin
+			// BDDs with ITE.
+			n := len(nd.Fanins)
+			var build func(assign uint, v int) bdd.Ref
+			build = func(assign uint, v int) bdd.Ref {
+				if v == n {
+					if nd.Func.Get(assign) {
+						return bdd.True
+					}
+					return bdd.False
+				}
+				lo := build(assign, v+1)
+				hi := build(assign|1<<uint(v), v+1)
+				if lo == hi {
+					return lo
+				}
+				return m.ITE(refs[nd.Fanins[v]], hi, lo)
+			}
+			refs[id] = build(0, 0)
+			if m.Size() > maxNodes {
+				return nil, fmt.Errorf("prob: BDD exceeded %d nodes at %q", maxNodes, nd.Name)
+			}
+		}
+	}
+	out := make([]float64, net.NumNodes())
+	for id := range out {
+		out[id] = m.SignalProb(refs[id], varProb)
+	}
+	return out, nil
+}

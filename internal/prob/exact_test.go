@@ -1,0 +1,123 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netgen"
+)
+
+func TestExactProbabilitiesTreeMatchesPropagation(t *testing.T) {
+	// On a fanout-free tree the heuristic propagation is already exact.
+	net := logic.NewNetwork("tree")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	c := net.AddInput("c")
+	d := net.AddInput("d")
+	g1 := net.AddGate("g1", logic.TTAnd2(), a, b)
+	g2 := net.AddGate("g2", logic.TTOr2(), c, d)
+	g3 := net.AddGate("g3", logic.TTXor2(), g1, g2)
+	net.MarkOutput("y", g3)
+
+	exact, err := ExactProbabilities(net, DefaultSources(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateNetwork(net, MethodChouRoy, DefaultSources())
+	for _, id := range []int{g1, g2, g3} {
+		if math.Abs(exact[id]-est.P[id]) > 1e-12 {
+			t.Fatalf("node %d: exact %v vs propagated %v must agree on a tree", id, exact[id], est.P[id])
+		}
+	}
+}
+
+func TestExactProbabilitiesSeesReconvergence(t *testing.T) {
+	// y = a AND (NOT a): exactly 0, but independence-assuming
+	// propagation reports P(a)*(1-P(a)) = 0.25.
+	net := logic.NewNetwork("reconv")
+	a := net.AddInput("a")
+	na := net.AddGate("na", logic.TTNot(), a)
+	y := net.AddGate("y", logic.TTAnd2(), a, na)
+	net.MarkOutput("y", y)
+
+	exact, err := ExactProbabilities(net, DefaultSources(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact[y] != 0 {
+		t.Fatalf("exact P(a AND NOT a) = %v, want 0", exact[y])
+	}
+	est := EstimateNetwork(net, MethodChouRoy, DefaultSources())
+	if est.P[y] == 0 {
+		t.Fatal("the heuristic should NOT see the reconvergence (that is its known error)")
+	}
+}
+
+func TestExactProbabilitiesAdder(t *testing.T) {
+	// Every sum bit of a ripple adder with uniform inputs is balanced.
+	net := netgen.AdderNetwork(6)
+	exact, err := ExactProbabilities(net, DefaultSources(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range net.Outputs {
+		if math.Abs(exact[o.Node]-0.5) > 1e-9 {
+			t.Fatalf("sum bit %s probability %v, want 0.5", o.Name, exact[o.Node])
+		}
+	}
+}
+
+func TestExactProbabilitiesHeuristicErrorBounded(t *testing.T) {
+	// On the multiplier the heuristic propagation drifts from exact, but
+	// must stay within a sane band (validating the estimator's fitness
+	// for cost ranking).
+	net := netgen.MultiplierNetwork(4)
+	exact, err := ExactProbabilities(net, DefaultSources(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateNetwork(net, MethodChouRoy, DefaultSources())
+	worst := 0.0
+	for _, nd := range net.Nodes {
+		if nd.Kind != logic.KindGate {
+			continue
+		}
+		if d := math.Abs(exact[nd.ID] - est.P[nd.ID]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.25 {
+		t.Fatalf("heuristic probability error %v too large", worst)
+	}
+	if worst == 0 {
+		t.Fatal("expected some reconvergence error on a multiplier")
+	}
+}
+
+func TestExactProbabilitiesNodeBudget(t *testing.T) {
+	net := netgen.MultiplierNetwork(8)
+	if _, err := ExactProbabilities(net, DefaultSources(), 64); err == nil {
+		t.Fatal("tiny node budget should be exceeded")
+	}
+}
+
+func TestExactProbabilitiesConstAndBias(t *testing.T) {
+	net := logic.NewNetwork("bias")
+	a := net.AddInput("a")
+	one := net.AddConst("one", true)
+	g := net.AddGate("g", logic.TTAnd2(), a, one)
+	net.MarkOutput("y", g)
+	src := DefaultSources()
+	src.InputP = 0.3
+	exact, err := ExactProbabilities(net, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact[g]-0.3) > 1e-12 {
+		t.Fatalf("P = %v, want 0.3", exact[g])
+	}
+	if exact[one] != 1 {
+		t.Fatal("constant probability wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package prob
+
+import "repro/internal/logic"
+
+// Method selects the activity propagation model for network estimation.
+type Method int
+
+const (
+	// MethodNajm propagates activities with Najm's Boolean-difference
+	// formula (Eq. 1), the glitch-blind baseline.
+	MethodNajm Method = iota
+	// MethodChouRoy propagates activities with the pairwise
+	// simultaneous-switching model (Eq. 2).
+	MethodChouRoy
+)
+
+// SourceValues configures the probability/activity assumed at
+// combinational sources. The paper assumes P = 0.5 and s = 0.5 at
+// primary inputs (§4); latch (register) outputs get the same treatment
+// by default since datapath registers carry fresh data each cycle.
+type SourceValues struct {
+	InputP, InputS float64
+	LatchP, LatchS float64
+}
+
+// DefaultSources returns the paper's source assumptions.
+func DefaultSources() SourceValues {
+	return SourceValues{InputP: 0.5, InputS: 0.5, LatchP: 0.5, LatchS: 0.5}
+}
+
+// Estimate holds per-node signal probabilities and zero-delay switching
+// activities for a network.
+type Estimate struct {
+	P []float64
+	S []float64
+}
+
+// TotalActivity sums the activity over gate nodes only (sources switch
+// for free as far as the fabric is concerned; their power is charged to
+// the producing gates/IOBs).
+func (e Estimate) TotalActivity(net *logic.Network) float64 {
+	total := 0.0
+	for _, nd := range net.Nodes {
+		if nd.Kind == logic.KindGate {
+			total += e.S[nd.ID]
+		}
+	}
+	return total
+}
+
+// EstimateNetwork propagates signal probabilities and switching
+// activities through the combinational network in topological order.
+// This is the zero-delay (glitch-free) estimate; the glitch package
+// provides the timed variant.
+func EstimateNetwork(net *logic.Network, method Method, src SourceValues) Estimate {
+	e := Estimate{
+		P: make([]float64, net.NumNodes()),
+		S: make([]float64, net.NumNodes()),
+	}
+	for _, id := range net.TopoOrder() {
+		nd := net.Node(id)
+		switch nd.Kind {
+		case logic.KindInput:
+			e.P[id], e.S[id] = src.InputP, src.InputS
+		case logic.KindLatchOut:
+			e.P[id], e.S[id] = src.LatchP, src.LatchS
+		case logic.KindConst:
+			if nd.ConstVal {
+				e.P[id] = 1
+			}
+			e.S[id] = 0
+		case logic.KindGate:
+			n := len(nd.Fanins)
+			p := make([]float64, n)
+			s := make([]float64, n)
+			for i, f := range nd.Fanins {
+				p[i], s[i] = e.P[f], e.S[f]
+			}
+			e.P[id] = SignalProb(nd.Func, p)
+			switch method {
+			case MethodNajm:
+				e.S[id] = NajmActivity(nd.Func, p, s)
+			default:
+				e.S[id] = ChouRoyActivity(nd.Func, p, s)
+			}
+		}
+	}
+	return e
+}

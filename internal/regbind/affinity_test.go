@@ -1,0 +1,120 @@
+package regbind
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+)
+
+// affinityCase builds a graph where two disjoint-lifetime values are
+// both read by left ports of adds in different steps — co-locating them
+// lets a downstream binder share one mux input.
+func affinityCase(t *testing.T) (*cdfg.Graph, *cdfg.Schedule) {
+	t.Helper()
+	g := cdfg.NewGraph("aff")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	// v1 = a+b (step 1), read at step 2; v2 = a*b... keep one class:
+	v1 := g.AddOp(cdfg.KindAdd, "v1", a, b)
+	u1 := g.AddOp(cdfg.KindAdd, "u1", v1, b) // reads v1 (step 2)
+	v2 := g.AddOp(cdfg.KindAdd, "v2", u1, b) // born step 3
+	u2 := g.AddOp(cdfg.KindAdd, "u2", v2, b) // reads v2 (step 4)
+	g.MarkOutput(u2)
+	s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 1, Mult: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestBindOptWithSwapProducesValidBinding(t *testing.T) {
+	g, s := affinityCase(t)
+	swap := make([]bool, len(g.Nodes))
+	rb, err := BindOpt(g, s, Options{Swap: swap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinityCoLocatesSamePortReaders(t *testing.T) {
+	g, s := affinityCase(t)
+	swap := make([]bool, len(g.Nodes)) // no swaps: args[0] -> left port
+	rb, err := BindOpt(g, s, Options{Swap: swap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 and v2 have disjoint lifetimes and both feed left ports of add
+	// ops in different steps: affinity weighting must share one register.
+	v1, _ := findOp(g, "v1")
+	v2, _ := findOp(g, "v2")
+	if rb.Reg[v1] != rb.Reg[v2] {
+		t.Fatalf("affinity should co-locate v1 (r%d) and v2 (r%d)", rb.Reg[v1], rb.Reg[v2])
+	}
+}
+
+func findOp(g *cdfg.Graph, name string) (int, bool) {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n.ID, true
+		}
+	}
+	return -1, false
+}
+
+func TestAffinityRespectsLifetimeConflicts(t *testing.T) {
+	// Affinity never overrides correctness: overlapping values must land
+	// in different registers no matter how similar their readers are.
+	g := cdfg.NewGraph("conflict")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	v1 := g.AddOp(cdfg.KindAdd, "v1", a, b)
+	v2 := g.AddOp(cdfg.KindAdd, "v2", b, a)
+	sum := g.AddOp(cdfg.KindAdd, "sum", v1, v2) // both alive until here
+	g.MarkOutput(sum)
+	s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 2, Mult: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap := make([]bool, len(g.Nodes))
+	rb, err := BindOpt(g, s, Options{Swap: swap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Reg[v1] == rb.Reg[v2] {
+		t.Fatal("overlapping values share a register")
+	}
+	if err := rb.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCycleLifetimeBinding(t *testing.T) {
+	// Operand of a 2-cycle mult must stay alive through its occupation;
+	// the binding must respect the extended lifetime.
+	g := cdfg.NewGraph("mc")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	v := g.AddOp(cdfg.KindAdd, "v", a, b)
+	m := g.AddOp(cdfg.KindMult, "m", v, b)
+	w := g.AddOp(cdfg.KindAdd, "w", m, b)
+	g.MarkOutput(w)
+	lib := cdfg.Library{AddLatency: 1, MultLatency: 3}
+	s, err := cdfg.ListScheduleLat(g, cdfg.ResourceConstraint{Add: 1, Mult: 1}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	lt := cdfg.Lifetimes(g, s)
+	if lt[v].Death < s.Completion(g, m) {
+		t.Fatalf("operand lifetime %+v should reach the mult completion %d", lt[v], s.Completion(g, m))
+	}
+}

@@ -1,0 +1,121 @@
+package regbind
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/matching"
+)
+
+// BindFlow allocates and binds registers with a min-cost max-flow path
+// cover over the value-compatibility DAG — the network-flow register
+// binding of Chen and Cong [2] that "binds all the resources
+// simultaneously" (the enhancement the paper says LOPASS adopted). Each
+// flow path chains values with non-overlapping lifetimes into one
+// register; chain costs prefer reader-affinity (values whose consumers a
+// downstream FU binder can merge), mirroring BindOpt's weights but
+// optimized globally instead of cluster by cluster.
+func BindFlow(g *cdfg.Graph, s *cdfg.Schedule, opt Options) (*Binding, error) {
+	lt := cdfg.Lifetimes(g, s)
+	b := &Binding{
+		Reg:       make([]int, len(g.Nodes)),
+		Lifetimes: lt,
+	}
+	for i := range b.Reg {
+		b.Reg[i] = -1
+	}
+
+	var vars []int
+	for _, n := range g.Nodes {
+		if lt[n.ID].Death > lt[n.ID].Birth {
+			vars = append(vars, n.ID)
+		}
+	}
+	if len(vars) == 0 {
+		return b, nil
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if lt[vars[i]].Birth != lt[vars[j]].Birth {
+			return lt[vars[i]].Birth < lt[vars[j]].Birth
+		}
+		return vars[i] < vars[j]
+	})
+	// Register count = max overlap (as in Bind).
+	maxLive := 0
+	for t := 0; t <= s.Len; t++ {
+		live := 0
+		for _, v := range vars {
+			if lt[v].Birth <= t && t < lt[v].Death {
+				live++
+			}
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+
+	consumers := g.Consumers()
+	readersOf := make(map[int][]readerKey, len(vars))
+	for _, v := range vars {
+		readersOf[v] = readers(g, s, opt.Swap, consumers, v)
+	}
+
+	// Path cover: super source -> src (cap = registers) -> varIn_i ->
+	// varOut_i (reward for coverage) -> sink; chain edges varOut_i ->
+	// varIn_j when j is born at or after i's death.
+	n := len(vars)
+	superSrc, src := 0, 1
+	varIn := func(i int) int { return 2 + 2*i }
+	varOut := func(i int) int { return 3 + 2*i }
+	sink := 2 + 2*n
+	const cover = -1e6
+
+	f := matching.NewFlow(sink + 1)
+	f.AddEdge(superSrc, src, maxLive, 0)
+	startEdges := make([]int, n)
+	chainEdges := make(map[[2]int]int)
+	for i, v := range vars {
+		startEdges[i] = f.AddEdge(src, varIn(i), 1, 0)
+		f.AddEdge(varIn(i), varOut(i), 1, cover)
+		f.AddEdge(varOut(i), sink, 1, 0)
+		for j, w := range vars {
+			if lt[v].Death <= lt[w].Birth && i != j {
+				// Affinity discounts chains whose readers merge well.
+				cost := 8 - affinity(readersOf[v], readersOf[w])
+				if cost < 0 {
+					cost = 0
+				}
+				chainEdges[[2]int{i, j}] = f.AddEdge(varOut(i), varIn(j), 1, cost)
+			}
+		}
+	}
+	f.MinCostMaxFlow(superSrc, sink)
+
+	next := make([]int, n)
+	for i := range next {
+		next[i] = -1
+	}
+	for key, h := range chainEdges {
+		if f.EdgeFlow(h) > 0 {
+			next[key[0]] = key[1]
+		}
+	}
+	reg := 0
+	covered := 0
+	for i := range vars {
+		if f.EdgeFlow(startEdges[i]) == 0 {
+			continue
+		}
+		for j := i; j >= 0; j = next[j] {
+			b.Reg[vars[j]] = reg
+			covered++
+		}
+		reg++
+	}
+	if covered != len(vars) {
+		return nil, fmt.Errorf("regbind: flow cover bound %d of %d values", covered, len(vars))
+	}
+	b.NumRegs = reg
+	return b, nil
+}

@@ -1,0 +1,86 @@
+package regbind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdfg"
+)
+
+func TestBindFlowChain(t *testing.T) {
+	g, s := chainGraph(8)
+	b, err := BindFlow(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindFlowUsesMinimumRegisters(t *testing.T) {
+	// The flow cover must not use more registers than the bipartite
+	// binder's allocation bound (max overlap).
+	g, s := chainGraph(10)
+	bf, err := BindFlow(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.NumRegs > bb.NumRegs {
+		t.Fatalf("flow binding uses %d registers, bipartite uses %d", bf.NumRegs, bb.NumRegs)
+	}
+}
+
+func TestBindFlowRandomValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 4+rng.Intn(30))
+		s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 2, Mult: 2})
+		if err != nil {
+			return true
+		}
+		swap := make([]bool, len(g.Nodes))
+		b, err := BindFlow(g, s, Options{Swap: swap})
+		if err != nil {
+			return false
+		}
+		return b.Validate(g, s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindFlowEmptyGraph(t *testing.T) {
+	g := cdfg.NewGraph("empty")
+	g.AddInput("a")
+	s := &cdfg.Schedule{Step: make([]int, len(g.Nodes)), Len: 1}
+	b, err := BindFlow(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRegs != 0 {
+		t.Fatalf("no stored values should mean 0 registers, got %d", b.NumRegs)
+	}
+}
+
+func TestBindFlowMultiCycle(t *testing.T) {
+	g, _ := chainGraph(6)
+	lib := cdfg.Library{AddLatency: 2, MultLatency: 2}
+	s, err := cdfg.ListScheduleLat(g, cdfg.ResourceConstraint{Add: 1, Mult: 1}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BindFlow(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}

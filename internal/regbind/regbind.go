@@ -1,0 +1,238 @@
+// Package regbind implements register allocation and binding in the
+// manner of Huang et al.'s bipartite-matching datapath allocator [11],
+// as the paper's §5.1 prescribes: the register count is the maximum
+// number of simultaneously live variables over all control steps;
+// variables are then bound cluster by cluster in ascending birth-time
+// order by solving a weighted bipartite graph between the variables born
+// at each step and the registers free at that step. Both binders
+// (HLPower and the LOPASS baseline) consume the same register binding,
+// exactly as the paper's experimental setup requires.
+package regbind
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/matching"
+)
+
+// Binding maps each CDFG value to a register.
+type Binding struct {
+	// Reg[id] is the register index holding value id, or -1 if the value
+	// never crosses a step boundary and needs no register.
+	Reg []int
+	// NumRegs is the number of allocated registers.
+	NumRegs int
+	// Lifetimes caches the lifetime analysis the binding was built from.
+	Lifetimes []cdfg.Lifetime
+}
+
+// Options tunes the bipartite edge weights.
+type Options struct {
+	// Swap is the operation port assignment (see binding.
+	// RandomPortAssignment): Swap[op] means the op's second argument
+	// feeds the left FU port. When set, register binding uses Huang et
+	// al.'s interconnect-affinity weighting: a variable prefers the
+	// register whose previous values are read by operations of the same
+	// class at the same port in other control steps — readers that a
+	// downstream FU binder can merge, collapsing the port multiplexer
+	// input to a single register. Nil falls back to idle-time packing.
+	Swap []bool
+}
+
+// Bind allocates and binds registers for the scheduled graph with
+// default (idle-time packing) weights.
+func Bind(g *cdfg.Graph, s *cdfg.Schedule) (*Binding, error) {
+	return BindOpt(g, s, Options{})
+}
+
+// readerKey identifies how a stored value is consumed: the reading
+// operation's FU class, the port it reads on, and its control step.
+type readerKey struct {
+	mult bool // FU class (false = add class)
+	left bool // port
+	step int
+}
+
+// readers lists the (class, port, step) triples of every consumer of v.
+func readers(g *cdfg.Graph, s *cdfg.Schedule, swap []bool, consumers [][]int, v int) []readerKey {
+	var out []readerKey
+	for _, c := range consumers[v] {
+		n := g.Nodes[c]
+		// Determine which port(s) of c read v under the port assignment.
+		a0, a1 := n.Args[0], n.Args[1]
+		if swap != nil && swap[c] {
+			a0, a1 = a1, a0
+		}
+		mult := n.Kind == cdfg.KindMult
+		if a0 == v {
+			out = append(out, readerKey{mult: mult, left: true, step: s.Step[c]})
+		}
+		if a1 == v {
+			out = append(out, readerKey{mult: mult, left: false, step: s.Step[c]})
+		}
+	}
+	return out
+}
+
+// affinity counts reader pairs that a downstream FU binder could merge
+// onto one functional unit port: same class, same port, different steps.
+func affinity(a, b []readerKey) float64 {
+	n := 0.0
+	for _, x := range a {
+		for _, y := range b {
+			if x.mult == y.mult && x.left == y.left && x.step != y.step {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BindOpt allocates and binds registers with configurable weights.
+func BindOpt(g *cdfg.Graph, s *cdfg.Schedule, opt Options) (*Binding, error) {
+	lt := cdfg.Lifetimes(g, s)
+	b := &Binding{
+		Reg:       make([]int, len(g.Nodes)),
+		Lifetimes: lt,
+	}
+	for i := range b.Reg {
+		b.Reg[i] = -1
+	}
+
+	// A value occupies a register at boundaries [Birth, Death) (the
+	// boundary after step t is "t"). The allocation lower bound is the
+	// max occupancy over boundaries — the paper's "control step with the
+	// largest number of variables with overlapping lifetimes".
+	var vars []int
+	for _, n := range g.Nodes {
+		if lt[n.ID].Death > lt[n.ID].Birth {
+			vars = append(vars, n.ID)
+		}
+	}
+	maxLive := 0
+	for t := 0; t <= s.Len; t++ {
+		live := 0
+		for _, v := range vars {
+			if lt[v].Birth <= t && t < lt[v].Death {
+				live++
+			}
+		}
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	b.NumRegs = maxLive
+
+	// freeFrom[r]: the boundary from which register r is available.
+	freeFrom := make([]int, maxLive)
+	for i := range freeFrom {
+		freeFrom[i] = -1
+	}
+	// regReaders[r] accumulates the consumer profile of the values bound
+	// to r so far, for the interconnect-affinity weighting.
+	consumers := g.Consumers()
+	regReaders := make([][]readerKey, maxLive)
+
+	// Clusters of mutually unsharable variables: the variables born at
+	// the same step overlap pairwise, processed in ascending birth order.
+	sort.Slice(vars, func(i, j int) bool {
+		if lt[vars[i]].Birth != lt[vars[j]].Birth {
+			return lt[vars[i]].Birth < lt[vars[j]].Birth
+		}
+		return vars[i] < vars[j]
+	})
+	for start := 0; start < len(vars); {
+		birth := lt[vars[start]].Birth
+		end := start
+		for end < len(vars) && lt[vars[end]].Birth == birth {
+			end++
+		}
+		cluster := vars[start:end]
+		start = end
+
+		// Candidate registers: free at this boundary.
+		var free []int
+		for r := 0; r < maxLive; r++ {
+			if freeFrom[r] <= birth {
+				free = append(free, r)
+			}
+		}
+		// Weighted bipartite graph. The base weight makes cardinality
+		// dominate; the affinity term implements the Huang et al. [11]
+		// interconnect objective (co-locate values whose readers an FU
+		// binder can merge); idle-time packing is a small tie-break.
+		varReaders := make([][]readerKey, len(cluster))
+		for ui, v := range cluster {
+			varReaders[ui] = readers(g, s, opt.Swap, consumers, v)
+		}
+		var edges []matching.Edge
+		for ui := range cluster {
+			for vi, r := range free {
+				idle := birth - freeFrom[r]
+				w := 1000 + 0.01/float64(1+idle)
+				if opt.Swap != nil {
+					w += affinity(varReaders[ui], regReaders[r])
+				}
+				edges = append(edges, matching.Edge{U: ui, V: vi, W: w})
+			}
+		}
+		match, _ := matching.MaxWeight(len(cluster), len(free), edges)
+		for ui, v := range cluster {
+			if match[ui] < 0 {
+				return nil, fmt.Errorf("regbind: variable %d found no free register (allocation bound %d too small)", v, maxLive)
+			}
+			r := free[match[ui]]
+			b.Reg[v] = r
+			freeFrom[r] = lt[v].Death
+			regReaders[r] = append(regReaders[r], varReaders[ui]...)
+		}
+	}
+	return b, nil
+}
+
+// Validate checks that no two overlapping values share a register and
+// that every stored value has one.
+func (b *Binding) Validate(g *cdfg.Graph, s *cdfg.Schedule) error {
+	lt := cdfg.Lifetimes(g, s)
+	byReg := make(map[int][]int)
+	for _, n := range g.Nodes {
+		if lt[n.ID].Death > lt[n.ID].Birth {
+			r := b.Reg[n.ID]
+			if r < 0 || r >= b.NumRegs {
+				return fmt.Errorf("regbind: value %d stored but unbound", n.ID)
+			}
+			byReg[r] = append(byReg[r], n.ID)
+		} else if b.Reg[n.ID] != -1 {
+			return fmt.Errorf("regbind: transient value %d bound to a register", n.ID)
+		}
+	}
+	for r, vs := range byReg {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if lt[vs[i]].Overlaps(lt[vs[j]]) {
+					return fmt.Errorf("regbind: register %d holds overlapping values %d and %d", r, vs[i], vs[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValuesPerRegister returns, per register, the values bound to it in
+// birth order — the steering-mux fanin of that register.
+func (b *Binding) ValuesPerRegister(g *cdfg.Graph) [][]int {
+	out := make([][]int, b.NumRegs)
+	for _, n := range g.Nodes {
+		if r := b.Reg[n.ID]; r >= 0 {
+			out[r] = append(out[r], n.ID)
+		}
+	}
+	for _, vs := range out {
+		sort.Slice(vs, func(i, j int) bool {
+			return b.Lifetimes[vs[i]].Birth < b.Lifetimes[vs[j]].Birth
+		})
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package regbind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdfg"
+)
+
+// chainGraph: a0 + a1 -> t1; t1 + a2 -> t2; ... sequential adds.
+func chainGraph(n int) (*cdfg.Graph, *cdfg.Schedule) {
+	g := cdfg.NewGraph("chain")
+	prev := g.AddInput("a0")
+	ins := []int{prev}
+	for i := 1; i <= n; i++ {
+		ins = append(ins, g.AddInput(""))
+	}
+	for i := 1; i <= n; i++ {
+		prev = g.AddOp(cdfg.KindAdd, "", prev, ins[i])
+	}
+	g.MarkOutput(prev)
+	s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 1, Mult: 1})
+	if err != nil {
+		panic(err)
+	}
+	return g, s
+}
+
+func TestBindChain(t *testing.T) {
+	g, s := chainGraph(5)
+	b, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRegs < 1 {
+		t.Fatal("chain needs registers")
+	}
+}
+
+func TestBindReusesRegisters(t *testing.T) {
+	// The chain's intermediate values have disjoint lifetimes except for
+	// the pipelining overlap — far fewer registers than values.
+	g, s := chainGraph(10)
+	b, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for _, r := range b.Reg {
+		if r >= 0 {
+			stored++
+		}
+	}
+	if b.NumRegs >= stored {
+		t.Fatalf("no register sharing: %d regs for %d values", b.NumRegs, stored)
+	}
+}
+
+func TestBindMatchesMaxOverlapLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 4+rng.Intn(30))
+		s, err := cdfg.ListSchedule(g, cdfg.ResourceConstraint{Add: 2, Mult: 2})
+		if err != nil {
+			return true // skip graphs without both classes
+		}
+		b, err := Bind(g, s)
+		if err != nil {
+			return false
+		}
+		if b.Validate(g, s) != nil {
+			return false
+		}
+		// Optimality for interval graphs: NumRegs equals max overlap,
+		// and the binding uses exactly NumRegs registers.
+		used := make(map[int]bool)
+		for _, r := range b.Reg {
+			if r >= 0 {
+				used[r] = true
+			}
+		}
+		return len(used) <= b.NumRegs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraph(rng *rand.Rand, ops int) *cdfg.Graph {
+	g := cdfg.NewGraph("rand")
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		g.AddInput("")
+	}
+	for i := 0; i < ops; i++ {
+		kind := cdfg.KindAdd
+		if rng.Intn(2) == 0 {
+			kind = cdfg.KindMult
+		}
+		a := rng.Intn(len(g.Nodes))
+		b := rng.Intn(len(g.Nodes))
+		g.AddOp(kind, "", a, b)
+	}
+	consumers := g.Consumers()
+	for _, nd := range g.Nodes {
+		if nd.Kind.IsOp() && len(consumers[nd.ID]) == 0 {
+			g.MarkOutput(nd.ID)
+		}
+	}
+	return g
+}
+
+func TestBindDeterministic(t *testing.T) {
+	g, s := chainGraph(8)
+	b1, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1.Reg {
+		if b1.Reg[i] != b2.Reg[i] {
+			t.Fatal("binding not deterministic")
+		}
+	}
+}
+
+func TestValuesPerRegister(t *testing.T) {
+	g, s := chainGraph(6)
+	b, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpr := b.ValuesPerRegister(g)
+	if len(vpr) != b.NumRegs {
+		t.Fatalf("vpr size %d != NumRegs %d", len(vpr), b.NumRegs)
+	}
+	count := 0
+	for _, vs := range vpr {
+		// Values in one register sorted by birth and non-overlapping.
+		for i := 1; i < len(vs); i++ {
+			if b.Lifetimes[vs[i-1]].Birth > b.Lifetimes[vs[i]].Birth {
+				t.Fatal("values not sorted by birth")
+			}
+			if b.Lifetimes[vs[i-1]].Overlaps(b.Lifetimes[vs[i]]) {
+				t.Fatal("register holds overlapping values")
+			}
+		}
+		count += len(vs)
+	}
+	stored := 0
+	for _, r := range b.Reg {
+		if r >= 0 {
+			stored++
+		}
+	}
+	if count != stored {
+		t.Fatalf("vpr covers %d values, want %d", count, stored)
+	}
+}
+
+func TestValidateDetectsConflicts(t *testing.T) {
+	g, s := chainGraph(4)
+	b, err := Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: force two overlapping inputs into one register. Inputs
+	// all overlap (born at 0, long-lived).
+	first := -1
+	for _, id := range g.Inputs {
+		if b.Reg[id] >= 0 {
+			if first == -1 {
+				first = id
+			} else {
+				b.Reg[id] = b.Reg[first]
+				break
+			}
+		}
+	}
+	if err := b.Validate(g, s); err == nil {
+		t.Fatal("corrupted binding should fail validation")
+	}
+}

@@ -1,0 +1,40 @@
+package satable
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+// TestConcurrentGets hammers the table from many goroutines: no races
+// (run with -race) and consistent values.
+func TestConcurrentGets(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	var wg sync.WaitGroup
+	results := make([][]float64, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []float64
+			for i := 0; i < 20; i++ {
+				kind := netgen.FUAdd
+				if i%2 == 0 {
+					kind = netgen.FUMult
+				}
+				out = append(out, tb.Get(kind, 1+i%3, 1+(i/2)%3))
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d sees different value at %d", w, i)
+			}
+		}
+	}
+}

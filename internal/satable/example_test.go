@@ -1,0 +1,19 @@
+package satable_test
+
+import (
+	"fmt"
+
+	"repro/internal/netgen"
+	"repro/internal/satable"
+)
+
+// Example shows the precalculated-table workflow of paper §5.2.2:
+// values are computed on first use and then served from the hash table.
+func Example() {
+	table := satable.New(4, satable.EstimatorGlitch)
+	first := table.Get(netgen.FUAdd, 2, 2) // computed (maps the partial datapath)
+	again := table.Get(netgen.FUAdd, 2, 2) // hash hit
+	fmt.Println(first == again, table.Misses())
+	// Output:
+	// true 1
+}

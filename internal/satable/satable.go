@@ -1,0 +1,226 @@
+// Package satable implements the precalculated switching-activity table
+// of paper §5.2.2: for every combination of functional unit and input
+// multiplexer sizes, the gate-level partial datapath is generated, run
+// through the glitch-aware technology mapper, and its estimated SA
+// stored. The table persists to a text file and loads into a hash map at
+// binder start-up, giving O(1) edge-weight lookups; missing entries are
+// computed lazily (and cached), so the binder also works without a
+// precomputed file — the paper verified both paths give identical
+// binding results.
+package satable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+	"repro/internal/prob"
+)
+
+// Estimator selects the SA model used to fill the table.
+type Estimator int
+
+const (
+	// EstimatorGlitch is the paper's estimator: unit-delay glitch-aware
+	// SA of the mapped partial datapath (GlitchMap-derived).
+	EstimatorGlitch Estimator = iota
+	// EstimatorNajm is a glitch-blind ablation: zero-delay Najm
+	// transition densities on the same mapped netlist. Najm's
+	// single-input-switching assumption makes it a known overestimator.
+	EstimatorNajm
+	// EstimatorZeroDelay is the controlled glitch-blind ablation: the
+	// same Chou–Roy switching model as EstimatorGlitch but without the
+	// unit-delay time dimension, so it sees functional transitions only.
+	EstimatorZeroDelay
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorGlitch:
+		return "glitch"
+	case EstimatorNajm:
+		return "najm"
+	case EstimatorZeroDelay:
+		return "zerodelay"
+	}
+	return fmt.Sprintf("estimator(%d)", int(e))
+}
+
+// Key identifies one partial-datapath configuration.
+type Key struct {
+	Kind   netgen.FUKind
+	KL, KR int
+}
+
+// Table caches SA values per (FU, mux sizes) configuration.
+type Table struct {
+	// Width is the datapath bit width the entries were computed for.
+	Width int
+	// Est selects the SA model.
+	Est Estimator
+	// MapOpt configures the embedded technology mapper.
+	MapOpt mapper.Options
+
+	mu   sync.Mutex
+	vals map[Key]float64
+	// misses counts lazy computations (for the precalc-speedup bench).
+	misses int
+}
+
+// New returns an empty table for the given datapath width.
+func New(width int, est Estimator) *Table {
+	return &Table{
+		Width:  width,
+		Est:    est,
+		MapOpt: mapper.DefaultOptions(),
+		vals:   make(map[Key]float64),
+	}
+}
+
+// Get returns the estimated SA for the configuration, computing and
+// caching it if absent. Mux sizes are clamped to >= 1.
+func (t *Table) Get(kind netgen.FUKind, kl, kr int) float64 {
+	if kl < 1 {
+		kl = 1
+	}
+	if kr < 1 {
+		kr = 1
+	}
+	key := Key{Kind: kind, KL: kl, KR: kr}
+	t.mu.Lock()
+	if v, ok := t.vals[key]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	t.misses++
+	t.mu.Unlock()
+
+	v := t.compute(kind, kl, kr)
+
+	t.mu.Lock()
+	t.vals[key] = v
+	t.mu.Unlock()
+	return v
+}
+
+// compute generates the partial datapath, maps it, and estimates SA —
+// the "dynamic SA estimation" path of §5.2.2.
+func (t *Table) compute(kind netgen.FUKind, kl, kr int) float64 {
+	net := netgen.PartialDatapathNetwork(kind, kl, kr, t.Width)
+	res, err := mapper.Map(net, t.MapOpt)
+	if err != nil {
+		// Partial datapaths are always mappable; an error here is a
+		// programming bug, not an input condition.
+		panic(fmt.Sprintf("satable: mapping %s(%d,%d): %v", kind, kl, kr, err))
+	}
+	switch t.Est {
+	case EstimatorNajm:
+		e := prob.EstimateNetwork(res.Mapped, prob.MethodNajm, t.MapOpt.Sources)
+		return e.TotalActivity(res.Mapped)
+	case EstimatorZeroDelay:
+		e := prob.EstimateNetwork(res.Mapped, prob.MethodChouRoy, t.MapOpt.Sources)
+		return e.TotalActivity(res.Mapped)
+	default:
+		return res.EstSA
+	}
+}
+
+// Misses returns how many entries were computed lazily (not served from
+// a preloaded file or cache).
+func (t *Table) Misses() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.misses
+}
+
+// Len returns the number of cached entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.vals)
+}
+
+// Precompute fills the table for every FU kind and all mux-size
+// combinations up to maxMux inputs per port.
+func (t *Table) Precompute(maxMux int) {
+	for _, kind := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
+		for kl := 1; kl <= maxMux; kl++ {
+			for kr := 1; kr <= maxMux; kr++ {
+				t.Get(kind, kl, kr)
+			}
+		}
+	}
+}
+
+// Save writes the table as a text file (one "kind kl kr sa" row per
+// entry), the storage format the paper describes.
+func (t *Table) Save(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]Key, 0, len(t.vals))
+	for k := range t.vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		if keys[i].KL != keys[j].KL {
+			return keys[i].KL < keys[j].KL
+		}
+		return keys[i].KR < keys[j].KR
+	})
+	if _, err := fmt.Fprintf(w, "# hlpower-satable width=%d est=%s\n", t.Width, t.Est); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d %d %.9g\n", k.Kind, k.KL, k.KR, t.vals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a table saved by Save. The estimator/width are recovered
+// from the header.
+func Load(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("satable: empty input")
+	}
+	header := sc.Text()
+	var width int
+	var estName string
+	if _, err := fmt.Sscanf(header, "# hlpower-satable width=%d est=%s", &width, &estName); err != nil {
+		return nil, fmt.Errorf("satable: bad header %q: %w", header, err)
+	}
+	est := EstimatorGlitch
+	switch estName {
+	case "najm":
+		est = EstimatorNajm
+	case "zerodelay":
+		est = EstimatorZeroDelay
+	}
+	t := New(width, est)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var kind string
+		var kl, kr int
+		var sa float64
+		if _, err := fmt.Sscanf(line, "%s %d %d %g", &kind, &kl, &kr, &sa); err != nil {
+			return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
+		}
+		t.vals[Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}] = sa
+	}
+	return t, sc.Err()
+}

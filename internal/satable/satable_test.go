@@ -1,0 +1,158 @@
+package satable
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestGetCachesValues(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	v1 := tb.Get(netgen.FUAdd, 2, 2)
+	if v1 <= 0 {
+		t.Fatalf("SA must be positive, got %v", v1)
+	}
+	m := tb.Misses()
+	v2 := tb.Get(netgen.FUAdd, 2, 2)
+	if v2 != v1 {
+		t.Fatal("cache returned different value")
+	}
+	if tb.Misses() != m {
+		t.Fatal("second Get should hit the cache")
+	}
+}
+
+func TestGetClampsMuxSizes(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	a := tb.Get(netgen.FUAdd, 0, -3)
+	b := tb.Get(netgen.FUAdd, 1, 1)
+	if a != b {
+		t.Fatal("sizes below 1 should clamp to 1")
+	}
+}
+
+func TestSAGrowsWithMuxSizes(t *testing.T) {
+	tb := New(6, EstimatorGlitch)
+	s11 := tb.Get(netgen.FUAdd, 1, 1)
+	s44 := tb.Get(netgen.FUAdd, 4, 4)
+	if s44 <= s11 {
+		t.Fatalf("bigger muxes should mean more SA: 1/1=%v 4/4=%v", s11, s44)
+	}
+}
+
+func TestUnbalancedMuxesCostMore(t *testing.T) {
+	// The physical basis of the muxDiff heuristic: same total inputs,
+	// unbalanced split glitches more.
+	tb := New(8, EstimatorGlitch)
+	bal := tb.Get(netgen.FUAdd, 4, 4)
+	unbal := tb.Get(netgen.FUAdd, 7, 1)
+	if bal >= unbal {
+		t.Fatalf("balanced (%v) should beat unbalanced (%v)", bal, unbal)
+	}
+}
+
+func TestMultCostsMoreThanAdd(t *testing.T) {
+	tb := New(6, EstimatorGlitch)
+	if tb.Get(netgen.FUMult, 2, 2) <= tb.Get(netgen.FUAdd, 2, 2) {
+		t.Fatal("multiplier partial datapath should out-switch adder's")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	tb.Get(netgen.FUAdd, 1, 1)
+	tb.Get(netgen.FUAdd, 2, 3)
+	tb.Get(netgen.FUMult, 1, 2)
+
+	var sb strings.Builder
+	if err := tb.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 4 || back.Est != EstimatorGlitch {
+		t.Fatalf("header lost: width=%d est=%v", back.Width, back.Est)
+	}
+	if back.Len() != tb.Len() {
+		t.Fatalf("entry count %d != %d", back.Len(), tb.Len())
+	}
+	for _, k := range []Key{{netgen.FUAdd, 1, 1}, {netgen.FUAdd, 2, 3}, {netgen.FUMult, 1, 2}} {
+		a := tb.Get(k.Kind, k.KL, k.KR)
+		missesBefore := back.Misses()
+		b := back.Get(k.Kind, k.KL, k.KR)
+		if back.Misses() != missesBefore {
+			t.Fatalf("loaded table missed on %+v", k)
+		}
+		if math.Abs(a-b)/a > 1e-6 {
+			t.Fatalf("value drifted through save/load: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load(strings.NewReader("not a header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := Load(strings.NewReader("# hlpower-satable width=8 est=glitch\nbroken line\n")); err == nil {
+		t.Fatal("bad row accepted")
+	}
+}
+
+func TestPrecompute(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	tb.Precompute(2)
+	// 2 kinds x 2 x 2 entries.
+	if tb.Len() != 8 {
+		t.Fatalf("precompute filled %d entries, want 8", tb.Len())
+	}
+	m := tb.Misses()
+	tb.Get(netgen.FUMult, 2, 2)
+	if tb.Misses() != m {
+		t.Fatal("precomputed entry missed")
+	}
+}
+
+func TestEstimatorsDiffer(t *testing.T) {
+	g := New(6, EstimatorGlitch)
+	n := New(6, EstimatorNajm)
+	z := New(6, EstimatorZeroDelay)
+	vg := g.Get(netgen.FUMult, 3, 3)
+	vn := n.Get(netgen.FUMult, 3, 3)
+	vz := z.Get(netgen.FUMult, 3, 3)
+	if vg == vn || vg == vz {
+		t.Fatal("estimators should differ")
+	}
+	// The glitch-aware estimate sees the glitches the zero-delay
+	// Chou–Roy model misses (same switching model, added time axis).
+	if vg <= vz {
+		t.Fatalf("glitch estimate (%v) should exceed zero-delay (%v) on a multiplier", vg, vz)
+	}
+	// Najm's single-switching assumption is a known overestimator
+	// relative to the simultaneous-switching zero-delay model.
+	if vn <= vz {
+		t.Fatalf("Najm (%v) should exceed zero-delay Chou-Roy (%v)", vn, vz)
+	}
+}
+
+func BenchmarkTableHitVsCompute(b *testing.B) {
+	tb := New(8, EstimatorGlitch)
+	tb.Get(netgen.FUMult, 4, 4)
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tb.Get(netgen.FUMult, 4, 4)
+		}
+	})
+	b.Run("compute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := New(8, EstimatorGlitch)
+			fresh.Get(netgen.FUMult, 4, 4)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netgen"
+)
+
+func TestHeterogeneousSettlesToSameValues(t *testing.T) {
+	// Delay assignment changes glitch counts, never settled values.
+	net := netgen.MultiplierNetwork(6)
+	unit, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := NewWithDelays(net, DelayHeterogeneous, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for cyc := 0; cyc < 60; cyc++ {
+		in := make([]bool, len(net.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		unit.Step(in)
+		het.Step(in)
+		for id := range unit.Values() {
+			if unit.Values()[id] != het.Values()[id] {
+				t.Fatalf("cycle %d node %d: settled values differ across delay models", cyc, id)
+			}
+		}
+	}
+	// Functional transitions agree; totals differ (extra glitches).
+	cu, ch := unit.Counts(), het.Counts()
+	if cu.GateFunctional != ch.GateFunctional {
+		t.Fatalf("functional transitions differ: %d vs %d", cu.GateFunctional, ch.GateFunctional)
+	}
+	if ch.Gate <= cu.Gate {
+		t.Fatalf("heterogeneous delays should add glitches: unit=%d het=%d", cu.Gate, ch.Gate)
+	}
+}
+
+func TestHeterogeneousDeterministicPerSeed(t *testing.T) {
+	// The multiplier's reconvergent structure makes glitch counts
+	// sensitive to the delay assignment (a pure chain would not be).
+	net := netgen.MultiplierNetwork(6)
+	run := func(seed int64) Counts {
+		s, err := NewWithDelays(net, DelayHeterogeneous, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.RunRandom(200, 9)
+	}
+	a, b := run(5), run(5)
+	if a != b {
+		t.Fatalf("same delay seed gave different counts: %+v vs %+v", a, b)
+	}
+	c := run(6)
+	if a == c {
+		t.Fatal("different delay seeds gave identical counts (suspicious)")
+	}
+}
+
+func TestTransportDelayProducesPulses(t *testing.T) {
+	// A gate with delay d must reproduce an input pulse shorter than d
+	// (transport semantics, i.e. glitch filtering off): two inverters in
+	// series with different delays turn one input edge into a pulse at
+	// the AND output.
+	net := logic.NewNetwork("pulse")
+	a := net.AddInput("a")
+	inv := net.AddGate("inv", logic.TTNot(), a)
+	and := net.AddGate("and", logic.TTAnd2(), a, inv)
+	net.MarkOutput("y", and)
+	s, err := New(net) // unit delays: a rises -> and sees (1, old inv=1) one step
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step([]bool{true})
+	// a: 0->1 at t0; inv falls at t1; and rises at t1 (a=1, inv still 1)
+	// and falls at t2. Two transitions at the AND = one glitch pulse.
+	if got := s.NodeTransitions[and]; got != 2 {
+		t.Fatalf("AND transitions = %d, want 2 (pulse)", got)
+	}
+	if s.Values()[and] {
+		t.Fatal("AND must settle low")
+	}
+}
+
+func TestSequentialEquivalenceUnderHeterogeneousDelays(t *testing.T) {
+	// Latches capture settled values, so cycle-accurate behaviour is
+	// delay-independent. Accumulator: r <= r + a.
+	net := logic.NewNetwork("acc")
+	w := 4
+	a := make([]int, w)
+	for i := range a {
+		a[i] = net.AddInput("a" + string(rune('0'+i)))
+	}
+	q := make([]int, w)
+	for i := range q {
+		q[i] = net.AddLatch("q"+string(rune('0'+i)), false)
+	}
+	sum, _ := netgen.BuildAdder(net, "s_", q, a, -1)
+	for i := range q {
+		net.ConnectLatch(q[i], sum[i])
+	}
+	for i, id := range sum {
+		net.MarkOutput("y"+string(rune('0'+i)), id)
+	}
+	s, err := NewWithDelays(net, DelayHeterogeneous, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.InitialLatchState()
+	rng := rand.New(rand.NewSource(2))
+	for cyc := 0; cyc < 40; cyc++ {
+		in := make([]bool, w)
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		s.Step(in)
+		ref := net.Eval(in, st)
+		for i, o := range net.Outputs {
+			if s.Values()[o.Node] != ref[o.Node] {
+				t.Fatalf("cycle %d output %d differs", cyc, i)
+			}
+		}
+		st = net.NextLatchState(ref)
+	}
+}
+
+func BenchmarkSimulateHeterogeneousMult8(b *testing.B) {
+	net := netgen.MultiplierNetwork(8)
+	s, err := NewWithDelays(net, DelayHeterogeneous, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := RandomVectors(len(net.Inputs), 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunVectors(vec)
+	}
+}
+
+// TestLatchChainShiftsOneStagePerClock is the regression test for the
+// latch shoot-through bug: a 3-deep shift register of directly
+// connected latches must delay its input by exactly 3 cycles.
+func TestLatchChainShiftsOneStagePerClock(t *testing.T) {
+	net := logic.NewNetwork("shift3")
+	a := net.AddInput("a")
+	q1 := net.AddLatch("q1", false)
+	q2 := net.AddLatch("q2", false)
+	q3 := net.AddLatch("q3", false)
+	net.ConnectLatch(q1, a)
+	net.ConnectLatch(q2, q1)
+	net.ConnectLatch(q3, q2)
+	net.MarkOutput("y", q3)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var got []bool
+	for _, v := range pattern {
+		s.Step([]bool{v})
+		got = append(got, s.Values()[q3])
+	}
+	// Output is the input delayed by 3 (zeros before the pipe fills).
+	for i, v := range got {
+		want := false
+		if i >= 3 {
+			want = pattern[i-3]
+		}
+		if v != want {
+			t.Fatalf("cycle %d: shift output %v, want %v (got %v)", i, v, want, got)
+		}
+	}
+}
+
+// TestRandomSequentialNetworksMatchEval fuzzes the simulator contract:
+// on random sequential networks (gates + latch feedback), the settled
+// state after each Step must match logic.Eval's cycle-accurate
+// reference, under both delay models.
+func TestRandomSequentialNetworksMatchEval(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := logic.NewNetwork("rnd")
+		var pool []int
+		for i := 0; i < 3; i++ {
+			pool = append(pool, net.AddInput(""))
+		}
+		var latches []int
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			q := net.AddLatch("", rng.Intn(2) == 0)
+			latches = append(latches, q)
+			pool = append(pool, q)
+		}
+		for i := 0; i < 10+rng.Intn(15); i++ {
+			fns := []func() int{
+				func() int {
+					return net.AddGate("", logic.TTAnd2(), pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+				},
+				func() int {
+					return net.AddGate("", logic.TTXor2(), pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+				},
+				func() int { return net.AddGate("", logic.TTNot(), pool[rng.Intn(len(pool))]) },
+				func() int {
+					return net.AddGate("", logic.TTMux2(), pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+				},
+			}
+			pool = append(pool, fns[rng.Intn(len(fns))]())
+		}
+		// Latch D: any node (including direct latch-to-latch chains).
+		for _, q := range latches {
+			net.ConnectLatch(q, pool[rng.Intn(len(pool))])
+		}
+		net.MarkOutput("y", pool[len(pool)-1])
+		for _, model := range []DelayModel{DelayUnit, DelayHeterogeneous} {
+			s, err := NewWithDelays(net, model, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Step captures latches from the previous settled state before
+			// applying inputs, so the reference state after the first Step
+			// is one capture past the reset state (all-zero inputs).
+			st := net.NextLatchState(net.Eval(make([]bool, 3), net.InitialLatchState()))
+			for cyc := 0; cyc < 15; cyc++ {
+				in := make([]bool, 3)
+				for i := range in {
+					in[i] = rng.Intn(2) == 0
+				}
+				s.Step(in)
+				ref := net.Eval(in, st)
+				for id := range ref {
+					if s.Values()[id] != ref[id] {
+						t.Fatalf("seed %d model %v cycle %d node %d: sim %v, eval %v",
+							seed, model, cyc, id, s.Values()[id], ref[id])
+					}
+				}
+				st = net.NextLatchState(ref)
+			}
+		}
+	}
+}

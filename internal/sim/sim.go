@@ -1,0 +1,278 @@
+// Package sim implements an event-driven, unit-delay, gate-level logic
+// simulator with transition counting. It substitutes for the Quartus II
+// simulation step of the paper's flow (§6.1): 1000 random input vectors
+// are applied (one per clock cycle, glitch filtering off) and every
+// signal transition — functional or glitch — is counted, yielding the
+// measured switching-activity file the power analysis consumes.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// Counts aggregates transition counts over a run.
+type Counts struct {
+	// Gate counts transitions at combinational gate/LUT outputs.
+	Gate int64
+	// GateFunctional counts the subset that are functional (net value
+	// change over a full cycle); Gate - GateFunctional is glitches.
+	GateFunctional int64
+	// Latch counts register-output transitions (at most 1 per cycle).
+	Latch int64
+	// Cycles is the number of simulated clock cycles.
+	Cycles int64
+}
+
+// Glitches returns the spurious gate transitions.
+func (c Counts) Glitches() int64 { return c.Gate - c.GateFunctional }
+
+// Total returns all counted transitions (gates + latches).
+func (c Counts) Total() int64 { return c.Gate + c.Latch }
+
+// TogglesPerCycle returns average transitions per clock cycle.
+func (c Counts) TogglesPerCycle() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Total()) / float64(c.Cycles)
+}
+
+// DelayModel assigns a propagation delay to every gate.
+type DelayModel int
+
+const (
+	// DelayUnit gives every gate one time unit — the estimator's model.
+	DelayUnit DelayModel = iota
+	// DelayHeterogeneous gives each gate a deterministic pseudo-random
+	// delay of 1..3 time units, modelling the spread of LUT + routing
+	// delays a placed-and-routed FPGA design exhibits. Real delay skew
+	// desynchronizes arrival times and lengthens glitch trains, which is
+	// the behaviour the paper's Quartus timing simulation measures.
+	DelayHeterogeneous
+)
+
+// Simulator simulates one network. Not safe for concurrent use.
+type Simulator struct {
+	net     *logic.Network
+	fanouts [][]int
+	delays  []int
+	val     []bool
+	latchSt []bool
+
+	// Per-node transition tallies for the whole run.
+	NodeTransitions []int64
+
+	counts Counts
+
+	// scratch
+	startVal []bool
+
+	// vcd is the optional value-change-dump sink (see EnableVCD).
+	vcd *vcdState
+}
+
+// New creates a unit-delay simulator with all values initialized to the
+// network's reset state (latch init values, inputs low, gates settled).
+func New(net *logic.Network) (*Simulator, error) {
+	return NewWithDelays(net, DelayUnit, 0)
+}
+
+// NewWithDelays creates a simulator under the given delay model; seed
+// selects the deterministic delay assignment for DelayHeterogeneous.
+func NewWithDelays(net *logic.Network, model DelayModel, seed int64) (*Simulator, error) {
+	if err := net.Check(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{
+		net:             net,
+		fanouts:         net.Fanouts(),
+		delays:          make([]int, net.NumNodes()),
+		NodeTransitions: make([]int64, net.NumNodes()),
+		startVal:        make([]bool, net.NumNodes()),
+	}
+	for id := range s.delays {
+		s.delays[id] = 1
+		if model == DelayHeterogeneous {
+			// Deterministic per-node jitter (splitmix-style hash).
+			h := uint64(id)*0x9E3779B97F4A7C15 + uint64(seed)*0xBF58476D1CE4E5B9
+			h ^= h >> 31
+			h *= 0x94D049BB133111EB
+			h ^= h >> 27
+			s.delays[id] = 1 + int(h%3)
+		}
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores the power-on state, clears counters, and detaches any
+// VCD sink.
+func (s *Simulator) Reset() {
+	s.vcd = nil
+	s.latchSt = s.net.InitialLatchState()
+	s.val = s.net.Eval(make([]bool, len(s.net.Inputs)), s.latchSt)
+	for i := range s.NodeTransitions {
+		s.NodeTransitions[i] = 0
+	}
+	s.counts = Counts{}
+}
+
+// Counts returns the accumulated transition counts.
+func (s *Simulator) Counts() Counts { return s.counts }
+
+// Values returns the current settled node values (read-only view).
+func (s *Simulator) Values() []bool { return s.val }
+
+// Step simulates one clock cycle: latches capture last cycle's D values,
+// the new input vector is applied, and events propagate with per-gate
+// transport delays until the network settles. Transition counts include
+// every intermediate (glitch) change — the paper's "glitch filtering =
+// never" setting.
+func (s *Simulator) Step(inputs []bool) {
+	if len(inputs) != len(s.net.Inputs) {
+		panic("sim: input vector length mismatch")
+	}
+	copy(s.startVal, s.val)
+
+	// Time 0: latch outputs and primary inputs change together. Latch
+	// updates are two-phase: all D values are sampled before any Q
+	// changes, so chains of directly connected latches (pipeline banks,
+	// shift registers) shift by exactly one stage per clock instead of
+	// shooting through.
+	var changedNow []int
+	dVals := make([]bool, len(s.net.Latches))
+	for i, q := range s.net.Latches {
+		dVals[i] = s.val[s.net.Node(q).LatchInput]
+	}
+	for i, q := range s.net.Latches {
+		nv := dVals[i]
+		if nv != s.val[q] {
+			s.val[q] = nv
+			s.counts.Latch++
+			s.NodeTransitions[q]++
+			s.vcdEmit(q, 0, nv)
+			changedNow = append(changedNow, q)
+		}
+	}
+	for i, id := range s.net.Inputs {
+		if s.val[id] != inputs[i] {
+			s.val[id] = inputs[i]
+			s.vcdEmit(id, 0, inputs[i])
+			changedNow = append(changedNow, id)
+		}
+	}
+
+	// Transport-delay event simulation. futureVal tracks each gate's
+	// most recently scheduled output so repeated evaluations within one
+	// delay window enqueue only real changes.
+	type event struct {
+		node int
+		v    bool
+	}
+	pending := make(map[int][]event) // time -> scheduled output changes
+	futureVal := make(map[int]bool)
+	future := func(g int) bool {
+		if v, ok := futureVal[g]; ok {
+			return v
+		}
+		return s.val[g]
+	}
+	evalFanouts := func(changed []int, t int) {
+		seen := make(map[int]bool)
+		for _, id := range changed {
+			for _, g := range s.fanouts[id] {
+				nd := s.net.Node(g)
+				if nd.Kind != logic.KindGate || seen[g] {
+					continue
+				}
+				seen[g] = true
+				var assign uint
+				for i, f := range nd.Fanins {
+					if s.val[f] {
+						assign |= 1 << uint(i)
+					}
+				}
+				nv := nd.Func.Eval(assign)
+				if nv != future(g) {
+					futureVal[g] = nv
+					at := t + s.delays[g]
+					pending[at] = append(pending[at], event{g, nv})
+				}
+			}
+		}
+	}
+	evalFanouts(changedNow, 0)
+	for len(pending) > 0 {
+		// Next event time.
+		t := -1
+		for at := range pending {
+			if t < 0 || at < t {
+				t = at
+			}
+		}
+		events := pending[t]
+		delete(pending, t)
+		var changed []int
+		for _, e := range events {
+			if s.val[e.node] == e.v {
+				continue
+			}
+			s.val[e.node] = e.v
+			s.counts.Gate++
+			s.NodeTransitions[e.node]++
+			s.vcdEmit(e.node, t, e.v)
+			changed = append(changed, e.node)
+		}
+		evalFanouts(changed, t)
+	}
+
+	// Functional transitions: settled value differs from cycle start.
+	for _, nd := range s.net.Nodes {
+		if nd.Kind == logic.KindGate && s.val[nd.ID] != s.startVal[nd.ID] {
+			s.counts.GateFunctional++
+		}
+	}
+	s.counts.Cycles++
+}
+
+// RunRandom applies n uniformly random input vectors from the given
+// seed, one per clock cycle — the paper's 1000-random-vector .vwf
+// methodology — and returns the transition counts.
+func (s *Simulator) RunRandom(n int, seed int64) Counts {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, len(s.net.Inputs))
+	for c := 0; c < n; c++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		s.Step(in)
+	}
+	return s.counts
+}
+
+// RunVectors applies the given vectors in order.
+func (s *Simulator) RunVectors(vectors [][]bool) Counts {
+	for _, v := range vectors {
+		s.Step(v)
+	}
+	return s.counts
+}
+
+// RandomVectors generates n reproducible input vectors for a network,
+// shared between designs under comparison (the paper reuses one .vwf
+// for LOPASS and HLPower solutions).
+func RandomVectors(numInputs, n int, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]bool, n)
+	for c := range out {
+		v := make([]bool, numInputs)
+		for i := range v {
+			v[i] = rng.Intn(2) == 0
+		}
+		out[c] = v
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/glitch"
+	"repro/internal/logic"
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+	"repro/internal/prob"
+)
+
+func TestStepMatchesZeroDelayEval(t *testing.T) {
+	// The settled state after each Step must equal logic.Eval.
+	net := netgen.MultiplierNetwork(5)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for cyc := 0; cyc < 50; cyc++ {
+		in := make([]bool, len(net.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		s.Step(in)
+		want := net.Eval(in, nil)
+		got := s.Values()
+		for id := range want {
+			if want[id] != got[id] {
+				t.Fatalf("cycle %d node %d: sim %v, eval %v", cyc, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+func TestSequentialStepMatchesCycleAccurateEval(t *testing.T) {
+	// Accumulator: r <= r + a.
+	net := logic.NewNetwork("acc")
+	w := 4
+	a := make([]int, w)
+	for i := range a {
+		a[i] = net.AddInput("a" + string(rune('0'+i)))
+	}
+	q := make([]int, w)
+	for i := range q {
+		q[i] = net.AddLatch("q"+string(rune('0'+i)), false)
+	}
+	sum, _ := netgen.BuildAdder(net, "s_", q, a, -1)
+	for i := range q {
+		net.ConnectLatch(q[i], sum[i])
+	}
+	for i, id := range sum {
+		net.MarkOutput("y"+string(rune('0'+i)), id)
+	}
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.InitialLatchState()
+	rng := rand.New(rand.NewSource(2))
+	for cyc := 0; cyc < 40; cyc++ {
+		in := make([]bool, w)
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		s.Step(in)
+		val := net.Eval(in, st)
+		for i, o := range net.Outputs {
+			if s.Values()[o.Node] != val[o.Node] {
+				t.Fatalf("cycle %d output %d differs", cyc, i)
+			}
+		}
+		st = net.NextLatchState(val)
+	}
+}
+
+func TestGlitchCountingOnUnbalancedXor(t *testing.T) {
+	// y = (a XOR b) XOR c via a chain: c arrives "earlier" than the
+	// internal xor result, so flipping a and c together can glitch y.
+	net := logic.NewNetwork("chain")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	c := net.AddInput("c")
+	x1 := net.AddGate("x1", logic.TTXor2(), a, b)
+	y := net.AddGate("y", logic.TTXor2(), x1, c)
+	net.MarkOutput("y", y)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From (0,0,0): y=0. Flip a and c simultaneously.
+	// t0: a=1,c=1 -> y sees c change: at t1, y = x1(old)=0 xor 1 = 1;
+	// x1 becomes 1 at t1; at t2 y = 1 xor 1 = 0. Two transitions at y,
+	// net value unchanged => 2 total, functional 0 at y.
+	s.Step([]bool{false, false, false})
+	s.Reset()
+	s.Step([]bool{true, false, true})
+	counts := s.Counts()
+	yTrans := s.NodeTransitions[y]
+	if yTrans != 2 {
+		t.Fatalf("y transitions = %d, want 2 (glitch up+down)", yTrans)
+	}
+	if counts.Glitches() < 2 {
+		t.Fatalf("glitches = %d, want >= 2", counts.Glitches())
+	}
+}
+
+func TestBalancedXorDoesNotGlitch(t *testing.T) {
+	// y = a XOR b: both inputs arrive at t0, y changes at most once.
+	net := logic.NewNetwork("bal")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	y := net.AddGate("y", logic.TTXor2(), a, b)
+	net.MarkOutput("y", y)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.RunRandom(500, 7)
+	if g := counts.Glitches(); g != 0 {
+		t.Fatalf("balanced xor glitched %d times", g)
+	}
+}
+
+func TestCountsDecompose(t *testing.T) {
+	net := netgen.MultiplierNetwork(6)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.RunRandom(200, 3)
+	if c.Cycles != 200 {
+		t.Fatalf("cycles = %d", c.Cycles)
+	}
+	if c.Gate <= 0 || c.GateFunctional <= 0 {
+		t.Fatal("expected gate activity")
+	}
+	if c.Glitches() < 0 || c.GateFunctional > c.Gate {
+		t.Fatalf("inconsistent counts: %+v", c)
+	}
+	if c.Total() != c.Gate+c.Latch {
+		t.Fatalf("Total inconsistent: %+v", c)
+	}
+	if c.TogglesPerCycle() <= 0 {
+		t.Fatal("toggles per cycle should be positive")
+	}
+}
+
+func TestMultiplierGlitchesInSimulation(t *testing.T) {
+	net := netgen.MultiplierNetwork(8)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.RunRandom(300, 11)
+	if c.Glitches() == 0 {
+		t.Fatal("array multiplier must glitch under random stimulus")
+	}
+	share := float64(c.Glitches()) / float64(c.Gate)
+	if share < 0.05 {
+		t.Fatalf("glitch share suspiciously low: %v", share)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	net := netgen.AdderNetwork(4)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunRandom(50, 1)
+	s.Reset()
+	c := s.Counts()
+	if c.Gate != 0 || c.Cycles != 0 || c.Latch != 0 {
+		t.Fatalf("reset did not clear counts: %+v", c)
+	}
+	for id, n := range s.NodeTransitions {
+		if n != 0 {
+			t.Fatalf("node %d transitions not cleared", id)
+		}
+	}
+}
+
+func TestRandomVectorsReproducible(t *testing.T) {
+	a := RandomVectors(10, 20, 42)
+	b := RandomVectors(10, 20, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("vectors not reproducible")
+			}
+		}
+	}
+	c := RandomVectors(10, 20, 43)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical vectors")
+	}
+}
+
+// TestEstimatorTracksSimulator is the key validation of §4: the
+// glitch-aware analytic estimate should correlate with measured toggle
+// counts across structures, and both should agree that the glitch-aware
+// estimate beats the glitch-blind one on glitchy logic.
+func TestEstimatorTracksSimulator(t *testing.T) {
+	nets := []*logic.Network{
+		netgen.AdderNetwork(8),
+		netgen.MultiplierNetwork(6),
+		netgen.PartialDatapathNetwork(netgen.FUAdd, 4, 4, 6),
+		netgen.PartialDatapathNetwork(netgen.FUAdd, 7, 1, 6),
+	}
+	var estRatios []float64
+	for _, net := range nets {
+		s, err := New(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.RunRandom(2000, 17)
+		measured := float64(c.Gate) / float64(c.Cycles)
+		est := glitch.EstimateNetwork(net, prob.DefaultSources()).TotalActivity(net)
+		ratio := est / measured
+		estRatios = append(estRatios, ratio)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("%s: estimate %v vs measured %v (ratio %v) out of range", net.Name, est, measured, ratio)
+		}
+	}
+	// Ordering: the unbalanced-mux datapath must be worse than balanced
+	// both measured and estimated (checked in glitch tests for the
+	// estimate; here for the measurement).
+	bal := nets[2]
+	unbal := nets[3]
+	sb, _ := New(bal)
+	su, _ := New(unbal)
+	cb := sb.RunRandom(2000, 19)
+	cu := su.RunRandom(2000, 19)
+	if cb.Gate >= cu.Gate {
+		t.Fatalf("measured: balanced muxes (%d) should toggle less than unbalanced (%d)", cb.Gate, cu.Gate)
+	}
+}
+
+func TestSimOnMappedNetworkMatchesOriginalFunction(t *testing.T) {
+	net := netgen.MultiplierNetwork(5)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := New(net)
+	s2, _ := New(res.Mapped)
+	rng := rand.New(rand.NewSource(5))
+	for cyc := 0; cyc < 100; cyc++ {
+		in := make([]bool, len(net.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		s1.Step(in)
+		// Align by name.
+		in2 := make([]bool, len(res.Mapped.Inputs))
+		for i, id := range res.Mapped.Inputs {
+			nm := res.Mapped.Node(id).Name
+			for j, id1 := range net.Inputs {
+				if net.Node(id1).Name == nm {
+					in2[i] = in[j]
+				}
+			}
+		}
+		s2.Step(in2)
+		for i := range net.Outputs {
+			v1 := s1.Values()[net.Outputs[i].Node]
+			v2 := s2.Values()[res.Mapped.Outputs[i].Node]
+			if v1 != v2 {
+				t.Fatalf("cycle %d: mapped sim diverges on output %d", cyc, i)
+			}
+		}
+	}
+}
+
+func BenchmarkSimulateMult8(b *testing.B) {
+	net := netgen.MultiplierNetwork(8)
+	s, err := New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := RandomVectors(len(net.Inputs), 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunVectors(vec)
+	}
+}
+
+func BenchmarkSimulateMappedMult8(b *testing.B) {
+	net := netgen.MultiplierNetwork(8)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(res.Mapped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := RandomVectors(len(res.Mapped.Inputs), 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunVectors(vec)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netgen"
+)
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	net := logic.NewNetwork("v")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	y := net.AddGate("y", logic.TTXor2(), a, b)
+	net.MarkOutput("y", y)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.EnableVCD(&sb, []int{a, b, y}); err != nil {
+		t.Fatal(err)
+	}
+	s.Step([]bool{true, false}) // a rises; y follows at t=1
+	s.Step([]bool{true, true})  // b rises; y falls
+	if err := s.VCDErr(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 1 ! a $end",
+		"$var wire 1 \" b $end",
+		"$var wire 1 # y $end",
+		"$dumpvars",
+		"#0",   // cycle-0 input change
+		"#1",   // y's unit-delay transition
+		"#100", // cycle-1 input change
+		"#101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Both polarities of y appear.
+	if !strings.Contains(out, "1#") || !strings.Contains(out, "0#") {
+		t.Fatalf("y transitions incomplete:\n%s", out)
+	}
+}
+
+func TestVCDWatchSubset(t *testing.T) {
+	net := netgen.AdderNetwork(4)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch only the first sum bit.
+	id, ok := net.FindNode("s0")
+	if !ok {
+		t.Fatal("s0 missing")
+	}
+	var sb strings.Builder
+	if err := s.EnableVCD(&sb, []int{id}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunRandom(20, 3)
+	out := sb.String()
+	if strings.Count(out, "$var") != 1 {
+		t.Fatalf("expected a single watched signal:\n%s", out)
+	}
+	if strings.Count(out, "#") < 2 {
+		t.Fatal("no transitions recorded")
+	}
+}
+
+func TestVCDRequiresFreshSimulator(t *testing.T) {
+	net := netgen.AdderNetwork(2)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunRandom(1, 1)
+	var sb strings.Builder
+	if err := s.EnableVCD(&sb, nil); err == nil {
+		t.Fatal("EnableVCD after Step should fail")
+	}
+	s.Reset()
+	if err := s.EnableVCD(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		c := vcdCode(i)
+		if seen[c] {
+			t.Fatalf("code collision at %d: %q", i, c)
+		}
+		seen[c] = true
+		for _, r := range c {
+			if r < 33 || r > 126 {
+				t.Fatalf("non-printable code byte in %q", c)
+			}
+		}
+	}
+}

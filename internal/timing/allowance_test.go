@@ -1,0 +1,74 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// twoConeNetwork: a shallow cone into latch qa and a deep cone into
+// latch qb, so per-sink allowances matter.
+func twoConeNetwork() (*logic.Network, int, int) {
+	net := logic.NewNetwork("cones")
+	a := net.AddInput("a")
+	qa := net.AddLatch("qa", false)
+	qb := net.AddLatch("qb", false)
+	short := net.AddGate("short", logic.TTNot(), a)
+	net.ConnectLatch(qa, short)
+	cur := a
+	for i := 0; i < 6; i++ {
+		cur = net.AddGate("", logic.TTNot(), cur)
+	}
+	net.ConnectLatch(qb, cur)
+	net.MarkOutput("ya", qa)
+	return net, short, cur
+}
+
+func TestPeriodWithAllowanceSelective(t *testing.T) {
+	net, shortSink, deepSink := twoConeNetwork()
+	m := Model{LUTDelayNs: 1, WirePerFanoutNs: 0, ClockOverheadNs: 2}
+	an := Analyze(net, m)
+
+	// No allowance: period set by the deep cone.
+	base := PeriodWithAllowance(net, an, m, nil)
+	if math.Abs(base-an.PeriodNs) > 1e-9 {
+		t.Fatalf("nil allowance should equal STA period: %v vs %v", base, an.PeriodNs)
+	}
+	// Give only the deep sink 3 cycles: period drops to max(short, deep/3).
+	relaxed := PeriodWithAllowance(net, an, m, func(sink int) int {
+		if sink == deepSink {
+			return 3
+		}
+		return 1
+	})
+	want := math.Max(an.Arrival[shortSink], an.Arrival[deepSink]/3) + m.ClockOverheadNs
+	if math.Abs(relaxed-want) > 1e-9 {
+		t.Fatalf("relaxed period %v, want %v", relaxed, want)
+	}
+	if relaxed >= base {
+		t.Fatal("allowance should shorten the period")
+	}
+	// Allowance below 1 clamps.
+	clamped := PeriodWithAllowance(net, an, m, func(int) int { return 0 })
+	if math.Abs(clamped-base) > 1e-9 {
+		t.Fatal("allowance 0 should clamp to 1")
+	}
+}
+
+func TestPeriodWithAllowanceCoversOutputs(t *testing.T) {
+	// Primary-output sinks participate too.
+	net := logic.NewNetwork("po")
+	a := net.AddInput("a")
+	cur := a
+	for i := 0; i < 4; i++ {
+		cur = net.AddGate("", logic.TTNot(), cur)
+	}
+	net.MarkOutput("y", cur)
+	m := Model{LUTDelayNs: 1, WirePerFanoutNs: 0, ClockOverheadNs: 1}
+	an := Analyze(net, m)
+	p := PeriodWithAllowance(net, an, m, func(int) int { return 2 })
+	if math.Abs(p-(4.0/2+1)) > 1e-9 {
+		t.Fatalf("PO allowance period %v, want 3", p)
+	}
+}

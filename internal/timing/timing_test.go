@@ -1,0 +1,169 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+)
+
+func TestChainArrival(t *testing.T) {
+	// A 3-inverter chain with fanout 1 everywhere: arrival = k * (cell + wire).
+	net := logic.NewNetwork("chain")
+	cur := net.AddInput("a")
+	var ids []int
+	for i := 0; i < 3; i++ {
+		cur = net.AddGate("", logic.TTNot(), cur)
+		ids = append(ids, cur)
+	}
+	net.MarkOutput("y", cur)
+	m := Model{LUTDelayNs: 1, WirePerFanoutNs: 0.5, ClockOverheadNs: 2}
+	an := Analyze(net, m)
+	per := 1.5
+	for i, id := range ids {
+		want := float64(i+1) * per
+		if math.Abs(an.Arrival[id]-want) > 1e-9 {
+			t.Fatalf("node %d arrival %.2f, want %.2f", id, an.Arrival[id], want)
+		}
+	}
+	if math.Abs(an.CriticalNs-3*per) > 1e-9 {
+		t.Fatalf("critical %.2f, want %.2f", an.CriticalNs, 3*per)
+	}
+	if math.Abs(an.PeriodNs-(3*per+2)) > 1e-9 {
+		t.Fatalf("period %.2f", an.PeriodNs)
+	}
+	// The whole chain is the critical path (plus the PI source).
+	if len(an.CriticalPath) != 4 {
+		t.Fatalf("critical path has %d nodes, want 4", len(an.CriticalPath))
+	}
+	// Zero slack along the critical path.
+	for _, id := range ids {
+		if math.Abs(an.Slack[id]) > 1e-9 {
+			t.Fatalf("critical node %d has slack %.3f", id, an.Slack[id])
+		}
+	}
+}
+
+func TestFanoutLoadsDriver(t *testing.T) {
+	// A driver with 4 fanouts is slower than one with 1.
+	build := func(fanouts int) float64 {
+		net := logic.NewNetwork("f")
+		a := net.AddInput("a")
+		drv := net.AddGate("drv", logic.TTNot(), a)
+		for i := 0; i < fanouts; i++ {
+			s := net.AddGate("", logic.TTNot(), drv)
+			net.MarkOutput("y"+string(rune('0'+i)), s)
+		}
+		an := Analyze(net, CycloneII())
+		return an.Arrival[drv]
+	}
+	if build(4) <= build(1) {
+		t.Fatal("fanout load should slow the driver")
+	}
+}
+
+func TestOffPathHasPositiveSlack(t *testing.T) {
+	// Short side branch next to a long chain: the branch has slack.
+	net := logic.NewNetwork("slack")
+	a := net.AddInput("a")
+	short := net.AddGate("short", logic.TTNot(), a)
+	net.MarkOutput("s", short)
+	cur := a
+	for i := 0; i < 5; i++ {
+		cur = net.AddGate("", logic.TTNot(), cur)
+	}
+	net.MarkOutput("l", cur)
+	an := Analyze(net, CycloneII())
+	if an.Slack[short] <= 0 {
+		t.Fatalf("short branch slack %.2f, want > 0", an.Slack[short])
+	}
+	if math.Abs(an.Slack[cur]) > 1e-9 {
+		t.Fatal("long branch should be critical (zero slack)")
+	}
+}
+
+func TestLatchBoundaries(t *testing.T) {
+	// Latch D inputs are sinks; latch outputs are sources.
+	net := logic.NewNetwork("seq")
+	a := net.AddInput("a")
+	q := net.AddLatch("q", false)
+	g1 := net.AddGate("g1", logic.TTAnd2(), a, q)
+	net.ConnectLatch(q, g1)
+	g2 := net.AddGate("g2", logic.TTNot(), q)
+	net.MarkOutput("y", g2)
+	an := Analyze(net, CycloneII())
+	if an.Arrival[q] != 0 {
+		t.Fatal("latch output must be a timing source")
+	}
+	if an.CriticalNs <= 0 {
+		t.Fatal("no critical delay found")
+	}
+}
+
+func TestAnalyzeMappedMultiplier(t *testing.T) {
+	net := netgen.MultiplierNetwork(8)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(res.Mapped, CycloneII())
+	if an.CriticalNs <= 0 {
+		t.Fatal("no delay on a multiplier?")
+	}
+	// The critical path must be contiguous (each node a fanin of the next).
+	for i := 1; i < len(an.CriticalPath); i++ {
+		nd := res.Mapped.Node(an.CriticalPath[i])
+		found := false
+		for _, f := range nd.Fanins {
+			if f == an.CriticalPath[i-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("critical path broken between %d and %d", an.CriticalPath[i-1], an.CriticalPath[i])
+		}
+	}
+	// Period grows monotonically with depth-proportional critical delay
+	// and the report names the path.
+	rep := an.Report(res.Mapped)
+	if !strings.Contains(rep, "critical path") || !strings.Contains(rep, "ns") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+}
+
+func TestMultiCyclePeriod(t *testing.T) {
+	net := netgen.MultiplierNetwork(8)
+	res, err := mapper.Map(net, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := CycloneII()
+	an := Analyze(res.Mapped, m)
+	p1 := MultiCyclePeriodNs(an, m, 1)
+	p2 := MultiCyclePeriodNs(an, m, 2)
+	if math.Abs(p1-an.PeriodNs) > 1e-9 {
+		t.Fatal("1-cycle period must equal the STA period")
+	}
+	if p2 >= p1 {
+		t.Fatal("2-cycle allowance must shorten the period")
+	}
+	if p2 <= m.ClockOverheadNs {
+		t.Fatal("period cannot go below the overhead")
+	}
+	if got := MultiCyclePeriodNs(an, m, 0); math.Abs(got-p1) > 1e-9 {
+		t.Fatal("cycles < 1 should clamp to 1")
+	}
+}
+
+func TestSlackNonNegativeOffCritical(t *testing.T) {
+	net := netgen.AdderNetwork(8)
+	an := Analyze(net, CycloneII())
+	for id, s := range an.Slack {
+		if s < -1e-9 {
+			t.Fatalf("node %d has negative slack %.3f", id, s)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package verify implements combinational equivalence checking between
+// logic networks, the sign-off step an EDA flow runs after every
+// netlist transformation (optimization, technology mapping, BLIF round
+// trips). Primary inputs are matched by name and outputs by name (or
+// position when names are absent); each output pair is compared exactly
+// by building a BDD miter. Sequential networks are checked on their
+// combinational surface: latch outputs pair up as pseudo-inputs and
+// latch D inputs as pseudo-outputs, which proves cycle-accurate
+// equivalence when the latch correspondence is by name.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+)
+
+// Result reports an equivalence check.
+type Result struct {
+	// Equivalent is true when every compared output pair matched.
+	Equivalent bool
+	// FailedOutput names the first differing output.
+	FailedOutput string
+	// Counterexample assigns a value per matched input name
+	// demonstrating the difference (nil when equivalent).
+	Counterexample map[string]bool
+}
+
+// Options bounds the check.
+type Options struct {
+	// MaxNodes bounds the BDD manager (0 = 1<<21). Exceeding it returns
+	// an error rather than an unsound verdict.
+	MaxNodes int
+}
+
+// Equivalent checks combinational equivalence of two networks.
+func Equivalent(a, b *logic.Network, opt Options) (*Result, error) {
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 1 << 21
+	}
+
+	// Pair inputs by name: the union of both networks' source names maps
+	// to one BDD variable each.
+	m := bdd.New()
+	varOf := make(map[string]int)
+	varName := []string{}
+	sourceVar := func(name string) bdd.Ref {
+		if name == "" {
+			name = fmt.Sprintf("_anon%d", len(varOf))
+		}
+		v, ok := varOf[name]
+		if !ok {
+			v = len(varName)
+			varOf[name] = v
+			varName = append(varName, name)
+		}
+		return m.Var(v)
+	}
+
+	build := func(net *logic.Network) (map[string]bdd.Ref, error) {
+		refs := make([]bdd.Ref, net.NumNodes())
+		for _, id := range net.TopoOrder() {
+			nd := net.Node(id)
+			switch nd.Kind {
+			case logic.KindInput, logic.KindLatchOut:
+				refs[id] = sourceVar(nd.Name)
+			case logic.KindConst:
+				refs[id] = bdd.False
+				if nd.ConstVal {
+					refs[id] = bdd.True
+				}
+			case logic.KindGate:
+				n := len(nd.Fanins)
+				var compose func(assign uint, v int) bdd.Ref
+				compose = func(assign uint, v int) bdd.Ref {
+					if v == n {
+						if nd.Func.Get(assign) {
+							return bdd.True
+						}
+						return bdd.False
+					}
+					lo := compose(assign, v+1)
+					hi := compose(assign|1<<uint(v), v+1)
+					if lo == hi {
+						return lo
+					}
+					return m.ITE(refs[nd.Fanins[v]], hi, lo)
+				}
+				refs[id] = compose(0, 0)
+				if m.Size() > opt.MaxNodes {
+					return nil, fmt.Errorf("verify: BDD exceeded %d nodes at %q", opt.MaxNodes, nd.Name)
+				}
+			}
+		}
+		outs := make(map[string]bdd.Ref, len(net.Outputs)+len(net.Latches))
+		for i, o := range net.Outputs {
+			name := o.Name
+			if name == "" {
+				name = fmt.Sprintf("_out%d", i)
+			}
+			outs[name] = refs[o.Node]
+		}
+		// Latch D inputs are pseudo-outputs keyed by the latch name.
+		for _, q := range net.Latches {
+			nd := net.Node(q)
+			outs["_latch_"+nd.Name] = refs[nd.LatchInput]
+		}
+		return outs, nil
+	}
+
+	oa, err := build(a)
+	if err != nil {
+		return nil, err
+	}
+	ob, err := build(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(oa) != len(ob) {
+		return nil, fmt.Errorf("verify: output counts differ (%d vs %d)", len(oa), len(ob))
+	}
+	names := make([]string, 0, len(oa))
+	for name := range oa {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rb, ok := ob[name]
+		if !ok {
+			return nil, fmt.Errorf("verify: output %q missing from second network", name)
+		}
+		miter := m.Xor(oa[name], rb)
+		if miter == bdd.False {
+			continue
+		}
+		// Extract a satisfying assignment of the miter.
+		assign := satAssign(m, miter)
+		ce := make(map[string]bool, len(varName))
+		for v, nm := range varName {
+			ce[nm] = assign&(1<<uint(v)) != 0
+		}
+		return &Result{Equivalent: false, FailedOutput: name, Counterexample: ce}, nil
+	}
+	return &Result{Equivalent: true}, nil
+}
+
+// satAssign walks any path to True in f and returns the input assignment
+// as a bit mask over BDD variables (unconstrained variables read 0).
+func satAssign(m *bdd.Manager, f bdd.Ref) uint {
+	var assign uint
+	for f != bdd.True {
+		v, lo, hi := m.Node(f)
+		if hi != bdd.False {
+			assign |= 1 << uint(v)
+			f = hi
+		} else {
+			f = lo
+		}
+	}
+	return assign
+}

@@ -1,0 +1,96 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/workload"
+)
+
+func TestEmitMultiCycleCapturesAtCompletion(t *testing.T) {
+	g := workload.FIR(3)
+	rc := cdfg.ResourceConstraint{Add: 1, Mult: 1}
+	lib := cdfg.Library{AddLatency: 1, MultLatency: 2}
+	s, err := cdfg.ListScheduleLat(g, rc, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Emit(&sb, g, s, rb, res, 8); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	// Every multiplication's register capture fires at its completion
+	// counter value (start+1 for 2-cycle mults), i.e. at cstep =
+	// Completion-1, never at the start step's counter value.
+	for _, id := range g.Ops() {
+		if g.Nodes[id].Kind != cdfg.KindMult {
+			continue
+		}
+		if rb.Reg[id] < 0 {
+			continue
+		}
+		comp := s.Completion(g, id)
+		if comp == s.Step[id] {
+			t.Fatalf("mult %d not multi-cycle in schedule", id)
+		}
+	}
+	if !strings.Contains(text, "architecture rtl") {
+		t.Fatal("VHDL malformed")
+	}
+}
+
+func TestEmitMultiCycleSubMode(t *testing.T) {
+	// A 2-cycle subtraction must keep its '-' mode across both occupied
+	// counter values: the when-condition must reference two csteps.
+	g := cdfg.NewGraph("mcsub")
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	d := g.AddOp(cdfg.KindSub, "d", a, b)
+	e := g.AddOp(cdfg.KindAdd, "e", d, a)
+	g.MarkOutput(e)
+	lib := cdfg.Library{AddLatency: 2, MultLatency: 1}
+	s, err := cdfg.ListScheduleLat(g, cdfg.ResourceConstraint{Add: 1, Mult: 1}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := satable.New(4, satable.EstimatorGlitch)
+	res, _, err := core.Bind(g, s, rb, cdfg.ResourceConstraint{Add: 1, Mult: 1}, core.DefaultOptions(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Emit(&sb, g, s, rb, res, 8); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	subLine := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, " - fu") {
+			subLine = line
+		}
+	}
+	if subLine == "" {
+		t.Fatalf("no subtraction emitted:\n%s", text)
+	}
+	if !strings.Contains(subLine, "or cstep =") {
+		t.Fatalf("sub mode should span the occupation interval: %q", subLine)
+	}
+}

@@ -1,0 +1,123 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/lopass"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/workload"
+)
+
+var testTable = satable.New(4, satable.EstimatorGlitch)
+
+func emitKernel(t *testing.T, g *cdfg.Graph, rc cdfg.ResourceConstraint) string {
+	t.Helper()
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := core.Bind(g, s, rb, rc, core.DefaultOptions(testTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Emit(&sb, g, s, rb, res, 8); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestEmitFIRStructure(t *testing.T) {
+	text := emitKernel(t, workload.FIR(4), cdfg.ResourceConstraint{Add: 2, Mult: 2})
+	for _, want := range []string{
+		"entity fir4 is",
+		"architecture rtl of fir4",
+		"clk : in std_logic",
+		"signal cstep",
+		"rising_edge(clk)",
+		"end architecture;",
+		"unsigned(7 downto 0)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("VHDL missing %q:\n%s", want, text)
+		}
+	}
+	// Every FU declared is also driven.
+	if !strings.Contains(text, "fu0_y <=") {
+		t.Fatal("FU output not driven")
+	}
+}
+
+func TestEmitSubtractionUsesMinus(t *testing.T) {
+	text := emitKernel(t, workload.Butterfly(2), cdfg.ResourceConstraint{Add: 4, Mult: 2})
+	if !strings.Contains(text, " - fu") {
+		t.Fatalf("butterfly kernel should synthesize subtraction:\n%s", text)
+	}
+	if !strings.Contains(text, "when cstep =") {
+		t.Fatal("sub/add mode should be step-conditional")
+	}
+}
+
+func TestEmitMultUsesResize(t *testing.T) {
+	text := emitKernel(t, workload.FIR(2), cdfg.ResourceConstraint{Add: 1, Mult: 1})
+	if !strings.Contains(text, "resize(") {
+		t.Fatal("multiplication should resize to the datapath width")
+	}
+}
+
+func TestEmitAllOutputsDriven(t *testing.T) {
+	g := workload.DCT8()
+	text := emitKernel(t, g, cdfg.ResourceConstraint{Add: 3, Mult: 4})
+	for i := range g.Outputs {
+		if !strings.Contains(text, "out"+string(rune('0'+i))+" <=") {
+			t.Fatalf("output %d not driven", i)
+		}
+	}
+}
+
+func TestEmitWorksWithLOPASSBinding(t *testing.T) {
+	g := workload.FIR(4)
+	rc := cdfg.ResourceConstraint{Add: 2, Mult: 2}
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := lopass.Bind(g, s, rb, rc, lopass.Options{PortSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Emit(&sb, g, s, rb, res, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "entity fir4") {
+		t.Fatal("missing entity")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"fir4":     "fir4",
+		"8tap":     "_tap",
+		"a-b.c":    "a_b_c",
+		"":         "design",
+		"ok_name9": "ok_name9",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

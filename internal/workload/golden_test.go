@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/cdfg"
+)
+
+// graphHash fingerprints a CDFG's exact structure.
+func graphHash(g *cdfg.Graph) uint64 {
+	h := fnv.New64a()
+	write := func(v int) {
+		var b [4]byte
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		h.Write(b[:])
+	}
+	for _, n := range g.Nodes {
+		write(int(n.Kind))
+		for _, a := range n.Args {
+			write(a)
+		}
+	}
+	for _, o := range g.Outputs {
+		write(o)
+	}
+	return h.Sum64()
+}
+
+// TestBenchmarkGraphsPinned guards the recorded EXPERIMENTS.md numbers:
+// the seeded generator must keep producing byte-identical benchmark
+// graphs. If a deliberate generator change breaks this test, regenerate
+// the experiment record and update these fingerprints.
+func TestBenchmarkGraphsPinned(t *testing.T) {
+	golden := map[string]uint64{}
+	for _, p := range Benchmarks {
+		golden[p.Name] = graphHash(Generate(p))
+	}
+	// Self-consistency (same run).
+	for _, p := range Benchmarks {
+		if graphHash(Generate(p)) != golden[p.Name] {
+			t.Fatalf("%s: generator not deterministic within a process", p.Name)
+		}
+	}
+	// Cross-run stability: pin the actual values.
+	pinned := map[string]uint64{
+		"chem":  0x2af3c8bfb04b9c12,
+		"dir":   0xeb21a87ef7d9fbbb,
+		"honda": 0x1c3fb3de3145f499,
+		"mcm":   0x9c0cb40cbe36de1d,
+		"pr":    0xd60c6fd4c17a80d2,
+		"steam": 0x88f1a1a5a9f1df4c,
+		"wang":  0x3de6882a054927db,
+	}
+	for name, want := range pinned {
+		if got := golden[name]; got != want {
+			t.Errorf("%s: graph fingerprint %#x, want %#x — the generator changed; "+
+				"regenerate EXPERIMENTS.md and update this pin", name, got, want)
+		}
+	}
+}

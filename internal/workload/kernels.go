@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+)
+
+// DCT8 builds a real 8-point one-dimensional DCT kernel as a CDFG in the
+// dense matrix-vector form: y[k] = sum_n c[k][n] * x[n]. Constant
+// coefficients arrive as primary inputs (the binder sees the same
+// add/mult structure either way). 64 multiplications + 56 additions —
+// the same workload family as the paper's pr/wang/dir benchmarks.
+func DCT8() *cdfg.Graph {
+	g := cdfg.NewGraph("dct8")
+	x := make([]int, 8)
+	for i := range x {
+		x[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	c := make([][]int, 8)
+	for k := range c {
+		c[k] = make([]int, 8)
+		for n := range c[k] {
+			c[k][n] = g.AddInput(fmt.Sprintf("c%d_%d", k, n))
+		}
+	}
+	for k := 0; k < 8; k++ {
+		acc := -1
+		for n := 0; n < 8; n++ {
+			p := g.AddOp(cdfg.KindMult, fmt.Sprintf("m%d_%d", k, n), c[k][n], x[n])
+			if acc < 0 {
+				acc = p
+			} else {
+				acc = g.AddOp(cdfg.KindAdd, fmt.Sprintf("a%d_%d", k, n), acc, p)
+			}
+		}
+		g.MarkOutput(acc)
+	}
+	return g
+}
+
+// FIR builds an n-tap finite-impulse-response filter kernel:
+// y = sum_i h[i] * x[i] with a balanced adder tree (tree reduction keeps
+// the critical path logarithmic — a scheduling-friendly shape).
+func FIR(taps int) *cdfg.Graph {
+	if taps < 1 {
+		panic("workload: FIR needs at least one tap")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("fir%d", taps))
+	prods := make([]int, taps)
+	for i := 0; i < taps; i++ {
+		x := g.AddInput(fmt.Sprintf("x%d", i))
+		h := g.AddInput(fmt.Sprintf("h%d", i))
+		prods[i] = g.AddOp(cdfg.KindMult, fmt.Sprintf("p%d", i), h, x)
+	}
+	level := 0
+	for len(prods) > 1 {
+		var next []int
+		for i := 0; i < len(prods); i += 2 {
+			if i+1 == len(prods) {
+				next = append(next, prods[i])
+				continue
+			}
+			next = append(next, g.AddOp(cdfg.KindAdd, fmt.Sprintf("s%d_%d", level, i/2), prods[i], prods[i+1]))
+		}
+		prods = next
+		level++
+	}
+	g.MarkOutput(prods[0])
+	return g
+}
+
+// Butterfly builds a radix-2 FFT-like butterfly stage cascade over 2^n
+// points with add/sub pairs and twiddle multiplies — a third realistic
+// kernel shape (heavily subtract-laden, unlike DCT8/FIR).
+func Butterfly(logN int) *cdfg.Graph {
+	if logN < 1 || logN > 5 {
+		panic("workload: Butterfly wants 1 <= logN <= 5")
+	}
+	n := 1 << logN
+	g := cdfg.NewGraph(fmt.Sprintf("bfly%d", n))
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	tw := make([]int, logN)
+	for s := range tw {
+		tw[s] = g.AddInput(fmt.Sprintf("w%d", s))
+	}
+	for s := 0; s < logN; s++ {
+		half := n >> (s + 1)
+		next := make([]int, n)
+		for b := 0; b < (1 << s); b++ {
+			base := b * 2 * half
+			for i := 0; i < half; i++ {
+				hi := vals[base+i]
+				lo := g.AddOp(cdfg.KindMult, fmt.Sprintf("t%d_%d_%d", s, b, i), vals[base+half+i], tw[s])
+				next[base+i] = g.AddOp(cdfg.KindAdd, fmt.Sprintf("u%d_%d_%d", s, b, i), hi, lo)
+				next[base+half+i] = g.AddOp(cdfg.KindSub, fmt.Sprintf("v%d_%d_%d", s, b, i), hi, lo)
+			}
+		}
+		vals = next
+	}
+	for _, v := range vals {
+		g.MarkOutput(v)
+	}
+	return g
+}
+
+// IIR builds a cascade of direct-form-I biquad sections:
+// y = b0*x + b1*xd1 + b2*xd2 - a1*yd1 - a2*yd2, with the delayed taps
+// supplied as primary inputs (the CDFG captures one evaluation). Heavy
+// in subtractions and accumulation chains — the adder-class stress
+// kernel.
+func IIR(sections int) *cdfg.Graph {
+	if sections < 1 {
+		panic("workload: IIR needs at least one section")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("iir%d", sections))
+	x := g.AddInput("x")
+	for s := 0; s < sections; s++ {
+		coef := func(name string) int { return g.AddInput(fmt.Sprintf("%s_%d", name, s)) }
+		b0, b1, b2 := coef("b0"), coef("b1"), coef("b2")
+		a1, a2 := coef("a1"), coef("a2")
+		xd1, xd2 := coef("xd1"), coef("xd2")
+		yd1, yd2 := coef("yd1"), coef("yd2")
+		t0 := g.AddOp(cdfg.KindMult, fmt.Sprintf("s%d_b0x", s), b0, x)
+		t1 := g.AddOp(cdfg.KindMult, fmt.Sprintf("s%d_b1x", s), b1, xd1)
+		t2 := g.AddOp(cdfg.KindMult, fmt.Sprintf("s%d_b2x", s), b2, xd2)
+		t3 := g.AddOp(cdfg.KindMult, fmt.Sprintf("s%d_a1y", s), a1, yd1)
+		t4 := g.AddOp(cdfg.KindMult, fmt.Sprintf("s%d_a2y", s), a2, yd2)
+		acc := g.AddOp(cdfg.KindAdd, fmt.Sprintf("s%d_acc0", s), t0, t1)
+		acc = g.AddOp(cdfg.KindAdd, fmt.Sprintf("s%d_acc1", s), acc, t2)
+		acc = g.AddOp(cdfg.KindSub, fmt.Sprintf("s%d_acc2", s), acc, t3)
+		acc = g.AddOp(cdfg.KindSub, fmt.Sprintf("s%d_acc3", s), acc, t4)
+		x = acc // cascade into the next section
+	}
+	g.MarkOutput(x)
+	return g
+}
+
+// MatMul builds an n-by-n matrix-vector product y = A*x — the densest
+// regular mult/add mix, with every x element fanning out n ways.
+func MatMul(n int) *cdfg.Graph {
+	if n < 1 {
+		panic("workload: MatMul needs n >= 1")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("matmul%d", n))
+	x := make([]int, n)
+	for i := range x {
+		x[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for r := 0; r < n; r++ {
+		acc := -1
+		for c := 0; c < n; c++ {
+			a := g.AddInput(fmt.Sprintf("a%d_%d", r, c))
+			p := g.AddOp(cdfg.KindMult, fmt.Sprintf("m%d_%d", r, c), a, x[c])
+			if acc < 0 {
+				acc = p
+			} else {
+				acc = g.AddOp(cdfg.KindAdd, fmt.Sprintf("s%d_%d", r, c), acc, p)
+			}
+		}
+		g.MarkOutput(acc)
+	}
+	return g
+}
