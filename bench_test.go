@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -111,6 +113,30 @@ func BenchmarkFigure3(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + sb.String())
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures the full (benchmark × binder) sweep —
+// the paper's whole evaluation — at -j 1 (serial) vs -j GOMAXPROCS vs
+// -j 8. Every iteration starts a cold session, so the wall-clock ratio
+// between sub-benchmarks is the fan-out speedup of flow.Session.RunAll.
+// On an N-core host the parallel sweeps approach min(N, #pairs)× the
+// serial one (the pairs are fully independent); on a single core all
+// three tie. The results are identical at any -j (see
+// flow.TestParallelMatchesSerial).
+func BenchmarkParallelSweep(b *testing.B) {
+	jobSet := []int{1, runtime.GOMAXPROCS(0), 8}
+	for _, jobs := range jobSet {
+		jobs := jobs
+		b.Run(fmt.Sprintf("j=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				se := benchSession()
+				se.Jobs = jobs
+				if err := se.RunAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -12,7 +12,8 @@
 //	hlpower -satable FILE         precompute and save the SA table
 //
 // Common flags: -width, -vectors, -alpha, -benchset (comma-separated
-// benchmark subset), -loadsatable FILE.
+// benchmark subset), -loadsatable FILE, -j N (parallel workers; every
+// run is independently seeded, so the output is identical for any -j).
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		saveTable = flag.String("satable", "", "precompute the SA table up to -maxmux and save to FILE")
 		loadTable = flag.String("loadsatable", "", "load a precomputed SA table from FILE")
 		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
+		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 
 	if *saveTable != "" {
 		fmt.Fprintf(os.Stderr, "precomputing SA table (width %d, mux sizes 1..%d)...\n", *width, *maxMux)
-		cfg.Table.Precompute(*maxMux)
+		cfg.Table.PrecomputeParallel(*maxMux, *jobs)
 		f, err := os.Create(*saveTable)
 		if err != nil {
 			fatal(err)
@@ -81,6 +83,7 @@ func main() {
 	}
 
 	se := flow.NewSession(cfg)
+	se.Jobs = *jobs
 	if *benchset != "" {
 		var profs []workload.Profile
 		for _, name := range strings.Split(*benchset, ",") {
@@ -127,6 +130,11 @@ func main() {
 			os.Exit(1)
 		}
 	case *all:
+		// Warm the whole (benchmark x binder) matrix in one parallel
+		// sweep; the table/figure generators then read the cache.
+		if err := se.RunAll(); err != nil {
+			fatal(err)
+		}
 		runTable(se, 1)
 		runTable(se, 2)
 		runTable(se, 3)

@@ -46,11 +46,13 @@ var ablationVariants = []string{
 }
 
 // AblationData runs every ablation variant over the session's
-// benchmarks. Runs are not cached in the session (variant space differs
-// from the main binder matrix).
+// benchmarks, fanning the per-benchmark pipelines out over Session.Jobs
+// workers (the shared SA tables are concurrency-safe; everything else is
+// per-run state). Runs are not cached in the session (variant space
+// differs from the main binder matrix). Row order is deterministic:
+// benchmark-major in suite order, then variant order.
 func AblationData(se *Session) ([]AblationRow, error) {
 	cfg := se.Cfg
-	var rows []AblationRow
 	tables := map[string]*satable.Table{
 		"HLPower-glitch":    cfg.Table,
 		"HLPower-zerodelay": satable.New(cfg.Width, satable.EstimatorZeroDelay),
@@ -58,16 +60,18 @@ func AblationData(se *Session) ([]AblationRow, error) {
 		"HLPower+modsel":    cfg.Table,
 		"HLPower+portopt":   cfg.Table,
 	}
-	for _, p := range se.Benchmarks {
+	perBench := make([][]AblationRow, len(se.Benchmarks))
+	err := forEach(len(se.Benchmarks), se.Jobs, func(bi int) error {
+		p := se.Benchmarks[bi]
 		g := workload.Generate(p)
 		s, err := workload.Schedule(p, g)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		swap := binding.RandomPortAssignment(g, cfg.PortSeed)
 		rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, variant := range ablationVariants {
 			var res *binding.Result
@@ -76,13 +80,13 @@ func AblationData(se *Session) ([]AblationRow, error) {
 			case "LOPASS":
 				r, rep, err := lopass.Bind(g, s, rb, p.RC, lopass.Options{Swap: swap, Table: cfg.BaselineTable})
 				if err != nil {
-					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
 				}
 				res, bindTime = r, rep.Runtime
 			case "LOPASS-flow":
 				r, rep, err := lopass.BindFlow(g, s, rb, p.RC, lopass.Options{Swap: swap})
 				if err != nil {
-					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
 				}
 				res, bindTime = r, rep.Runtime
 			default:
@@ -93,7 +97,7 @@ func AblationData(se *Session) ([]AblationRow, error) {
 				opt.Swap = swap
 				r, rep, err := core.Bind(g, s, rb, p.RC, opt)
 				if err != nil {
-					return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
 				}
 				res, bindTime = r, rep.Runtime
 			}
@@ -102,13 +106,21 @@ func AblationData(se *Session) ([]AblationRow, error) {
 			}
 			row, err := measureAblation(g, s, rb, res, cfg, variant == "HLPower+modsel")
 			if err != nil {
-				return nil, fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+				return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
 			}
 			row.Bench = p.Name
 			row.Variant = variant
 			row.BindTime = bindTime
-			rows = append(rows, *row)
+			perBench[bi] = append(perBench[bi], *row)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, br := range perBench {
+		rows = append(rows, br...)
 	}
 	return rows, nil
 }

@@ -11,6 +11,7 @@ package flow
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/binding"
@@ -252,32 +253,71 @@ func RunScheduled(g *cdfg.Graph, name string, s *cdfg.Schedule, rc cdfg.Resource
 
 // Session caches pipeline runs so the table generators can share them
 // (Table 3, Table 4 and Figure 3 reuse identical runs, like the paper's
-// single experimental sweep).
+// single experimental sweep). A Session is safe for concurrent use:
+// the cache is mutex-guarded and concurrent Run calls on the same
+// (benchmark, binder) pair share a single pipeline execution
+// (singleflight), so RunAll can fan the sweep out over worker
+// goroutines without duplicating or racing any run.
 type Session struct {
 	Cfg Config
 	// Benchmarks is the profile set the tables iterate over; defaults to
 	// the full seven-benchmark suite of the paper.
 	Benchmarks []workload.Profile
-	cache      map[string]*Result
+	// Jobs bounds the worker count RunAll (and the parallel table and
+	// ablation generators) fan out with; 0 selects GOMAXPROCS.
+	Jobs int
+
+	mu       sync.Mutex
+	cache    map[string]*Result
+	inflight map[string]*inflightRun
+}
+
+// inflightRun is one in-progress pipeline execution; duplicate callers
+// block on done and read res/err afterwards.
+type inflightRun struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // NewSession creates a run cache over a configuration covering the full
 // benchmark suite.
 func NewSession(cfg Config) *Session {
-	return &Session{Cfg: cfg, Benchmarks: workload.Benchmarks, cache: make(map[string]*Result)}
+	return &Session{
+		Cfg:        cfg,
+		Benchmarks: workload.Benchmarks,
+		cache:      make(map[string]*Result),
+		inflight:   make(map[string]*inflightRun),
+	}
 }
 
 // Run returns the cached result for (benchmark, binder), executing the
-// pipeline on first use.
+// pipeline on first use. Concurrent calls for the same pair share one
+// execution and return the identical *Result.
 func (se *Session) Run(p workload.Profile, b Binder) (*Result, error) {
 	key := p.Name + "|" + b.Name
+	se.mu.Lock()
 	if r, ok := se.cache[key]; ok {
+		se.mu.Unlock()
 		return r, nil
 	}
-	r, err := Run(p, b, se.Cfg)
-	if err != nil {
-		return nil, err
+	if c, ok := se.inflight[key]; ok {
+		se.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	se.cache[key] = r
-	return r, nil
+	c := &inflightRun{done: make(chan struct{})}
+	se.inflight[key] = c
+	se.mu.Unlock()
+
+	c.res, c.err = Run(p, b, se.Cfg)
+
+	se.mu.Lock()
+	if c.err == nil {
+		se.cache[key] = c.res
+	}
+	delete(se.inflight, key)
+	se.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
 }

@@ -1,0 +1,97 @@
+package flow
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// This file is the concurrency layer of the experiment harness. The
+// paper's whole evaluation (§6.1) is an embarrassingly parallel sweep of
+// Benchmarks × Binders: every run is fully determined by its inputs and
+// the shared seeds (VectorSeed, PortSeed, DelaySeed), shares no mutable
+// state with any other run, and therefore produces byte-identical
+// results whether executed serially or fanned out over a worker pool.
+// RunAll exploits that to fill the Session cache with -j workers; the
+// table/figure generators then read the warm cache in deterministic
+// benchmark order.
+
+// AllBinders is the full binder matrix of the paper's sweep (Tables 3-4,
+// Figure 3).
+var AllBinders = []Binder{BinderLOPASS, BinderHLPower1, BinderHLPower05}
+
+// normJobs resolves a worker-count request: <= 0 selects GOMAXPROCS.
+func normJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// forEach runs fn(0..n-1) on up to jobs workers and returns the
+// lowest-index error (so the reported failure does not depend on
+// goroutine scheduling). jobs <= 1 degrades to a plain serial loop.
+func forEach(n, jobs int, fn func(i int) error) error {
+	jobs = normJobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes every (benchmark, binder) pair of the session's sweep
+// on Session.Jobs workers (0 = GOMAXPROCS), filling the run cache. With
+// no binders given it runs the full paper matrix (AllBinders). Results
+// are identical to serial execution — every run is independently seeded
+// — and the first error (in sweep order) is returned.
+func (se *Session) RunAll(binders ...Binder) error {
+	if len(binders) == 0 {
+		binders = AllBinders
+	}
+	type pair struct {
+		p workload.Profile
+		b Binder
+	}
+	pairs := make([]pair, 0, len(se.Benchmarks)*len(binders))
+	for _, p := range se.Benchmarks {
+		for _, b := range binders {
+			pairs = append(pairs, pair{p, b})
+		}
+	}
+	return forEach(len(pairs), se.Jobs, func(i int) error {
+		_, err := se.Run(pairs[i].p, pairs[i].b)
+		return err
+	})
+}

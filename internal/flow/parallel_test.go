@@ -1,0 +1,226 @@
+package flow
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// comparableResult is the deterministic projection of a Result: every
+// measured field except BindTime (wall clock) and the Schedule pointer.
+type comparableResult struct {
+	Bench   string
+	Binder  string
+	SchedL  int
+	NumRegs int
+	FUMux   interface{}
+	DPMux   interface{}
+	LUTs    int
+	Depth   int
+	EstSA   float64
+	Counts  interface{}
+	Power   interface{}
+}
+
+func project(r *Result) comparableResult {
+	return comparableResult{
+		Bench:   r.Bench,
+		Binder:  r.Binder.Name,
+		SchedL:  r.Schedule.Len,
+		NumRegs: r.NumRegs,
+		FUMux:   r.FUMux,
+		DPMux:   r.DPMux,
+		LUTs:    r.LUTs,
+		Depth:   r.Depth,
+		EstSA:   r.EstSA,
+		Counts:  r.Counts,
+		Power:   r.Power,
+	}
+}
+
+// fullSuiteSession returns a session over the full seven-benchmark suite
+// at reduced scale (width 4, 150 vectors) with the given worker count.
+func fullSuiteSession(jobs int) *Session {
+	cfg := testConfig()
+	cfg.Vectors = 150
+	se := NewSession(cfg)
+	se.Jobs = jobs
+	return se
+}
+
+// TestParallelMatchesSerial is the determinism guarantee of the harness:
+// the full benchmark suite run at -j 1 and at -j 8 yields identical
+// Result fields, identical Table3/Table4/Figure3 rows, and byte-identical
+// rendered output. Every run is independently seeded (VectorSeed,
+// PortSeed, DelaySeed), so fan-out must not change a single number.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	serial := fullSuiteSession(1)
+	par := fullSuiteSession(8)
+
+	if err := serial.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range serial.Benchmarks {
+		for _, b := range AllBinders {
+			rs, err := serial.Run(p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := par.Run(p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(project(rs), project(rp)) {
+				t.Errorf("%s/%s: parallel result differs from serial:\nserial:   %+v\nparallel: %+v",
+					p.Name, b.Name, project(rs), project(rp))
+			}
+		}
+	}
+
+	t3s, err := Table3Data(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3p, err := Table3Data(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t3s, t3p) {
+		t.Errorf("Table3Data rows differ between -j 1 and -j 8")
+	}
+	t4s, _ := Table4Data(serial)
+	t4p, _ := Table4Data(par)
+	if !reflect.DeepEqual(t4s, t4p) {
+		t.Errorf("Table4Data rows differ between -j 1 and -j 8")
+	}
+	f3s, _ := Figure3Data(serial)
+	f3p, _ := Figure3Data(par)
+	if !reflect.DeepEqual(f3s, f3p) {
+		t.Errorf("Figure3Data rows differ between -j 1 and -j 8")
+	}
+
+	// Rendered output must be byte-identical too.
+	render := func(se *Session) string {
+		var sb strings.Builder
+		if err := Table3(&sb, se); err != nil {
+			t.Fatal(err)
+		}
+		if err := Table4(&sb, se); err != nil {
+			t.Fatal(err)
+		}
+		if err := Figure3(&sb, se); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if got, want := render(par), render(serial); got != want {
+		t.Errorf("rendered tables differ between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", want, got)
+	}
+}
+
+// TestSessionSingleflight hammers one (benchmark, binder) pair from many
+// goroutines: the session must execute the pipeline once and hand every
+// caller the identical *Result (exercised under -race in CI).
+func TestSessionSingleflight(t *testing.T) {
+	se := smallSession()
+	p := se.Benchmarks[0]
+	const workers = 16
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		w := w
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			results[w], errs[w] = se.Run(p, BinderLOPASS)
+		}()
+	}
+	start.Done()
+	done.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if results[w] != results[0] {
+			t.Fatalf("worker %d got a different *Result: singleflight dedup failed", w)
+		}
+	}
+}
+
+// TestRunAllFillsCache checks RunAll executes the whole matrix and that
+// subsequent Run calls are cache hits.
+func TestRunAllFillsCache(t *testing.T) {
+	se := smallSession()
+	se.Jobs = 4
+	if err := se.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	se.mu.Lock()
+	n := len(se.cache)
+	se.mu.Unlock()
+	if want := len(se.Benchmarks) * len(AllBinders); n != want {
+		t.Fatalf("cache holds %d runs, want %d", n, want)
+	}
+	r1, err := se.Run(se.Benchmarks[0], BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := se.Run(se.Benchmarks[0], BinderHLPower05)
+	if r1 != r2 {
+		t.Fatal("post-RunAll Run did not hit the cache")
+	}
+}
+
+// TestRunAllPropagatesError checks a failing run surfaces its error (and
+// the lowest-index one, independent of scheduling).
+func TestRunAllPropagatesError(t *testing.T) {
+	se := smallSession()
+	se.Jobs = 4
+	bad := se.Benchmarks[0]
+	bad.Name = "bad"
+	bad.RC = workload.Benchmarks[0].RC
+	bad.RC.Add, bad.RC.Mult = 0, 0 // unschedulable: no units at all
+	se.Benchmarks = append([]workload.Profile{bad}, se.Benchmarks...)
+	err := se.RunAll()
+	if err == nil {
+		t.Fatal("RunAll ignored a failing benchmark")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestForEachOrderedErrors checks forEach reports the lowest-index error.
+func TestForEachOrderedErrors(t *testing.T) {
+	errA := &indexErr{3}
+	errB := &indexErr{7}
+	err := forEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the index-3 error", err)
+	}
+}
+
+type indexErr struct{ i int }
+
+func (e *indexErr) Error() string { return "fail" }

@@ -26,6 +26,9 @@ func Table1(w io.Writer) error {
 // Table2 prints resource constraints, schedule length, register count,
 // and HLPower runtime (paper Table 2).
 func Table2(w io.Writer, se *Session) error {
+	if err := se.RunAll(BinderHLPower05); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Benchmark\tAdd\tMult\tCycle\tReg\tHLPower Runtime")
 	for _, p := range se.Benchmarks {
@@ -53,8 +56,14 @@ type Table3Row struct {
 	MuxLenPct          float64
 }
 
-// Table3Data computes the Table 3 comparison for every benchmark.
+// Table3Data computes the Table 3 comparison for every benchmark. The
+// underlying runs execute on Session.Jobs workers; the rows are
+// assembled from the warm cache in benchmark order, so the output is
+// independent of the worker count.
 func Table3Data(se *Session) ([]Table3Row, error) {
+	if err := se.RunAll(BinderLOPASS, BinderHLPower05); err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
 	for _, p := range se.Benchmarks {
 		lo, err := se.Run(p, BinderLOPASS)
@@ -132,8 +141,12 @@ type Table4Row struct {
 	NumMuxes      int
 }
 
-// Table4Data computes muxDiff mean/variance for the three binders.
+// Table4Data computes muxDiff mean/variance for the three binders,
+// fanning the runs out over Session.Jobs workers.
 func Table4Data(se *Session) ([]Table4Row, error) {
+	if err := se.RunAll(); err != nil {
+		return nil, err
+	}
 	var rows []Table4Row
 	for _, p := range se.Benchmarks {
 		lo, err := se.Run(p, BinderLOPASS)
@@ -192,8 +205,12 @@ type Figure3Row struct {
 	RateL, Rate1, Rate05 float64 // millions of transitions/sec
 }
 
-// Figure3Data computes the toggle-rate series of Figure 3.
+// Figure3Data computes the toggle-rate series of Figure 3, fanning the
+// runs out over Session.Jobs workers.
 func Figure3Data(se *Session) ([]Figure3Row, error) {
+	if err := se.RunAll(); err != nil {
+		return nil, err
+	}
 	var rows []Figure3Row
 	for _, p := range se.Benchmarks {
 		lo, err := se.Run(p, BinderLOPASS)

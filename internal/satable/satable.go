@@ -13,9 +13,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mapper"
 	"repro/internal/netgen"
@@ -57,7 +59,10 @@ type Key struct {
 	KL, KR int
 }
 
-// Table caches SA values per (FU, mux sizes) configuration.
+// Table caches SA values per (FU, mux sizes) configuration. It is safe
+// for concurrent use: lookups share one map under a mutex, and
+// concurrent misses on the same key are deduplicated so the expensive
+// netgen -> mapper computation runs exactly once per key.
 type Table struct {
 	// Width is the datapath bit width the entries were computed for.
 	Width int
@@ -68,17 +73,29 @@ type Table struct {
 
 	mu   sync.Mutex
 	vals map[Key]float64
-	// misses counts lazy computations (for the precalc-speedup bench).
+	// inflight holds per-key in-progress computations so concurrent
+	// misses on the same Key share one compute (singleflight).
+	inflight map[Key]*inflightCompute
+	// misses counts unique lazily-computed keys (for the precalc-speedup
+	// bench); concurrent misses on one key count once.
 	misses int
+}
+
+// inflightCompute is one in-progress lazy computation; waiters block on
+// done and read val afterwards.
+type inflightCompute struct {
+	done chan struct{}
+	val  float64
 }
 
 // New returns an empty table for the given datapath width.
 func New(width int, est Estimator) *Table {
 	return &Table{
-		Width:  width,
-		Est:    est,
-		MapOpt: mapper.DefaultOptions(),
-		vals:   make(map[Key]float64),
+		Width:    width,
+		Est:      est,
+		MapOpt:   mapper.DefaultOptions(),
+		vals:     make(map[Key]float64),
+		inflight: make(map[Key]*inflightCompute),
 	}
 }
 
@@ -97,15 +114,26 @@ func (t *Table) Get(kind netgen.FUKind, kl, kr int) float64 {
 		t.mu.Unlock()
 		return v
 	}
+	if c, ok := t.inflight[key]; ok {
+		// Another goroutine is already computing this key: wait for it
+		// instead of redoing the expensive netgen -> mapper pipeline.
+		t.mu.Unlock()
+		<-c.done
+		return c.val
+	}
+	c := &inflightCompute{done: make(chan struct{})}
+	t.inflight[key] = c
 	t.misses++
 	t.mu.Unlock()
 
-	v := t.compute(kind, kl, kr)
+	c.val = t.compute(kind, kl, kr)
 
 	t.mu.Lock()
-	t.vals[key] = v
+	t.vals[key] = c.val
+	delete(t.inflight, key)
 	t.mu.Unlock()
-	return v
+	close(c.done)
+	return c.val
 }
 
 // compute generates the partial datapath, maps it, and estimates SA —
@@ -130,8 +158,9 @@ func (t *Table) compute(kind netgen.FUKind, kl, kr int) float64 {
 	}
 }
 
-// Misses returns how many entries were computed lazily (not served from
-// a preloaded file or cache).
+// Misses returns how many unique entries were computed lazily (not
+// served from a preloaded file or cache). Concurrent misses on the same
+// key share one computation and count once.
 func (t *Table) Misses() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -146,15 +175,52 @@ func (t *Table) Len() int {
 }
 
 // Precompute fills the table for every FU kind and all mux-size
-// combinations up to maxMux inputs per port.
+// combinations up to maxMux inputs per port, computing missing entries
+// on GOMAXPROCS workers. Entries are independent, so the filled table is
+// identical to a serial fill.
 func (t *Table) Precompute(maxMux int) {
+	t.PrecomputeParallel(maxMux, 0)
+}
+
+// PrecomputeParallel is Precompute with an explicit worker count
+// (jobs <= 0 selects GOMAXPROCS).
+func (t *Table) PrecomputeParallel(maxMux, jobs int) {
+	var keys []Key
 	for _, kind := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
 		for kl := 1; kl <= maxMux; kl++ {
 			for kr := 1; kr <= maxMux; kr++ {
-				t.Get(kind, kl, kr)
+				keys = append(keys, Key{Kind: kind, KL: kl, KR: kr})
 			}
 		}
 	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(keys) {
+		jobs = len(keys)
+	}
+	if jobs <= 1 {
+		for _, k := range keys {
+			t.Get(k.Kind, k.KL, k.KR)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				t.Get(keys[i].Kind, keys[i].KL, keys[i].KR)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Save writes the table as a text file (one "kind kl kr sa" row per

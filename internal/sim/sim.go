@@ -70,8 +70,35 @@ type Simulator struct {
 	// scratch
 	startVal []bool
 
+	// Event queue: gate delays are bounded by maxDelay, so at any
+	// simulated time t every pending event lies in (t, t+maxDelay] and a
+	// ring of maxDelay+1 time slots indexes the whole frontier — the
+	// next-event search is O(maxDelay) instead of a scan over all
+	// pending times. The slot slices are reused across Step calls.
+	maxDelay int
+	ring     [][]event
+	npending int
+
+	// Per-step scratch, reused across Step calls. futureVal/futureSeen
+	// track each gate's most recently scheduled output for the current
+	// step (futureSeen[g] == stepGen means futureVal[g] is live);
+	// evalSeen dedups gate evaluations within one fanout sweep.
+	futureVal  []bool
+	futureSeen []uint64
+	evalSeen   []uint64
+	stepGen    uint64
+	evalGen    uint64
+	dVals      []bool
+	changed    []int
+
 	// vcd is the optional value-change-dump sink (see EnableVCD).
 	vcd *vcdState
+}
+
+// event is one scheduled gate-output change.
+type event struct {
+	node int
+	v    bool
 }
 
 // New creates a unit-delay simulator with all values initialized to the
@@ -103,7 +130,19 @@ func NewWithDelays(net *logic.Network, model DelayModel, seed int64) (*Simulator
 			h ^= h >> 27
 			s.delays[id] = 1 + int(h%3)
 		}
+		if s.delays[id] > s.maxDelay {
+			s.maxDelay = s.delays[id]
+		}
 	}
+	if s.maxDelay < 1 {
+		s.maxDelay = 1
+	}
+	s.ring = make([][]event, s.maxDelay+1)
+	n := net.NumNodes()
+	s.futureVal = make([]bool, n)
+	s.futureSeen = make([]uint64, n)
+	s.evalSeen = make([]uint64, n)
+	s.dVals = make([]bool, len(net.Latches))
 	s.Reset()
 	return s, nil
 }
@@ -118,6 +157,10 @@ func (s *Simulator) Reset() {
 		s.NodeTransitions[i] = 0
 	}
 	s.counts = Counts{}
+	for i := range s.ring {
+		s.ring[i] = s.ring[i][:0]
+	}
+	s.npending = 0
 }
 
 // Counts returns the accumulated transition counts.
@@ -136,86 +179,52 @@ func (s *Simulator) Step(inputs []bool) {
 		panic("sim: input vector length mismatch")
 	}
 	copy(s.startVal, s.val)
+	s.stepGen++
 
 	// Time 0: latch outputs and primary inputs change together. Latch
 	// updates are two-phase: all D values are sampled before any Q
 	// changes, so chains of directly connected latches (pipeline banks,
 	// shift registers) shift by exactly one stage per clock instead of
 	// shooting through.
-	var changedNow []int
-	dVals := make([]bool, len(s.net.Latches))
+	s.changed = s.changed[:0]
 	for i, q := range s.net.Latches {
-		dVals[i] = s.val[s.net.Node(q).LatchInput]
+		s.dVals[i] = s.val[s.net.Node(q).LatchInput]
 	}
 	for i, q := range s.net.Latches {
-		nv := dVals[i]
+		nv := s.dVals[i]
 		if nv != s.val[q] {
 			s.val[q] = nv
 			s.counts.Latch++
 			s.NodeTransitions[q]++
 			s.vcdEmit(q, 0, nv)
-			changedNow = append(changedNow, q)
+			s.changed = append(s.changed, q)
 		}
 	}
 	for i, id := range s.net.Inputs {
 		if s.val[id] != inputs[i] {
 			s.val[id] = inputs[i]
 			s.vcdEmit(id, 0, inputs[i])
-			changedNow = append(changedNow, id)
+			s.changed = append(s.changed, id)
 		}
 	}
 
 	// Transport-delay event simulation. futureVal tracks each gate's
 	// most recently scheduled output so repeated evaluations within one
-	// delay window enqueue only real changes.
-	type event struct {
-		node int
-		v    bool
-	}
-	pending := make(map[int][]event) // time -> scheduled output changes
-	futureVal := make(map[int]bool)
-	future := func(g int) bool {
-		if v, ok := futureVal[g]; ok {
-			return v
+	// delay window enqueue only real changes; the ring indexes pending
+	// events by time modulo maxDelay+1 (see the Simulator field docs).
+	s.evalFanouts(s.changed, 0)
+	for t := 0; s.npending > 0; {
+		t++
+		slot := t % len(s.ring)
+		events := s.ring[slot]
+		if len(events) == 0 {
+			continue
 		}
-		return s.val[g]
-	}
-	evalFanouts := func(changed []int, t int) {
-		seen := make(map[int]bool)
-		for _, id := range changed {
-			for _, g := range s.fanouts[id] {
-				nd := s.net.Node(g)
-				if nd.Kind != logic.KindGate || seen[g] {
-					continue
-				}
-				seen[g] = true
-				var assign uint
-				for i, f := range nd.Fanins {
-					if s.val[f] {
-						assign |= 1 << uint(i)
-					}
-				}
-				nv := nd.Func.Eval(assign)
-				if nv != future(g) {
-					futureVal[g] = nv
-					at := t + s.delays[g]
-					pending[at] = append(pending[at], event{g, nv})
-				}
-			}
-		}
-	}
-	evalFanouts(changedNow, 0)
-	for len(pending) > 0 {
-		// Next event time.
-		t := -1
-		for at := range pending {
-			if t < 0 || at < t {
-				t = at
-			}
-		}
-		events := pending[t]
-		delete(pending, t)
-		var changed []int
+		// Detach the slot before applying: new events land at
+		// t+delay (delay in [1, maxDelay]), never back in this slot.
+		s.ring[slot] = events[:0]
+		s.npending -= len(events)
+		s.changed = s.changed[:0]
 		for _, e := range events {
 			if s.val[e.node] == e.v {
 				continue
@@ -224,11 +233,50 @@ func (s *Simulator) Step(inputs []bool) {
 			s.counts.Gate++
 			s.NodeTransitions[e.node]++
 			s.vcdEmit(e.node, t, e.v)
-			changed = append(changed, e.node)
+			s.changed = append(s.changed, e.node)
 		}
-		evalFanouts(changed, t)
+		s.evalFanouts(s.changed, t)
 	}
 
+	s.settleCounts()
+}
+
+// evalFanouts re-evaluates every gate fed by a changed node at time t
+// and schedules real output changes at t + delay. futureVal-aware
+// comparison makes repeated evaluations within one delay window enqueue
+// only genuine changes, exactly like the original map-based queue.
+func (s *Simulator) evalFanouts(changed []int, t int) {
+	s.evalGen++
+	for _, id := range changed {
+		for _, g := range s.fanouts[id] {
+			nd := s.net.Node(g)
+			if nd.Kind != logic.KindGate || s.evalSeen[g] == s.evalGen {
+				continue
+			}
+			s.evalSeen[g] = s.evalGen
+			var assign uint
+			for i, f := range nd.Fanins {
+				if s.val[f] {
+					assign |= 1 << uint(i)
+				}
+			}
+			nv := nd.Func.Eval(assign)
+			cur := s.val[g]
+			if s.futureSeen[g] == s.stepGen {
+				cur = s.futureVal[g]
+			}
+			if nv != cur {
+				s.futureVal[g] = nv
+				s.futureSeen[g] = s.stepGen
+				slot := (t + s.delays[g]) % len(s.ring)
+				s.ring[slot] = append(s.ring[slot], event{g, nv})
+				s.npending++
+			}
+		}
+	}
+}
+
+func (s *Simulator) settleCounts() {
 	// Functional transitions: settled value differs from cycle start.
 	for _, nd := range s.net.Nodes {
 		if nd.Kind == logic.KindGate && s.val[nd.ID] != s.startVal[nd.ID] {
