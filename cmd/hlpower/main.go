@@ -9,18 +9,25 @@
 //	hlpower -validate             check the headline result shapes
 //	hlpower -ablation             run the binder/estimator ablation study
 //	hlpower -bench NAME           run one benchmark through both binders
+//	hlpower -alphasweep LIST      sweep HLPower's alpha over LIST (e.g. 0,0.25,0.5,0.75,1)
 //	hlpower -satable FILE         precompute and save the SA table
 //
 // Common flags: -width, -vectors, -alpha, -benchset (comma-separated
 // benchmark subset), -loadsatable FILE, -j N (parallel workers; every
-// run is independently seeded, so the output is identical for any -j).
+// run is independently seeded, so the output is identical for any -j),
+// -trace FILE (write pipeline stage spans as JSON to FILE, or "-" for
+// stdout, and print a per-stage cache summary to stderr).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"repro/internal/flow"
 	"repro/internal/satable"
@@ -42,13 +49,17 @@ func main() {
 		loadTable = flag.String("loadsatable", "", "load a precomputed SA table from FILE")
 		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
+		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
+		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
 	)
 	flag.Parse()
 
 	cfg := flow.DefaultConfig()
 	cfg.Width = *width
 	cfg.Vectors = *vectors
-	cfg.Table = satable.New(*width, satable.EstimatorGlitch)
+	// Normalize replaces the default width-8 SA tables when -width
+	// changed them out from under us.
+	cfg = cfg.Normalize()
 	if *loadTable != "" {
 		f, err := os.Open(*loadTable)
 		if err != nil {
@@ -116,6 +127,15 @@ func main() {
 		if err := flow.Ablation(os.Stdout, se); err != nil {
 			fatal(err)
 		}
+	case *alphaList != "":
+		alphas, err := parseAlphas(*alphaList)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("=== Alpha sweep ===")
+		if err := flow.AlphaSweep(os.Stdout, se, alphas); err != nil {
+			fatal(err)
+		}
 	case *validate:
 		devs, err := flow.ValidateAgainstPaper(se)
 		if err != nil {
@@ -153,6 +173,79 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *traceOut != "" {
+		if err := emitTrace(se, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseAlphas parses the -alphasweep value list.
+func parseAlphas(s string) ([]float64, error) {
+	var alphas []float64
+	for _, f := range strings.Split(s, ",") {
+		a, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -alphasweep value %q: %w", f, err)
+		}
+		alphas = append(alphas, a)
+	}
+	return alphas, nil
+}
+
+// emitTrace writes the session's stage spans as a JSON array to dest
+// ("-" = stdout) and prints a per-stage cache summary to stderr.
+func emitTrace(se *flow.Session, dest string) error {
+	spans := se.TraceSpans()
+	out := os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spans); err != nil {
+		return err
+	}
+
+	// Per-stage rollup: demands, hit rate, and where the compute time
+	// actually went.
+	type agg struct {
+		demands, hits int
+		compute, wait time.Duration
+	}
+	byStage := make(map[string]*agg)
+	for _, sp := range spans {
+		a := byStage[sp.Stage]
+		if a == nil {
+			a = &agg{}
+			byStage[sp.Stage] = a
+		}
+		a.demands++
+		if sp.CacheHit {
+			a.hits++
+			a.wait += sp.Duration()
+		} else {
+			a.compute += sp.Duration()
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tdemands\thits\tmisses\tcompute\thit-wait")
+	for _, name := range flow.StageNames {
+		a := byStage[name]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\t%v\n",
+			name, a.demands, a.hits, a.demands-a.hits,
+			a.compute.Round(time.Microsecond), a.wait.Round(time.Microsecond))
+	}
+	return tw.Flush()
 }
 
 func runTable(se *flow.Session, n int) {

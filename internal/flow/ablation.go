@@ -7,17 +7,8 @@ import (
 	"time"
 
 	"repro/internal/binding"
-	"repro/internal/cdfg"
-	"repro/internal/core"
-	"repro/internal/datapath"
-	"repro/internal/logic"
-	"repro/internal/lopass"
-	"repro/internal/mapper"
 	"repro/internal/modsel"
-	"repro/internal/regbind"
 	"repro/internal/satable"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // AblationRow is one (benchmark, variant) measurement of the ablation
@@ -45,73 +36,85 @@ var ablationVariants = []string{
 	"HLPower+portopt",   // paper config + post-binding port re-assignment [2]
 }
 
+// ablationSpec resolves one variant into its binding-stage spec and its
+// (optional) module-selection request. The estimator variants allocate
+// their own SA tables; the stage cache keys tables by content
+// fingerprint, so repeated studies on one session still share binds.
+func ablationSpec(variant string, cfg Config, zeroTable, najmTable *satable.Table) (bindSpec, *modsel.Options) {
+	switch variant {
+	case "LOPASS":
+		return bindSpec{algo: "lopass", table: cfg.BaselineTable}, nil
+	case "LOPASS-flow":
+		return bindSpec{algo: "lopass-flow"}, nil
+	}
+	spec := bindSpec{
+		algo:          "hlpower",
+		alpha:         0.5,
+		betaAdd:       cfg.BetaAdd,
+		betaMult:      cfg.BetaMult,
+		mergesPerIter: 1,
+		table:         cfg.Table,
+	}
+	var ms *modsel.Options
+	switch variant {
+	case "HLPower-zerodelay":
+		spec.table = zeroTable
+	case "HLPower-najm":
+		spec.table = najmTable
+	case "HLPower+modsel":
+		opt := modsel.DefaultOptions()
+		opt.Width = cfg.Width
+		opt.MapOpt = cfg.MapOpt
+		ms = &opt
+	case "HLPower+portopt":
+		spec.portOpt = true
+	}
+	return spec, ms
+}
+
 // AblationData runs every ablation variant over the session's
 // benchmarks, fanning the per-benchmark pipelines out over Session.Jobs
-// workers (the shared SA tables are concurrency-safe; everything else is
-// per-run state). Runs are not cached in the session (variant space
-// differs from the main binder matrix). Row order is deterministic:
+// workers. Every variant flows through the session's stage cache: all
+// seven variants of a benchmark share its schedule and register-binding
+// artifacts with each other and with the mainline sweep, the
+// HLPower-glitch variant is the same bind-stage invocation as the
+// mainline HLPower a=0.5 run, and variants whose bindings coincide
+// (portopt frequently flips nothing) share the mapped netlist,
+// simulation, and power analysis too. Row order is deterministic:
 // benchmark-major in suite order, then variant order.
 func AblationData(se *Session) ([]AblationRow, error) {
 	cfg := se.Cfg
-	tables := map[string]*satable.Table{
-		"HLPower-glitch":    cfg.Table,
-		"HLPower-zerodelay": satable.New(cfg.Width, satable.EstimatorZeroDelay),
-		"HLPower-najm":      satable.New(cfg.Width, satable.EstimatorNajm),
-		"HLPower+modsel":    cfg.Table,
-		"HLPower+portopt":   cfg.Table,
-	}
+	zeroTable := satable.New(cfg.Width, satable.EstimatorZeroDelay)
+	najmTable := satable.New(cfg.Width, satable.EstimatorNajm)
 	perBench := make([][]AblationRow, len(se.Benchmarks))
 	err := forEach(len(se.Benchmarks), se.Jobs, func(bi int) error {
 		p := se.Benchmarks[bi]
-		g := workload.Generate(p)
-		s, err := workload.Schedule(p, g)
-		if err != nil {
-			return err
-		}
-		swap := binding.RandomPortAssignment(g, cfg.PortSeed)
-		rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
+		fe, rba, err := se.frontEnd(p)
 		if err != nil {
 			return err
 		}
 		for _, variant := range ablationVariants {
-			var res *binding.Result
-			var bindTime time.Duration
-			switch variant {
-			case "LOPASS":
-				r, rep, err := lopass.Bind(g, s, rb, p.RC, lopass.Options{Swap: swap, Table: cfg.BaselineTable})
-				if err != nil {
-					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
-				}
-				res, bindTime = r, rep.Runtime
-			case "LOPASS-flow":
-				r, rep, err := lopass.BindFlow(g, s, rb, p.RC, lopass.Options{Swap: swap})
-				if err != nil {
-					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
-				}
-				res, bindTime = r, rep.Runtime
-			default:
-				opt := core.DefaultOptions(tables[variant])
-				opt.Alpha = 0.5
-				opt.BetaAdd, opt.BetaMult = cfg.BetaAdd, cfg.BetaMult
-				opt.MergesPerIteration = 1
-				opt.Swap = swap
-				r, rep, err := core.Bind(g, s, rb, p.RC, opt)
-				if err != nil {
-					return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
-				}
-				res, bindTime = r, rep.Runtime
-			}
-			if variant == "HLPower+portopt" {
-				binding.OptimizePorts(g, rb, res)
-			}
-			row, err := measureAblation(g, s, rb, res, cfg, variant == "HLPower+modsel")
+			spec, ms := ablationSpec(variant, cfg, zeroTable, najmTable)
+			ba, err := stageBind.Exec(se.stages, bindIn{
+				name: p.Name, binder: variant, fe: fe, rba: rba, rc: p.RC, spec: spec,
+			}, se.trace)
 			if err != nil {
-				return fmt.Errorf("flow: %s/%s: %w", p.Name, variant, err)
+				return err
 			}
-			row.Bench = p.Name
-			row.Variant = variant
-			row.BindTime = bindTime
-			perBench[bi] = append(perBench[bi], *row)
+			_, ma, _, rep, err := runBackEnd(se.stages, cfg, fe, rba, ba, p.Name, variant, ms, se.trace)
+			if err != nil {
+				return err
+			}
+			st := binding.ComputeMuxStats(fe.g, rba.rb, ba.res)
+			perBench[bi] = append(perBench[bi], AblationRow{
+				Bench:    p.Name,
+				Variant:  variant,
+				PowerMW:  rep.DynamicPowerMW,
+				LUTs:     ma.m.LUTs,
+				MuxLen:   st.Length,
+				DiffMean: st.DiffMean,
+				BindTime: ba.bindTime,
+			})
 		}
 		return nil
 	})
@@ -123,46 +126,6 @@ func AblationData(se *Session) ([]AblationRow, error) {
 		rows = append(rows, br...)
 	}
 	return rows, nil
-}
-
-func measureAblation(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, cfg Config, useModSel bool) (*AblationRow, error) {
-	var arch *datapath.Arch
-	if useModSel {
-		opt := modsel.DefaultOptions()
-		opt.Width = cfg.Width
-		opt.MapOpt = cfg.MapOpt
-		sel, err := modsel.NewSelector(opt).Select(g, rb, res)
-		if err != nil {
-			return nil, err
-		}
-		adder, mult := sel.Arch()
-		arch = &datapath.Arch{Adder: adder, Mult: mult}
-	}
-	d, err := datapath.ElaborateArch(g, s, rb, res, cfg.Width, arch)
-	if err != nil {
-		return nil, err
-	}
-	toMap := d.Net
-	if cfg.PreOptimize {
-		toMap, _ = logic.Optimize(d.Net)
-	}
-	m, err := mapper.Map(toMap, cfg.MapOpt)
-	if err != nil {
-		return nil, err
-	}
-	sr, err := sim.NewWithDelays(m.Mapped, cfg.Delay, cfg.DelaySeed)
-	if err != nil {
-		return nil, err
-	}
-	counts := sr.RunRandom(cfg.Vectors, cfg.VectorSeed)
-	rep := cfg.Power.Analyze(m.Mapped, counts)
-	st := binding.ComputeMuxStats(g, rb, res)
-	return &AblationRow{
-		PowerMW:  rep.DynamicPowerMW,
-		LUTs:     m.LUTs,
-		MuxLen:   st.Length,
-		DiffMean: st.DiffMean,
-	}, nil
 }
 
 // Ablation prints the ablation study.

@@ -7,6 +7,13 @@
 //
 // and provides the experiment harness that regenerates every table and
 // figure of the paper's evaluation section.
+//
+// The pipeline is a typed stage graph (see stages.go): seven cached,
+// instrumented stages whose keys name exactly the inputs each depends
+// on. A Session shares one stage cache across its whole sweep, so runs
+// that differ only in their tail (another binder, another alpha, a
+// different delay model) reuse every artifact up to the first stage
+// that actually changes.
 package flow
 
 import (
@@ -16,14 +23,11 @@ import (
 
 	"repro/internal/binding"
 	"repro/internal/cdfg"
-	"repro/internal/core"
 	"repro/internal/datapath"
-	"repro/internal/logic"
-	"repro/internal/lopass"
 	"repro/internal/mapper"
 	"repro/internal/modsel"
+	"repro/internal/pipeline"
 	"repro/internal/power"
-	"repro/internal/regbind"
 	"repro/internal/satable"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -31,7 +35,9 @@ import (
 
 // Binder selects the binding algorithm of a run.
 type Binder struct {
-	// Name labels the run ("LOPASS", "HLPower a=0.5", ...).
+	// Name labels the run ("LOPASS", "HLPower a=0.5", ...). The name is
+	// display-only: stage cache keys derive from the algorithm and its
+	// effective parameters, never from the label.
 	Name string
 	// UseHLPower selects the paper's algorithm; false runs the baseline.
 	UseHLPower bool
@@ -57,10 +63,16 @@ type Config struct {
 	// PortSeed seeds the shared random port assignment.
 	PortSeed int64
 	// Table is the shared precalculated glitch-aware SA table HLPower
-	// binds with.
+	// binds with. Sharing contract: SA tables memoize expensive partial-
+	// datapath characterizations, so reuse one *satable.Table across
+	// every session and run that can share it — DefaultConfig allocates
+	// fresh (empty) tables on every call, so build one Config and reuse
+	// it rather than calling DefaultConfig repeatedly. A nil or
+	// width-mismatched table is replaced by Normalize (sessions and the
+	// package-level Run entry points normalize automatically).
 	Table *satable.Table
 	// BaselineTable is the zero-delay (glitch-blind) SA table the LOPASS
-	// baseline's power estimator uses.
+	// baseline's power estimator uses. Same sharing contract as Table.
 	BaselineTable *satable.Table
 	// BetaAdd and BetaMult are HLPower's Eq. 4 muxDiff scale factors.
 	// The paper's empirical values (30 / 1000) were calibrated for its
@@ -99,6 +111,11 @@ type Config struct {
 // = speed"); the glitch-aware power mapping is what the SA table uses
 // inside the binder, exactly as GlitchMap is used as the paper's
 // estimator rather than its implementation tool.
+//
+// Every call allocates fresh, empty SA tables. Callers running more
+// than one session should construct one Config and share it (or share
+// the tables explicitly) so the expensive SA characterizations are
+// computed once — see the sharing contract on Config.Table.
 func DefaultConfig() Config {
 	mapOpt := mapper.DefaultOptions()
 	mapOpt.Mode = mapper.ModeDepth
@@ -116,6 +133,23 @@ func DefaultConfig() Config {
 		DelaySeed:     7,
 		Power:         power.CycloneII(),
 	}
+}
+
+// Normalize returns the config with its SA-table invariants restored:
+// a nil or width-mismatched Table/BaselineTable is replaced with a
+// correctly sized one. This is the safety net for callers that adjust
+// Width after DefaultConfig (or build a Config by hand) and would
+// otherwise silently bind against tables characterized at the wrong
+// width. NewSession and the package-level Run entry points normalize
+// automatically; direct stage users should call it themselves.
+func (c Config) Normalize() Config {
+	if c.Table == nil || c.Table.Width != c.Width {
+		c.Table = satable.New(c.Width, satable.EstimatorGlitch)
+	}
+	if c.BaselineTable == nil || c.BaselineTable.Width != c.Width {
+		c.BaselineTable = satable.New(c.Width, satable.EstimatorZeroDelay)
+	}
+	return c
 }
 
 // Result is the full measurement record of one (benchmark, binder) run.
@@ -139,17 +173,30 @@ type Result struct {
 	Counts sim.Counts
 	// Power is the PowerPlay-equivalent report.
 	Power power.Report
+	// StageTrace records the pipeline stages this run executed (or
+	// fetched from cache), in order, with durations and cache hits. For
+	// a Result served from a Session's run cache the trace is the one
+	// recorded when the run first executed.
+	StageTrace []pipeline.Span
 }
 
 // Run executes the full pipeline for one benchmark profile and binder,
-// scheduling to the paper's Table 2 cycle count.
+// scheduling to the paper's Table 2 cycle count. Each call is
+// self-contained (no artifact reuse); use a Session to share work
+// across runs.
 func Run(p workload.Profile, b Binder, cfg Config) (*Result, error) {
-	g := workload.Generate(p)
-	s, err := workload.Schedule(p, g)
+	cfg = cfg.Normalize()
+	var tr pipeline.Trace
+	fe, err := stageSchedule.Exec(nil, p, &tr)
 	if err != nil {
-		return nil, fmt.Errorf("flow: %s: %w", p.Name, err)
+		return nil, err
 	}
-	return RunScheduled(g, p.Name, s, p.RC, b, cfg)
+	r, err := runPipeline(nil, cfg, fe, p.Name, p.RC, b, &tr)
+	if err != nil {
+		return nil, err
+	}
+	r.StageTrace = tr.Spans()
+	return r, nil
 }
 
 // RunGraph executes the pipeline on an arbitrary CDFG with
@@ -164,101 +211,39 @@ func RunGraph(g *cdfg.Graph, name string, rc cdfg.ResourceConstraint, b Binder, 
 
 // RunScheduled executes the pipeline on a pre-scheduled CDFG.
 func RunScheduled(g *cdfg.Graph, name string, s *cdfg.Schedule, rc cdfg.ResourceConstraint, b Binder, cfg Config) (*Result, error) {
+	cfg = cfg.Normalize()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("flow: %s: %w", name, err)
 	}
 	if err := cdfg.ValidateSchedule(g, s, rc); err != nil {
 		return nil, fmt.Errorf("flow: %s: %w", name, err)
 	}
-	swap := binding.RandomPortAssignment(g, cfg.PortSeed)
-	rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
+	var tr pipeline.Trace
+	r, err := runPipeline(nil, cfg, newSchedArtifact(g, s), name, rc, b, &tr)
 	if err != nil {
-		return nil, fmt.Errorf("flow: %s: %w", name, err)
+		return nil, err
 	}
-
-	var res *binding.Result
-	var bindTime time.Duration
-	if b.UseHLPower {
-		opt := core.DefaultOptions(cfg.Table)
-		opt.Alpha = b.Alpha
-		if cfg.BetaAdd > 0 {
-			opt.BetaAdd = cfg.BetaAdd
-		}
-		if cfg.BetaMult > 0 {
-			opt.BetaMult = cfg.BetaMult
-		}
-		// Fine-grained merging: re-evaluate Eq. 4 after every combine,
-		// the granularity the paper's complexity analysis describes.
-		opt.MergesPerIteration = 1
-		opt.Swap = swap
-		r, rep, err := core.Bind(g, s, rb, rc, opt)
-		if err != nil {
-			return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-		}
-		res, bindTime = r, rep.Runtime
-	} else {
-		r, rep, err := lopass.Bind(g, s, rb, rc, lopass.Options{Swap: swap, Table: cfg.BaselineTable})
-		if err != nil {
-			return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-		}
-		res, bindTime = r, rep.Runtime
-	}
-
-	var arch *datapath.Arch
-	if cfg.ModSel != nil {
-		opt := *cfg.ModSel
-		if opt.Width == 0 {
-			opt.Width = cfg.Width
-		}
-		sel, err := modsel.NewSelector(opt).Select(g, rb, res)
-		if err != nil {
-			return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-		}
-		adder, mult := sel.Arch()
-		arch = &datapath.Arch{Adder: adder, Mult: mult}
-	}
-	d, err := datapath.ElaborateArch(g, s, rb, res, cfg.Width, arch)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-	}
-	toMap := d.Net
-	if cfg.PreOptimize {
-		toMap, _ = logic.Optimize(d.Net)
-	}
-	mapped, err := mapper.Map(toMap, cfg.MapOpt)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-	}
-	simr, err := sim.NewWithDelays(mapped.Mapped, cfg.Delay, cfg.DelaySeed)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %s/%s: %w", name, b.Name, err)
-	}
-	counts := simr.RunRandom(cfg.Vectors, cfg.VectorSeed)
-
-	return &Result{
-		Bench:    name,
-		Binder:   b,
-		Schedule: s,
-		NumRegs:  rb.NumRegs,
-		BindTime: bindTime,
-		FUMux:    binding.ComputeMuxStats(g, rb, res),
-		DPMux:    d.Muxes,
-		LUTs:     mapped.LUTs,
-		Depth:    mapped.Depth,
-		EstSA:    mapped.EstSA,
-		Counts:   counts,
-		Power:    cfg.Power.Analyze(mapped.Mapped, counts),
-	}, nil
+	r.StageTrace = tr.Spans()
+	return r, nil
 }
 
 // Session caches pipeline runs so the table generators can share them
 // (Table 3, Table 4 and Figure 3 reuse identical runs, like the paper's
-// single experimental sweep). A Session is safe for concurrent use:
-// the cache is mutex-guarded and concurrent Run calls on the same
-// (benchmark, binder) pair share a single pipeline execution
-// (singleflight), so RunAll can fan the sweep out over worker
-// goroutines without duplicating or racing any run.
+// single experimental sweep). Underneath the per-(benchmark, binder)
+// run cache sits a per-stage artifact cache: all binders (and all
+// ablation variants) of one benchmark share a single schedule and
+// register-binding computation, parameter sweeps share everything up to
+// the first stage their parameter feeds, and sweep points whose
+// bindings coincide share the mapped netlist, simulation, and power
+// analysis too.
+//
+// A Session is safe for concurrent use: both caches are singleflight —
+// concurrent demands for one artifact share a single computation — so
+// RunAll can fan the sweep out over worker goroutines without
+// duplicating or racing any work.
 type Session struct {
+	// Cfg is the session's normalized configuration (see
+	// Config.Normalize; NewSession normalizes its argument).
 	Cfg Config
 	// Benchmarks is the profile set the tables iterate over; defaults to
 	// the full seven-benchmark suite of the paper.
@@ -270,6 +255,11 @@ type Session struct {
 	mu       sync.Mutex
 	cache    map[string]*Result
 	inflight map[string]*inflightRun
+
+	// stages is the shared per-stage artifact cache; trace accumulates
+	// every stage span recorded across the session.
+	stages *pipeline.Cache
+	trace  *pipeline.Trace
 }
 
 // inflightRun is one in-progress pipeline execution; duplicate callers
@@ -281,13 +271,38 @@ type inflightRun struct {
 }
 
 // NewSession creates a run cache over a configuration covering the full
-// benchmark suite.
+// benchmark suite. The configuration is normalized (see
+// Config.Normalize): nil or width-mismatched SA tables are replaced, so
+// a zero-value or hand-edited table field cannot silently bind against
+// the wrong characterization.
 func NewSession(cfg Config) *Session {
 	return &Session{
-		Cfg:        cfg,
+		Cfg:        cfg.Normalize(),
 		Benchmarks: workload.Benchmarks,
 		cache:      make(map[string]*Result),
 		inflight:   make(map[string]*inflightRun),
+		stages:     pipeline.NewCache(),
+		trace:      new(pipeline.Trace),
+	}
+}
+
+// Derive returns a new Session for a different configuration that
+// shares this session's stage-artifact cache (and trace). Runs in the
+// derived session recompute only the stages whose inputs cfg actually
+// changes — the cross-config analogue of the in-session sweep sharing:
+// deriving a session per DelaySeed, say, reuses every artifact through
+// mapping and re-runs only simulation and power analysis. The
+// per-(benchmark, binder) run cache is not shared (its key does not
+// cover the config). Safe for concurrent use like any Session.
+func (se *Session) Derive(cfg Config) *Session {
+	return &Session{
+		Cfg:        cfg.Normalize(),
+		Benchmarks: se.Benchmarks,
+		Jobs:       se.Jobs,
+		cache:      make(map[string]*Result),
+		inflight:   make(map[string]*inflightRun),
+		stages:     se.stages,
+		trace:      se.trace,
 	}
 }
 
@@ -310,7 +325,7 @@ func (se *Session) Run(p workload.Profile, b Binder) (*Result, error) {
 	se.inflight[key] = c
 	se.mu.Unlock()
 
-	c.res, c.err = Run(p, b, se.Cfg)
+	c.res, c.err = se.runStaged(p, b)
 
 	se.mu.Lock()
 	if c.err == nil {
@@ -320,4 +335,51 @@ func (se *Session) Run(p workload.Profile, b Binder) (*Result, error) {
 	se.mu.Unlock()
 	close(c.done)
 	return c.res, c.err
+}
+
+// runStaged executes one (benchmark, binder) pipeline through the
+// session's stage cache.
+func (se *Session) runStaged(p workload.Profile, b Binder) (*Result, error) {
+	var tr pipeline.Trace
+	fe, err := stageSchedule.Exec(se.stages, p, se.trace, &tr)
+	if err != nil {
+		return nil, err
+	}
+	r, err := runPipeline(se.stages, se.Cfg, fe, p.Name, p.RC, b, se.trace, &tr)
+	if err != nil {
+		return nil, err
+	}
+	r.StageTrace = tr.Spans()
+	return r, nil
+}
+
+// frontEnd returns the session's shared scheduled graph and register
+// binding for a benchmark (computing or fetching them through the stage
+// cache). The ablation and sweep generators start from it.
+func (se *Session) frontEnd(p workload.Profile) (*schedArtifact, *regbindArtifact, error) {
+	fe, err := stageSchedule.Exec(se.stages, p, se.trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	rba, err := stageRegbind.Exec(se.stages, regbindIn{name: p.Name, fe: fe, portSeed: se.Cfg.PortSeed}, se.trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fe, rba, nil
+}
+
+// StageStats returns the per-stage cache counters of the session's
+// artifact cache: how many times each pipeline stage was demanded and
+// how often the demand was served from cache. Stage names follow
+// StageNames.
+func (se *Session) StageStats() map[string]pipeline.Stats {
+	return se.stages.AllStats()
+}
+
+// TraceSpans returns every stage span recorded across the session's
+// lifetime, in completion order. With concurrent runs (RunAll) the
+// interleaving follows goroutine scheduling; per-run ordered traces are
+// on Result.StageTrace.
+func (se *Session) TraceSpans() []pipeline.Span {
+	return se.trace.Spans()
 }

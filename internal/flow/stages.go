@@ -1,0 +1,555 @@
+package flow
+
+// This file defines the staged form of the HLPower pipeline: seven
+// typed pipeline.Stage units (schedule, regbind, bind, datapath, map,
+// sim, power) with explicit cache keys, composed by runPipeline. Keys
+// chain: every stage's key combines the upstream artifact's fingerprint
+// with exactly the configuration fields that stage reads, so a Session
+// sharing one pipeline.Cache across its sweep recomputes only what a
+// configuration point actually changes — every binder shares one
+// schedule/regbind computation per benchmark, an alpha/beta ablation
+// shares everything up to binding, and a delay-model or PreOptimize
+// variant shares everything up to mapping. The bind stage's output
+// fingerprint is content-addressed (a hash of the binding itself, not
+// of the binder parameters), so sweep points whose bindings coincide
+// share the whole back end too.
+//
+// Cached artifacts are shared across runs and must never be mutated
+// downstream; passes that rewrite a binding (ports.OptimizePorts) run
+// inside the producing stage so the cache only ever holds final
+// artifacts.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/logic"
+	"repro/internal/lopass"
+	"repro/internal/mapper"
+	"repro/internal/modsel"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Stage names, in pipeline order. Exported indirectly through
+// Session.StageStats keys and trace spans.
+const (
+	StageSchedule = "schedule"
+	StageRegbind  = "regbind"
+	StageBind     = "bind"
+	StageDatapath = "datapath"
+	StageMap      = "map"
+	StageSim      = "sim"
+	StagePower    = "power"
+)
+
+// StageNames lists the pipeline stages in execution order.
+var StageNames = []string{StageSchedule, StageRegbind, StageBind, StageDatapath, StageMap, StageSim, StagePower}
+
+// ---------------------------------------------------------------------
+// Fingerprints.
+
+// profileKey fingerprints the workload-profile fields the schedule stage
+// depends on (PaperEdges is informational and excluded).
+func profileKey(p workload.Profile) string {
+	return pipeline.NewHasher().
+		Str(p.Name).Int(p.PIs).Int(p.POs).Int(p.Adds).Int(p.Mults).
+		Int(p.RC.Add).Int(p.RC.Mult).Int(p.Cycle).Int64(p.Seed).
+		Sum()
+}
+
+// contentFP fingerprints a scheduled graph by content, so externally
+// scheduled graphs (RunScheduled) share downstream artifacts with
+// profile-generated ones when they coincide.
+func contentFP(g *cdfg.Graph, s *cdfg.Schedule) string {
+	h := pipeline.NewHasher()
+	h.Str(g.Name).Int(len(g.Nodes))
+	for _, n := range g.Nodes {
+		h.Int(n.ID).Int(int(n.Kind)).Str(n.Name).Ints(n.Args)
+	}
+	h.Ints(g.Inputs).Ints(g.Outputs)
+	h.Ints(s.Step).Int(s.Len).Int(s.Lib.AddLatency).Int(s.Lib.MultLatency)
+	return h.Sum()
+}
+
+// tableFP fingerprints an SA table by the values that determine its
+// contents (width, estimator, embedded mapper options). Table entries
+// are deterministic in these, so equal fingerprints mean interchangeable
+// tables — the contract that lets sessions share binds across
+// identically configured table instances. (A table loaded from disk is
+// assumed to hold its estimator's values, the same assumption satable
+// itself documents.)
+func tableFP(t *satable.Table) string {
+	if t == nil {
+		return "none"
+	}
+	h := pipeline.NewHasher().Int(t.Width).Int(int(t.Est))
+	return mapOptFPInto(h, t.MapOpt).Sum()
+}
+
+func mapOptFPInto(h *pipeline.Hasher, o mapper.Options) *pipeline.Hasher {
+	return h.Int(o.K).Int(o.Keep).Int(int(o.Mode)).
+		F64(o.Sources.InputP).F64(o.Sources.InputS).
+		F64(o.Sources.LatchP).F64(o.Sources.LatchS)
+}
+
+// modselFP fingerprints a resolved module-selection request (nil =
+// baseline resource library).
+func modselFP(o *modsel.Options) string {
+	if o == nil {
+		return "none"
+	}
+	h := pipeline.NewHasher().Int(o.Width).Int(o.MaxDepth).F64(o.Margin)
+	return mapOptFPInto(h, o.MapOpt).Sum()
+}
+
+// resFP fingerprints a binding result by content. Combined with the
+// upstream fingerprint it addresses every downstream artifact: two
+// sweep points that bind identically share datapath, mapping,
+// simulation, and power analysis.
+func resFP(res *binding.Result) string {
+	h := pipeline.NewHasher()
+	h.Int(len(res.FUs))
+	for _, fu := range res.FUs {
+		h.Int(fu.ID).Str(string(fu.Kind)).Ints(fu.Ops)
+	}
+	h.Ints(res.FUOf).Bools(res.SwapPorts)
+	return h.Sum()
+}
+
+// ---------------------------------------------------------------------
+// Artifacts. All artifacts are immutable once produced.
+
+// schedArtifact is the scheduled benchmark graph: the output of the
+// workload/schedule stage and the root of every downstream key.
+type schedArtifact struct {
+	g *cdfg.Graph
+	s *cdfg.Schedule
+	// fp is the content fingerprint of (g, s).
+	fp string
+}
+
+func newSchedArtifact(g *cdfg.Graph, s *cdfg.Schedule) *schedArtifact {
+	return &schedArtifact{g: g, s: s, fp: contentFP(g, s)}
+}
+
+// regbindArtifact is the shared front end both binders start from: the
+// random port assignment and the register binding (paper §5.1).
+type regbindArtifact struct {
+	swap []bool
+	rb   *regbind.Binding
+	fp   string
+}
+
+// bindArtifact is one completed functional-unit binding.
+type bindArtifact struct {
+	res      *binding.Result
+	bindTime time.Duration
+	// fp is content-addressed: hash(upstream fp, binding content).
+	fp string
+}
+
+// dpArtifact is the elaborated gate-level datapath.
+type dpArtifact struct {
+	d  *datapath.Design
+	fp string
+}
+
+// mapArtifact is the 4-LUT technology-mapped implementation.
+type mapArtifact struct {
+	m  *mapper.Result
+	fp string
+}
+
+// ---------------------------------------------------------------------
+// Binder and datapath specifications.
+
+// bindSpec is the resolved parameter set of one binding-stage
+// invocation. It captures the effective values (post defaulting), so the
+// cache key reflects what the binder actually runs with; the display
+// name of a Binder is deliberately not part of it.
+type bindSpec struct {
+	// algo selects the algorithm: "hlpower", "lopass", or "lopass-flow".
+	algo  string
+	alpha float64
+	// betaAdd/betaMult are HLPower's effective Eq. 4 scale factors.
+	betaAdd, betaMult float64
+	mergesPerIter     int
+	// table is the SA table (HLPower's estimator, or LOPASS's
+	// pre-characterized power model; nil for the structural variants).
+	table *satable.Table
+	// portOpt applies post-binding port re-assignment [2] inside the
+	// stage, so the cached artifact is the final, optimized binding.
+	portOpt bool
+}
+
+// specForBinder resolves the mainline Binder configurations (flow.Run,
+// Session sweeps) against a config, mirroring the defaulting rules the
+// monolithic pipeline applied: zero-valued betas fall back to
+// core.DefaultOptions.
+func specForBinder(b Binder, cfg Config) bindSpec {
+	if !b.UseHLPower {
+		return bindSpec{algo: "lopass", table: cfg.BaselineTable}
+	}
+	def := core.DefaultOptions(cfg.Table)
+	spec := bindSpec{
+		algo:          "hlpower",
+		alpha:         b.Alpha,
+		betaAdd:       def.BetaAdd,
+		betaMult:      def.BetaMult,
+		mergesPerIter: 1,
+		table:         cfg.Table,
+	}
+	if cfg.BetaAdd > 0 {
+		spec.betaAdd = cfg.BetaAdd
+	}
+	if cfg.BetaMult > 0 {
+		spec.betaMult = cfg.BetaMult
+	}
+	return spec
+}
+
+func (sp bindSpec) fp() string {
+	return pipeline.NewHasher().
+		Str(sp.algo).F64(sp.alpha).F64(sp.betaAdd).F64(sp.betaMult).
+		Int(sp.mergesPerIter).Str(tableFP(sp.table)).Bool(sp.portOpt).
+		Sum()
+}
+
+// resolveModSel returns the fully resolved module-selection options the
+// mainline datapath stage elaborates with (nil = baseline library).
+func resolveModSel(cfg Config) *modsel.Options {
+	if cfg.ModSel == nil {
+		return nil
+	}
+	opt := *cfg.ModSel
+	if opt.Width == 0 {
+		opt.Width = cfg.Width
+	}
+	return &opt
+}
+
+// ---------------------------------------------------------------------
+// Stage inputs.
+
+type regbindIn struct {
+	name     string // benchmark name, for error context
+	fe       *schedArtifact
+	portSeed int64
+}
+
+type bindIn struct {
+	name   string
+	binder string // display name, for error context only
+	fe     *schedArtifact
+	rba    *regbindArtifact
+	rc     cdfg.ResourceConstraint
+	spec   bindSpec
+}
+
+type datapathIn struct {
+	name   string
+	binder string
+	fe     *schedArtifact
+	rba    *regbindArtifact
+	ba     *bindArtifact
+	width  int
+	modsel *modsel.Options
+}
+
+type mapIn struct {
+	name   string
+	binder string
+	dp     *dpArtifact
+	preOpt bool
+	mapOpt mapper.Options
+}
+
+type simIn struct {
+	name       string
+	binder     string
+	ma         *mapArtifact
+	delay      sim.DelayModel
+	delaySeed  int64
+	vectors    int
+	vectorSeed int64
+}
+
+type powerIn struct {
+	ma     *mapArtifact
+	counts sim.Counts
+	simKey string
+	model  power.Model
+}
+
+// simKey derives the simulate stage's cache key; the power stage chains
+// on it (the counts are fully determined by it).
+func simKey(in simIn) string {
+	return pipeline.NewHasher().
+		Str(in.ma.fp).Int(int(in.delay)).Int64(in.delaySeed).
+		Int(in.vectors).Int64(in.vectorSeed).
+		Sum()
+}
+
+func powerFP(m power.Model) string {
+	return pipeline.NewHasher().
+		F64(m.Vdd).F64(m.CLut).F64(m.CReg).F64(m.LUTDelayNs).F64(m.ClockOverheadNs).
+		Sum()
+}
+
+// ---------------------------------------------------------------------
+// The stages.
+
+// stageSchedule generates a benchmark CDFG and schedules it to the
+// paper's Table 2 cycle count — the binder-independent root of the
+// pipeline, computed once per benchmark per session.
+var stageSchedule = pipeline.Stage[workload.Profile, *schedArtifact]{
+	Name: StageSchedule,
+	Key:  func(p workload.Profile) string { return profileKey(p) },
+	Run: func(p workload.Profile) (*schedArtifact, error) {
+		g := workload.Generate(p)
+		s, err := workload.Schedule(p, g)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s: %w", p.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("flow: %s: %w", p.Name, err)
+		}
+		if err := cdfg.ValidateSchedule(g, s, p.RC); err != nil {
+			return nil, fmt.Errorf("flow: %s: %w", p.Name, err)
+		}
+		return newSchedArtifact(g, s), nil
+	},
+	Size: func(a *schedArtifact) int { return len(a.g.Nodes) },
+}
+
+// stageRegbind fixes the random port assignment and binds registers —
+// the shared state both binders must agree on (paper §5.1).
+var stageRegbind = pipeline.Stage[regbindIn, *regbindArtifact]{
+	Name: StageRegbind,
+	Key: func(in regbindIn) string {
+		return pipeline.NewHasher().Str(in.fe.fp).Int64(in.portSeed).Sum()
+	},
+	Run: func(in regbindIn) (*regbindArtifact, error) {
+		swap := binding.RandomPortAssignment(in.fe.g, in.portSeed)
+		rb, err := regbind.BindOpt(in.fe.g, in.fe.s, regbind.Options{Swap: swap})
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s: %w", in.name, err)
+		}
+		fp := pipeline.NewHasher().Str(in.fe.fp).Int64(in.portSeed).Str("regbind").Sum()
+		return &regbindArtifact{swap: swap, rb: rb, fp: fp}, nil
+	},
+	Size: func(a *regbindArtifact) int { return a.rb.NumRegs },
+}
+
+// stageBind runs the selected binding algorithm. The artifact's
+// fingerprint hashes the produced binding, not the parameters, so
+// parameter points with coinciding bindings share every later stage.
+var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
+	Name: StageBind,
+	Key: func(in bindIn) string {
+		return pipeline.NewHasher().
+			Str(in.rba.fp).Int(in.rc.Add).Int(in.rc.Mult).Str(in.spec.fp()).
+			Sum()
+	},
+	Run: func(in bindIn) (*bindArtifact, error) {
+		g, s, rb := in.fe.g, in.fe.s, in.rba.rb
+		var res *binding.Result
+		var rt time.Duration
+		switch in.spec.algo {
+		case "hlpower":
+			opt := core.DefaultOptions(in.spec.table)
+			opt.Alpha = in.spec.alpha
+			opt.BetaAdd, opt.BetaMult = in.spec.betaAdd, in.spec.betaMult
+			opt.MergesPerIteration = in.spec.mergesPerIter
+			opt.Swap = in.rba.swap
+			r, rep, err := core.Bind(g, s, rb, in.rc, opt)
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+			}
+			res, rt = r, rep.Runtime
+		case "lopass":
+			r, rep, err := lopass.Bind(g, s, rb, in.rc, lopass.Options{Swap: in.rba.swap, Table: in.spec.table})
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+			}
+			res, rt = r, rep.Runtime
+		case "lopass-flow":
+			r, rep, err := lopass.BindFlow(g, s, rb, in.rc, lopass.Options{Swap: in.rba.swap})
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+			}
+			res, rt = r, rep.Runtime
+		default:
+			return nil, fmt.Errorf("flow: %s/%s: unknown binding algorithm %q", in.name, in.binder, in.spec.algo)
+		}
+		if in.spec.portOpt {
+			// Mutating pass: runs here, inside the producing stage, so
+			// the cached artifact is final (see package comment).
+			binding.OptimizePorts(g, rb, res)
+		}
+		fp := pipeline.NewHasher().Str(in.rba.fp).Str(resFP(res)).Sum()
+		return &bindArtifact{res: res, bindTime: rt, fp: fp}, nil
+	},
+	Size: func(a *bindArtifact) int { return len(a.res.FUs) },
+}
+
+// stageDatapath selects module architectures (optional) and elaborates
+// the gate-level datapath.
+var stageDatapath = pipeline.Stage[datapathIn, *dpArtifact]{
+	Name: StageDatapath,
+	Key: func(in datapathIn) string {
+		return pipeline.NewHasher().
+			Str(in.ba.fp).Int(in.width).Str(modselFP(in.modsel)).
+			Sum()
+	},
+	Run: func(in datapathIn) (*dpArtifact, error) {
+		var arch *datapath.Arch
+		if in.modsel != nil {
+			sel, err := modsel.NewSelector(*in.modsel).Select(in.fe.g, in.rba.rb, in.ba.res)
+			if err != nil {
+				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+			}
+			adder, mult := sel.Arch()
+			arch = &datapath.Arch{Adder: adder, Mult: mult}
+		}
+		d, err := datapath.ElaborateArch(in.fe.g, in.fe.s, in.rba.rb, in.ba.res, in.width, arch)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+		}
+		fp := pipeline.NewHasher().Str(in.ba.fp).Int(in.width).Str(modselFP(in.modsel)).Str("dp").Sum()
+		return &dpArtifact{d: d, fp: fp}, nil
+	},
+	Size: func(a *dpArtifact) int { return len(a.d.Net.Nodes) },
+}
+
+// stageMap optionally pre-optimizes the netlist and runs the
+// glitch-aware 4-LUT technology mapper.
+var stageMap = pipeline.Stage[mapIn, *mapArtifact]{
+	Name: StageMap,
+	Key: func(in mapIn) string {
+		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt)
+		return mapOptFPInto(h, in.mapOpt).Sum()
+	},
+	Run: func(in mapIn) (*mapArtifact, error) {
+		toMap := in.dp.d.Net
+		if in.preOpt {
+			toMap, _ = logic.Optimize(toMap)
+		}
+		m, err := mapper.Map(toMap, in.mapOpt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+		}
+		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt).Str("map")
+		fp := mapOptFPInto(h, in.mapOpt).Sum()
+		return &mapArtifact{m: m, fp: fp}, nil
+	},
+	Size: func(a *mapArtifact) int { return a.m.LUTs },
+}
+
+// stageSim runs the random-vector delay simulation and counts
+// transitions.
+var stageSim = pipeline.Stage[simIn, sim.Counts]{
+	Name: StageSim,
+	Key:  simKey,
+	Run: func(in simIn) (sim.Counts, error) {
+		sr, err := sim.NewWithDelays(in.ma.m.Mapped, in.delay, in.delaySeed)
+		if err != nil {
+			return sim.Counts{}, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
+		}
+		return sr.RunRandom(in.vectors, in.vectorSeed), nil
+	},
+	Size: func(c sim.Counts) int { return int(c.Gate + c.Latch) },
+}
+
+// stagePower produces the PowerPlay-equivalent report.
+var stagePower = pipeline.Stage[powerIn, power.Report]{
+	Name: StagePower,
+	Key: func(in powerIn) string {
+		return pipeline.NewHasher().Str(in.simKey).Str(powerFP(in.model)).Sum()
+	},
+	Run: func(in powerIn) (power.Report, error) {
+		return in.model.Analyze(in.ma.m.Mapped, in.counts), nil
+	},
+}
+
+// ---------------------------------------------------------------------
+// Composition.
+
+// runBackEnd executes the post-binding stages (datapath, map, sim,
+// power) for one bound design. The ablation study and the mainline
+// pipeline share it.
+func runBackEnd(cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbindArtifact, ba *bindArtifact, name, binderName string, ms *modsel.Options, trs ...*pipeline.Trace) (*dpArtifact, *mapArtifact, sim.Counts, power.Report, error) {
+	dp, err := stageDatapath.Exec(cache, datapathIn{
+		name: name, binder: binderName, fe: fe, rba: rba, ba: ba,
+		width: cfg.Width, modsel: ms,
+	}, trs...)
+	if err != nil {
+		return nil, nil, sim.Counts{}, power.Report{}, err
+	}
+	ma, err := stageMap.Exec(cache, mapIn{
+		name: name, binder: binderName, dp: dp,
+		preOpt: cfg.PreOptimize, mapOpt: cfg.MapOpt,
+	}, trs...)
+	if err != nil {
+		return nil, nil, sim.Counts{}, power.Report{}, err
+	}
+	sin := simIn{
+		name: name, binder: binderName, ma: ma,
+		delay: cfg.Delay, delaySeed: cfg.DelaySeed,
+		vectors: cfg.Vectors, vectorSeed: cfg.VectorSeed,
+	}
+	counts, err := stageSim.Exec(cache, sin, trs...)
+	if err != nil {
+		return nil, nil, sim.Counts{}, power.Report{}, err
+	}
+	rep, err := stagePower.Exec(cache, powerIn{
+		ma: ma, counts: counts, simKey: simKey(sin), model: cfg.Power,
+	}, trs...)
+	if err != nil {
+		return nil, nil, sim.Counts{}, power.Report{}, err
+	}
+	return dp, ma, counts, rep, nil
+}
+
+// runPipeline executes the staged pipeline from a scheduled front end
+// through the measurement back end, assembling the full Result record.
+func runPipeline(cache *pipeline.Cache, cfg Config, fe *schedArtifact, name string, rc cdfg.ResourceConstraint, b Binder, trs ...*pipeline.Trace) (*Result, error) {
+	rba, err := stageRegbind.Exec(cache, regbindIn{name: name, fe: fe, portSeed: cfg.PortSeed}, trs...)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := stageBind.Exec(cache, bindIn{
+		name: name, binder: b.Name, fe: fe, rba: rba, rc: rc,
+		spec: specForBinder(b, cfg),
+	}, trs...)
+	if err != nil {
+		return nil, err
+	}
+	dp, ma, counts, rep, err := runBackEnd(cache, cfg, fe, rba, ba, name, b.Name, resolveModSel(cfg), trs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bench:    name,
+		Binder:   b,
+		Schedule: fe.s,
+		NumRegs:  rba.rb.NumRegs,
+		BindTime: ba.bindTime,
+		FUMux:    binding.ComputeMuxStats(fe.g, rba.rb, ba.res),
+		DPMux:    dp.d.Muxes,
+		LUTs:     ma.m.LUTs,
+		Depth:    ma.m.Depth,
+		EstSA:    ma.m.EstSA,
+		Counts:   counts,
+		Power:    rep,
+	}, nil
+}

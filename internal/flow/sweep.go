@@ -1,0 +1,77 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// AlphaSweepRow is one (benchmark, alpha) point of an HLPower
+// alpha-sensitivity sweep (Eq. 4's power/mux weighting).
+type AlphaSweepRow struct {
+	Bench   string
+	Alpha   float64
+	PowerMW float64
+	LUTs    int
+	Depth   int
+	MuxLen  int
+}
+
+// AlphaBinders returns HLPower binder configurations for a set of alpha
+// values, named canonically ("HLPower a=<v>") so sweep runs land in the
+// session run cache alongside the standard binders.
+func AlphaBinders(alphas []float64) []Binder {
+	bs := make([]Binder, len(alphas))
+	for i, a := range alphas {
+		bs[i] = Binder{Name: fmt.Sprintf("HLPower a=%v", a), UseHLPower: true, Alpha: a}
+	}
+	return bs
+}
+
+// AlphaSweepData runs HLPower at every alpha over the session's
+// benchmarks, fanned out over Session.Jobs workers. The sweep is where
+// the stage cache pays off hardest: every alpha point of a benchmark
+// shares one schedule and one register binding, and alpha points whose
+// bindings converge to the same solution (common at the extremes of the
+// alpha range) share the elaborated datapath, mapping, simulation, and
+// power analysis as well — see Session.StageStats for the realized hit
+// counts. Row order is benchmark-major in suite order, then alpha order.
+func AlphaSweepData(se *Session, alphas []float64) ([]AlphaSweepRow, error) {
+	binders := AlphaBinders(alphas)
+	if err := se.RunAll(binders...); err != nil {
+		return nil, err
+	}
+	rows := make([]AlphaSweepRow, 0, len(se.Benchmarks)*len(binders))
+	for _, p := range se.Benchmarks {
+		for i, b := range binders {
+			r, err := se.Run(p, b)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AlphaSweepRow{
+				Bench:   p.Name,
+				Alpha:   alphas[i],
+				PowerMW: r.Power.DynamicPowerMW,
+				LUTs:    r.LUTs,
+				Depth:   r.Depth,
+				MuxLen:  r.FUMux.Length,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AlphaSweep prints the alpha-sensitivity sweep.
+func AlphaSweep(w io.Writer, se *Session, alphas []float64) error {
+	rows, err := AlphaSweepData(se, alphas)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\talpha\tPower(mW)\tLUTs\tDepth\tMUXLen")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%g\t%.2f\t%d\t%d\t%d\n",
+			r.Bench, r.Alpha, r.PowerMW, r.LUTs, r.Depth, r.MuxLen)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,214 @@
+// Package pipeline provides the keyed, cached, instrumented stage
+// primitives the experiment harness composes its end-to-end flow from.
+// A pipeline is a chain of Stage values; each stage derives an explicit
+// cache key from its input (configuration fields plus the content
+// fingerprint of the upstream artifact), so independent runs that share
+// a prefix — every binder over one benchmark, every ablation point of a
+// parameter sweep — share the prefix's computed artifacts through one
+// content-addressed Cache. The same Cache primitive backs the
+// switching-activity table (internal/satable), unifying the repo's
+// singleflight logic in one place.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stats counts cache traffic for one artifact class. A waiter served by
+// another goroutine's in-flight computation counts as a hit: the work
+// ran once.
+type Stats struct {
+	Hits   int
+	Misses int
+}
+
+// entry is one cached artifact slot. Waiters block on done and read
+// val/err afterwards.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a content-addressed artifact cache with singleflight
+// deduplication and per-class hit/miss accounting. Keys are namespaced
+// by an artifact class (typically the stage name), so one Cache serves a
+// whole pipeline. The zero value is not usable; construct with NewCache.
+//
+// Cached artifacts are shared across callers and must be treated as
+// immutable by everyone downstream.
+type Cache struct {
+	mu      sync.Mutex
+	classes map[string]map[string]*entry
+	stats   map[string]*Stats
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		classes: make(map[string]map[string]*entry),
+		stats:   make(map[string]*Stats),
+	}
+}
+
+// class returns the entry map and stats for a class, creating them on
+// first use. Callers must hold c.mu.
+func (c *Cache) class(class string) (map[string]*entry, *Stats) {
+	m, ok := c.classes[class]
+	if !ok {
+		m = make(map[string]*entry)
+		c.classes[class] = m
+		c.stats[class] = &Stats{}
+	}
+	return m, c.stats[class]
+}
+
+// Do returns the artifact stored under (class, key), computing it with
+// fn on first use. Concurrent calls on the same key share a single
+// execution; the duplicates block and count as hits. Errors are not
+// cached: a failed computation is retried by the next caller. The
+// returned hit flag reports whether this call was served without
+// invoking fn. If fn panics, the panic propagates to the caller that ran
+// it and waiters receive an error.
+func (c *Cache) Do(class, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	m, st := c.class(class)
+	if e, ok := m[key]; ok {
+		st.Hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, true, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	m[key] = e
+	st.Misses++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: unblock waiters with an error, drop the entry,
+			// and let the panic propagate.
+			e.err = fmt.Errorf("pipeline: computing %s/%s panicked", class, key)
+		}
+		c.mu.Lock()
+		if e.err != nil {
+			delete(m, key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+	}()
+	e.val, e.err = fn()
+	completed = true
+	return e.val, false, e.err
+}
+
+// Put stores an externally produced artifact (e.g. one loaded from
+// disk), overwriting any completed entry. It does not count as a hit or
+// a miss. Put on a key with an in-flight computation is a no-op: the
+// running computation wins.
+func (c *Cache) Put(class, key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, _ := c.class(class)
+	if e, ok := m[key]; ok {
+		select {
+		case <-e.done:
+		default:
+			return // in flight; let the computation finish
+		}
+	}
+	e := &entry{done: make(chan struct{}), val: val}
+	close(e.done)
+	m[key] = e
+}
+
+// Lookup returns the completed artifact under (class, key) without
+// computing or touching the stats.
+func (c *Cache) Lookup(class, key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.classes[class][key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false // still computing
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Len returns the number of completed entries in a class.
+func (c *Cache) Len(class string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.classes[class] {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}
+
+// StatsFor returns the hit/miss counters of one class.
+func (c *Cache) StatsFor(class string) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.stats[class]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// AllStats returns the hit/miss counters of every class with traffic.
+func (c *Cache) AllStats() map[string]Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Stats, len(c.stats))
+	for k, st := range c.stats {
+		out[k] = *st
+	}
+	return out
+}
+
+// Snapshot returns a copy of the completed entries of a class, keyed as
+// stored. Used by persistence layers (satable Save).
+func (c *Cache) Snapshot(class string) map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]any, len(c.classes[class]))
+	for k, e := range c.classes[class] {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out[k] = e.val
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// Classes returns the class names with any traffic or entries, sorted.
+func (c *Cache) Classes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.classes))
+	for k := range c.classes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

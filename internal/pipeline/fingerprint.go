@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Hasher accumulates a content fingerprint for cache-key derivation.
+// Every write is length/type-delimited, so distinct value sequences
+// yield distinct streams (e.g. "ab","c" vs "a","bc"). The digest is
+// FNV-1a/64 — keys live in small in-process maps, where 64 bits of
+// content addressing is ample.
+type Hasher struct {
+	h   uint64
+	buf [8]byte
+}
+
+// NewHasher returns a fresh fingerprint accumulator.
+func NewHasher() *Hasher {
+	h := fnv.New64a()
+	return &Hasher{h: h.Sum64()}
+}
+
+func (f *Hasher) write(p []byte) {
+	const prime64 = 1099511628211
+	for _, b := range p {
+		f.h ^= uint64(b)
+		f.h *= prime64
+	}
+}
+
+// U64 hashes one unsigned 64-bit value.
+func (f *Hasher) U64(v uint64) *Hasher {
+	binary.LittleEndian.PutUint64(f.buf[:], v)
+	f.write(f.buf[:])
+	return f
+}
+
+// Int hashes one integer.
+func (f *Hasher) Int(v int) *Hasher { return f.U64(uint64(int64(v))) }
+
+// Int64 hashes one 64-bit integer.
+func (f *Hasher) Int64(v int64) *Hasher { return f.U64(uint64(v)) }
+
+// F64 hashes one float by its IEEE-754 bits.
+func (f *Hasher) F64(v float64) *Hasher { return f.U64(math.Float64bits(v)) }
+
+// Bool hashes one boolean.
+func (f *Hasher) Bool(v bool) *Hasher {
+	if v {
+		return f.U64(1)
+	}
+	return f.U64(0)
+}
+
+// Str hashes one length-prefixed string.
+func (f *Hasher) Str(s string) *Hasher {
+	f.U64(uint64(len(s)))
+	f.write([]byte(s))
+	return f
+}
+
+// Ints hashes a length-prefixed integer slice.
+func (f *Hasher) Ints(vs []int) *Hasher {
+	f.U64(uint64(len(vs)))
+	for _, v := range vs {
+		f.Int(v)
+	}
+	return f
+}
+
+// Bools hashes a length-prefixed boolean slice.
+func (f *Hasher) Bools(vs []bool) *Hasher {
+	f.U64(uint64(len(vs)))
+	for _, v := range vs {
+		f.Bool(v)
+	}
+	return f
+}
+
+// Sum returns the fingerprint as a fixed-width hex string.
+func (f *Hasher) Sum() string {
+	return strconv.FormatUint(f.h, 16)
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDoComputesOnceAndCountsStats(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	fn := func() (any, error) { calls++; return 42, nil }
+	v, hit, err := c.Do("s", "k", fn)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first Do: v=%v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do("s", "k", fn)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second Do: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if st := c.StatsFor("s"); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestDoKeysAreClassScoped(t *testing.T) {
+	c := NewCache()
+	c.Do("a", "k", func() (any, error) { return 1, nil })
+	v, hit, _ := c.Do("b", "k", func() (any, error) { return 2, nil })
+	if hit || v.(int) != 2 {
+		t.Fatalf("class b key k leaked class a's entry: v=%v hit=%v", v, hit)
+	}
+}
+
+func TestDoDoesNotCacheErrors(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	if _, _, err := c.Do("s", "k", func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.Do("s", "k", func() (any, error) { return 7, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Fatalf("error was cached: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := NewCache()
+	const workers = 16
+	var calls int
+	var start, done sync.WaitGroup
+	gate := make(chan struct{})
+	start.Add(1)
+	vals := make([]int, workers)
+	hits := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			v, hit, err := c.Do("s", "k", func() (any, error) {
+				calls++ // safe: singleflight means exactly one runner
+				<-gate
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[w], hits[w] = v.(int), hit
+		}()
+	}
+	start.Done()
+	close(gate)
+	done.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	nHits := 0
+	for w := range vals {
+		if vals[w] != 99 {
+			t.Fatalf("worker %d got %d", w, vals[w])
+		}
+		if hits[w] {
+			nHits++
+		}
+	}
+	if nHits != workers-1 {
+		t.Fatalf("%d hits, want %d (every waiter counts as a hit)", nHits, workers-1)
+	}
+	if st := c.StatsFor("s"); st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoPanicUnblocksWaiters(t *testing.T) {
+	c := NewCache()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do("s", "k", func() (any, error) { panic("bug") })
+	}()
+	// The failed entry must be gone: the next caller recomputes.
+	v, hit, err := c.Do("s", "k", func() (any, error) { return 5, nil })
+	if err != nil || hit || v.(int) != 5 {
+		t.Fatalf("post-panic Do: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestPutLookupSnapshotLen(t *testing.T) {
+	c := NewCache()
+	c.Put("s", "a", 1.5)
+	c.Put("s", "b", 2.5)
+	if v, ok := c.Lookup("s", "a"); !ok || v.(float64) != 1.5 {
+		t.Fatalf("Lookup a: %v %v", v, ok)
+	}
+	if _, ok := c.Lookup("s", "missing"); ok {
+		t.Fatal("Lookup invented an entry")
+	}
+	if n := c.Len("s"); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	snap := c.Snapshot("s")
+	if len(snap) != 2 || snap["b"].(float64) != 2.5 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	// Put does not move the stats.
+	if st := c.StatsFor("s"); st != (Stats{}) {
+		t.Fatalf("Put counted as traffic: %+v", st)
+	}
+	// Put is served as a hit afterwards.
+	v, hit, err := c.Do("s", "a", func() (any, error) { return nil, errors.New("must not run") })
+	if err != nil || !hit || v.(float64) != 1.5 {
+		t.Fatalf("Do after Put: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestStageExecCachesAndTraces(t *testing.T) {
+	c := NewCache()
+	runs := 0
+	double := Stage[int, int]{
+		Name: "double",
+		Key:  func(in int) string { return fmt.Sprintf("%d", in) },
+		Run:  func(in int) (int, error) { runs++; return 2 * in, nil },
+		Size: func(out int) int { return out },
+	}
+	var tr Trace
+	for i := 0; i < 2; i++ {
+		out, err := double.Exec(c, 21, &tr)
+		if err != nil || out != 42 {
+			t.Fatalf("Exec: %v %v", out, err)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("Run ran %d times, want 1", runs)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].CacheHit || !spans[1].CacheHit {
+		t.Fatalf("hit flags wrong: %+v", spans)
+	}
+	if spans[0].Stage != "double" || spans[0].Key != "21" || spans[0].Size != 42 {
+		t.Fatalf("span fields wrong: %+v", spans[0])
+	}
+}
+
+func TestStageExecNilCacheAndNilTrace(t *testing.T) {
+	runs := 0
+	st := Stage[int, int]{
+		Name: "s",
+		Key:  func(in int) string { return "k" },
+		Run:  func(in int) (int, error) { runs++; return in, nil },
+	}
+	var nilTrace *Trace
+	for i := 0; i < 2; i++ {
+		if _, err := st.Exec(nil, 1, nilTrace); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("nil cache must always compute; ran %d times", runs)
+	}
+}
+
+func TestStageExecEmptyKeyDisablesCaching(t *testing.T) {
+	c := NewCache()
+	runs := 0
+	st := Stage[int, int]{
+		Name: "s",
+		Key:  func(in int) string { return "" },
+		Run:  func(in int) (int, error) { runs++; return in, nil },
+	}
+	st.Exec(c, 1)
+	st.Exec(c, 1)
+	if runs != 2 {
+		t.Fatalf("empty key must disable caching; ran %d times", runs)
+	}
+}
+
+func TestHasherDistinguishesBoundaries(t *testing.T) {
+	a := NewHasher().Str("ab").Str("c").Sum()
+	b := NewHasher().Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("length delimiting failed")
+	}
+	x := NewHasher().Ints([]int{1, 2}).Ints(nil).Sum()
+	y := NewHasher().Ints([]int{1}).Ints([]int{2}).Sum()
+	if x == y {
+		t.Fatal("slice delimiting failed")
+	}
+	if NewHasher().Int(3).Sum() != NewHasher().Int(3).Sum() {
+		t.Fatal("hashing is not deterministic")
+	}
+}

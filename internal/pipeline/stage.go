@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one stage execution record: what ran, under which cache key,
+// whether the artifact came from cache, and how long serving it took.
+// For a cache hit the duration is the lookup (or wait-on-inflight) time,
+// not the original compute time.
+type Span struct {
+	Stage      string `json:"stage"`
+	Key        string `json:"key"`
+	CacheHit   bool   `json:"cache_hit"`
+	DurationNs int64  `json:"duration_ns"`
+	// Size is the stage's artifact size metric (stage-defined: nodes,
+	// LUTs, transition count, ...). 0 when the stage defines none.
+	Size int `json:"size,omitempty"`
+}
+
+// Duration returns the span's wall-clock duration.
+func (s Span) Duration() time.Duration { return time.Duration(s.DurationNs) }
+
+// Trace accumulates spans. It is safe for concurrent use; a nil *Trace
+// discards everything, so traces are opt-in at every call site.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Add appends one span.
+func (t *Trace) Add(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Stage is one typed, cached, instrumented pipeline step.
+type Stage[In, Out any] struct {
+	// Name labels the stage in traces and namespaces its cache class.
+	Name string
+	// Key derives the cache key from the input. It must cover every
+	// configuration field Run's result depends on, plus the content
+	// fingerprint of the upstream artifact. An empty key disables
+	// caching for that input.
+	Key func(In) string
+	// Run computes the artifact. The result is shared through the cache
+	// and must not be mutated afterwards, by Run's caller or anyone
+	// downstream.
+	Run func(In) (Out, error)
+	// Size reports the artifact size metric recorded in spans (optional).
+	Size func(Out) int
+}
+
+// Exec runs the stage on in through cache c (nil = always compute),
+// recording one span into every non-nil trace. Concurrent Exec calls
+// with the same key share a single Run.
+func (s Stage[In, Out]) Exec(c *Cache, in In, traces ...*Trace) (Out, error) {
+	start := time.Now()
+	key := ""
+	if s.Key != nil {
+		key = s.Key(in)
+	}
+	var out Out
+	var err error
+	hit := false
+	if c == nil || key == "" {
+		out, err = s.Run(in)
+	} else {
+		var v any
+		v, hit, err = c.Do(s.Name, key, func() (any, error) { return s.Run(in) })
+		if err == nil {
+			out = v.(Out)
+		}
+	}
+	sp := Span{Stage: s.Name, Key: key, CacheHit: hit, DurationNs: int64(time.Since(start))}
+	if err == nil && s.Size != nil {
+		sp.Size = s.Size(out)
+	}
+	for _, tr := range traces {
+		tr.Add(sp)
+	}
+	return out, err
+}

@@ -7,6 +7,12 @@
 // computed lazily (and cached), so the binder also works without a
 // precomputed file — the paper verified both paths give identical
 // binding results.
+//
+// The cache underneath is the shared pipeline.Cache primitive the
+// experiment harness builds its stage cache on: concurrent misses on one
+// key are deduplicated (singleflight), so the expensive netgen -> mapper
+// computation runs exactly once per key no matter how many binder
+// goroutines demand it.
 package satable
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/mapper"
 	"repro/internal/netgen"
+	"repro/internal/pipeline"
 	"repro/internal/prob"
 )
 
@@ -59,10 +66,29 @@ type Key struct {
 	KL, KR int
 }
 
+// saClass is the cache class table entries live under.
+const saClass = "sa"
+
+// keyString renders a Key as its cache key — the same "kind kl kr"
+// triple the Save format's rows lead with.
+func keyString(k Key) string {
+	return fmt.Sprintf("%s %d %d", k.Kind, k.KL, k.KR)
+}
+
+// parseKey inverts keyString.
+func parseKey(s string) (Key, error) {
+	var kind string
+	var kl, kr int
+	if _, err := fmt.Sscanf(s, "%s %d %d", &kind, &kl, &kr); err != nil {
+		return Key{}, fmt.Errorf("satable: bad key %q: %w", s, err)
+	}
+	return Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}, nil
+}
+
 // Table caches SA values per (FU, mux sizes) configuration. It is safe
-// for concurrent use: lookups share one map under a mutex, and
-// concurrent misses on the same key are deduplicated so the expensive
-// netgen -> mapper computation runs exactly once per key.
+// for concurrent use: entries live in a singleflight pipeline.Cache, so
+// concurrent misses on the same key share one expensive netgen -> mapper
+// computation.
 type Table struct {
 	// Width is the datapath bit width the entries were computed for.
 	Width int
@@ -71,31 +97,16 @@ type Table struct {
 	// MapOpt configures the embedded technology mapper.
 	MapOpt mapper.Options
 
-	mu   sync.Mutex
-	vals map[Key]float64
-	// inflight holds per-key in-progress computations so concurrent
-	// misses on the same Key share one compute (singleflight).
-	inflight map[Key]*inflightCompute
-	// misses counts unique lazily-computed keys (for the precalc-speedup
-	// bench); concurrent misses on one key count once.
-	misses int
-}
-
-// inflightCompute is one in-progress lazy computation; waiters block on
-// done and read val afterwards.
-type inflightCompute struct {
-	done chan struct{}
-	val  float64
+	cache *pipeline.Cache
 }
 
 // New returns an empty table for the given datapath width.
 func New(width int, est Estimator) *Table {
 	return &Table{
-		Width:    width,
-		Est:      est,
-		MapOpt:   mapper.DefaultOptions(),
-		vals:     make(map[Key]float64),
-		inflight: make(map[Key]*inflightCompute),
+		Width:  width,
+		Est:    est,
+		MapOpt: mapper.DefaultOptions(),
+		cache:  pipeline.NewCache(),
 	}
 }
 
@@ -108,32 +119,16 @@ func (t *Table) Get(kind netgen.FUKind, kl, kr int) float64 {
 	if kr < 1 {
 		kr = 1
 	}
-	key := Key{Kind: kind, KL: kl, KR: kr}
-	t.mu.Lock()
-	if v, ok := t.vals[key]; ok {
-		t.mu.Unlock()
-		return v
+	key := keyString(Key{Kind: kind, KL: kl, KR: kr})
+	v, _, err := t.cache.Do(saClass, key, func() (any, error) {
+		return t.compute(kind, kl, kr), nil
+	})
+	if err != nil {
+		// compute never returns an error (it panics on mapper bugs); err
+		// here means the computing goroutine panicked out from under us.
+		panic(err)
 	}
-	if c, ok := t.inflight[key]; ok {
-		// Another goroutine is already computing this key: wait for it
-		// instead of redoing the expensive netgen -> mapper pipeline.
-		t.mu.Unlock()
-		<-c.done
-		return c.val
-	}
-	c := &inflightCompute{done: make(chan struct{})}
-	t.inflight[key] = c
-	t.misses++
-	t.mu.Unlock()
-
-	c.val = t.compute(kind, kl, kr)
-
-	t.mu.Lock()
-	t.vals[key] = c.val
-	delete(t.inflight, key)
-	t.mu.Unlock()
-	close(c.done)
-	return c.val
+	return v.(float64)
 }
 
 // compute generates the partial datapath, maps it, and estimates SA —
@@ -162,16 +157,12 @@ func (t *Table) compute(kind netgen.FUKind, kl, kr int) float64 {
 // served from a preloaded file or cache). Concurrent misses on the same
 // key share one computation and count once.
 func (t *Table) Misses() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.misses
+	return t.cache.StatsFor(saClass).Misses
 }
 
 // Len returns the number of cached entries.
 func (t *Table) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.vals)
+	return t.cache.Len(saClass)
 }
 
 // Precompute fills the table for every FU kind and all mux-size
@@ -226,11 +217,16 @@ func (t *Table) PrecomputeParallel(maxMux, jobs int) {
 // Save writes the table as a text file (one "kind kl kr sa" row per
 // entry), the storage format the paper describes.
 func (t *Table) Save(w io.Writer) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	keys := make([]Key, 0, len(t.vals))
-	for k := range t.vals {
+	snap := t.cache.Snapshot(saClass)
+	keys := make([]Key, 0, len(snap))
+	vals := make(map[Key]float64, len(snap))
+	for ks, v := range snap {
+		k, err := parseKey(ks)
+		if err != nil {
+			return err
+		}
 		keys = append(keys, k)
+		vals[k] = v.(float64)
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Kind != keys[j].Kind {
@@ -245,7 +241,7 @@ func (t *Table) Save(w io.Writer) error {
 		return err
 	}
 	for _, k := range keys {
-		if _, err := fmt.Fprintf(w, "%s %d %d %.9g\n", k.Kind, k.KL, k.KR, t.vals[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d %d %.9g\n", k.Kind, k.KL, k.KR, vals[k]); err != nil {
 			return err
 		}
 	}
@@ -286,7 +282,7 @@ func Load(r io.Reader) (*Table, error) {
 		if _, err := fmt.Sscanf(line, "%s %d %d %g", &kind, &kl, &kr, &sa); err != nil {
 			return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
 		}
-		t.vals[Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}] = sa
+		t.cache.Put(saClass, keyString(Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}), sa)
 	}
 	return t, sc.Err()
 }
