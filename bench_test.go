@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -29,6 +30,9 @@ func benchConfig() flow.Config {
 	cfg.Vectors = 200
 	return cfg
 }
+
+// bgCtx is the background context benchmarks drive the harness with.
+var bgCtx = context.Background()
 
 func benchSession() *flow.Session {
 	se := flow.NewSession(benchConfig())
@@ -64,7 +68,7 @@ func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		se := benchSession()
 		var sb strings.Builder
-		if err := flow.Table2(&sb, se); err != nil {
+		if err := flow.Table2(bgCtx, &sb, se); err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
@@ -79,7 +83,7 @@ func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		se := benchSession()
 		var sb strings.Builder
-		if err := flow.Table3(&sb, se); err != nil {
+		if err := flow.Table3(bgCtx, &sb, se); err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
@@ -93,7 +97,7 @@ func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		se := benchSession()
 		var sb strings.Builder
-		if err := flow.Table4(&sb, se); err != nil {
+		if err := flow.Table4(bgCtx, &sb, se); err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
@@ -107,7 +111,7 @@ func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		se := benchSession()
 		var sb strings.Builder
-		if err := flow.Figure3(&sb, se); err != nil {
+		if err := flow.Figure3(bgCtx, &sb, se); err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
@@ -132,7 +136,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				se := benchSession()
 				se.Jobs = jobs
-				if err := se.RunAll(); err != nil {
+				if err := se.RunAll(bgCtx); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -336,7 +340,7 @@ func TestHeadlineShapes(t *testing.T) {
 	}
 	benchOnce.Do(func() {})
 	se := benchSession()
-	devs, err := flow.ValidateAgainstPaper(se)
+	devs, err := flow.ValidateAgainstPaper(bgCtx, se)
 	if err != nil {
 		t.Fatal(err)
 	}

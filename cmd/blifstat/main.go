@@ -6,6 +6,9 @@
 //
 //	blifstat [-model NAME] [-sa] [-flat] FILE.blif
 //	blifstat -fig2 kind,kl,kr,width     # emit a Figure-2 partial datapath
+//
+// Exit codes: 0 on success, 1 on internal failure, 2 on bad usage or
+// malformed input (unparseable or unflattenable BLIF).
 package main
 
 import (
@@ -41,18 +44,18 @@ func main() {
 	}
 	lib, err := blif.ParseFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		usageErr(err)
 	}
 	name := *model
 	if name == "" {
 		if len(lib.Order) == 0 {
-			fatal(fmt.Errorf("no models in %s", flag.Arg(0)))
+			usageErr(fmt.Errorf("no models in %s", flag.Arg(0)))
 		}
 		name = lib.Order[0]
 	}
 	net, err := blif.Flatten(lib, name)
 	if err != nil {
-		fatal(err)
+		usageErr(err)
 	}
 	st := net.Stats()
 	fmt.Printf("model %s: %s\n", name, st)
@@ -73,7 +76,7 @@ func main() {
 func emitFig2(spec string) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 4 {
-		fatal(fmt.Errorf("-fig2 wants kind,kl,kr,width"))
+		usageErr(fmt.Errorf("-fig2 wants kind,kl,kr,width"))
 	}
 	kind := netgen.FUAdd
 	if parts[0] == "mult" {
@@ -83,7 +86,7 @@ func emitFig2(spec string) {
 	kr, err2 := strconv.Atoi(parts[2])
 	w, err3 := strconv.Atoi(parts[3])
 	if err1 != nil || err2 != nil || err3 != nil {
-		fatal(fmt.Errorf("-fig2 sizes must be integers"))
+		usageErr(fmt.Errorf("-fig2 sizes must be integers"))
 	}
 	lib, top := datapath.PartialDatapathLibrary(kind, kl, kr, w)
 	fmt.Printf("# Figure 2 partial datapath: top model %s\n", top)
@@ -95,4 +98,11 @@ func emitFig2(spec string) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "blifstat:", err)
 	os.Exit(1)
+}
+
+// usageErr reports bad usage or malformed input and exits 2, keeping
+// exit 1 for internal failures.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "blifstat:", err)
+	os.Exit(2)
 }

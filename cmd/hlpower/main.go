@@ -17,19 +17,32 @@
 // run is independently seeded, so the output is identical for any -j),
 // -trace FILE (write pipeline stage spans as JSON to FILE, or "-" for
 // stdout, and print a per-stage cache summary to stderr).
+//
+// Failure handling: -timeout D bounds the whole invocation (the sweep
+// cancels cooperatively, like Ctrl-C/SIGTERM), -keepgoing finishes the
+// remaining (benchmark × binder) pairs after a failure instead of
+// aborting, and -failures FILE writes the machine-readable failure
+// report ("-" = stdout). -inject SPEC arms the deterministic fault
+// injector (e.g. -inject 'seed=1,stage=map,perror=1') to rehearse
+// failure handling. Exit status: 0 success, 1 run failure or paper-
+// shape deviation, 2 bad usage or malformed input files.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/pipeline"
 	"repro/internal/satable"
 	"repro/internal/workload"
 )
@@ -51,8 +64,29 @@ func main() {
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
+		timeout   = flag.Duration("timeout", 0, "cancel the whole invocation after this long (0 = no limit)")
+		keepGoing = flag.Bool("keepgoing", false, "after a pair fails, keep sweeping the remaining (benchmark, binder) pairs and report partial results")
+		failOut   = flag.String("failures", "", "write the machine-readable failure report as JSON to FILE (\"-\" = stdout)")
+		inject    = flag.String("inject", "", "arm the fault injector: comma-separated key=value list (seed, stage, bench, binder, perror, ppanic, pdelay, delay), e.g. 'seed=1,stage=map,perror=1'")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM / -timeout all cancel the same context; every
+	// pipeline stage and the sim inner loop observe it cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *inject != "" {
+		fi, err := parseInject(*inject)
+		if err != nil {
+			usageErr(err)
+		}
+		ctx = pipeline.WithInjector(ctx, fi)
+	}
 
 	cfg := flow.DefaultConfig()
 	cfg.Width = *width
@@ -63,22 +97,25 @@ func main() {
 	if *loadTable != "" {
 		f, err := os.Open(*loadTable)
 		if err != nil {
-			fatal(err)
+			usageErr(err)
 		}
 		t, err := satable.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			// Malformed input file: reject cleanly, never panic.
+			usageErr(fmt.Errorf("%s: %w", *loadTable, err))
 		}
 		if t.Width != *width {
-			fatal(fmt.Errorf("SA table width %d does not match -width %d", t.Width, *width))
+			usageErr(fmt.Errorf("SA table width %d does not match -width %d", t.Width, *width))
 		}
 		cfg.Table = t
 	}
 
 	if *saveTable != "" {
 		fmt.Fprintf(os.Stderr, "precomputing SA table (width %d, mux sizes 1..%d)...\n", *width, *maxMux)
-		cfg.Table.PrecomputeParallel(*maxMux, *jobs)
+		if err := cfg.Table.PrecomputeCtx(ctx, *maxMux, *jobs); err != nil {
+			fatal(err)
+		}
 		f, err := os.Create(*saveTable)
 		if err != nil {
 			fatal(err)
@@ -100,7 +137,7 @@ func main() {
 		for _, name := range strings.Split(*benchset, ",") {
 			p, ok := workload.ByName(strings.TrimSpace(name))
 			if !ok {
-				fatal(fmt.Errorf("unknown benchmark %q", name))
+				usageErr(fmt.Errorf("unknown benchmark %q", name))
 			}
 			profs = append(profs, p)
 		}
@@ -111,10 +148,10 @@ func main() {
 	case *bench != "":
 		p, ok := workload.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+			usageErr(fmt.Errorf("unknown benchmark %q", *bench))
 		}
 		for _, b := range []flow.Binder{flow.BinderLOPASS, flow.BinderHLPower05} {
-			r, err := se.Run(p, b)
+			r, err := se.Run(ctx, p, b)
 			if err != nil {
 				fatal(err)
 			}
@@ -124,20 +161,20 @@ func main() {
 		}
 	case *ablation:
 		fmt.Println("=== Ablation study ===")
-		if err := flow.Ablation(os.Stdout, se); err != nil {
+		if err := flow.Ablation(ctx, os.Stdout, se); err != nil {
 			fatal(err)
 		}
 	case *alphaList != "":
 		alphas, err := parseAlphas(*alphaList)
 		if err != nil {
-			fatal(err)
+			usageErr(err)
 		}
 		fmt.Println("=== Alpha sweep ===")
-		if err := flow.AlphaSweep(os.Stdout, se, alphas); err != nil {
+		if err := flow.AlphaSweep(ctx, os.Stdout, se, alphas); err != nil {
 			fatal(err)
 		}
 	case *validate:
-		devs, err := flow.ValidateAgainstPaper(se)
+		devs, err := flow.ValidateAgainstPaper(ctx, se)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,24 +188,41 @@ func main() {
 		}
 	case *all:
 		// Warm the whole (benchmark x binder) matrix in one parallel
-		// sweep; the table/figure generators then read the cache.
-		if err := se.RunAll(); err != nil {
+		// sweep; the table/figure generators then read the cache. Under
+		// -keepgoing a partial sweep still prints what completed, and the
+		// failures land in the report.
+		rep, err := se.Sweep(ctx, flow.SweepOptions{KeepGoing: *keepGoing})
+		if werr := writeFailures(rep, *failOut); werr != nil {
+			fatal(werr)
+		}
+		if err != nil && !*keepGoing {
 			fatal(err)
 		}
-		runTable(se, 1)
-		runTable(se, 2)
-		runTable(se, 3)
-		runTable(se, 4)
-		fmt.Println("\n=== Figure 3 ===")
-		if err := flow.Figure3(os.Stdout, se); err != nil {
-			fatal(err)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlpower: %d/%d pairs failed (first: %v); continuing with partial results\n",
+				len(rep.Failures()), len(rep.Pairs), err)
+		}
+		if rep.Completed() == len(rep.Pairs) {
+			runTable(ctx, se, 1)
+			runTable(ctx, se, 2)
+			runTable(ctx, se, 3)
+			runTable(ctx, se, 4)
+			fmt.Println("\n=== Figure 3 ===")
+			if ferr := flow.Figure3(ctx, os.Stdout, se); ferr != nil {
+				fatal(ferr)
+			}
+		} else {
+			printPartial(rep)
+		}
+		if err != nil {
+			os.Exit(1)
 		}
 	case *figure == 3:
-		if err := flow.Figure3(os.Stdout, se); err != nil {
+		if err := flow.Figure3(ctx, os.Stdout, se); err != nil {
 			fatal(err)
 		}
 	case *table >= 1 && *table <= 4:
-		runTable(se, *table)
+		runTable(ctx, se, *table)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -192,6 +246,85 @@ func parseAlphas(s string) ([]float64, error) {
 		alphas = append(alphas, a)
 	}
 	return alphas, nil
+}
+
+// parseInject parses the -inject spec: a comma-separated key=value list
+// building one seeded FaultRule. Example:
+//
+//	-inject 'seed=42,stage=map,bench=chem,perror=1'
+func parseInject(s string) (*pipeline.FaultInjector, error) {
+	var seed int64 = 1
+	var rule pipeline.FaultRule
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -inject entry %q (want key=value)", kv)
+		}
+		var err error
+		switch strings.ToLower(k) {
+		case "seed":
+			seed, err = strconv.ParseInt(v, 10, 64)
+		case "stage":
+			rule.Stage = v
+		case "bench":
+			rule.Bench = v
+		case "binder":
+			rule.Binder = v
+		case "perror":
+			rule.PError, err = strconv.ParseFloat(v, 64)
+		case "ppanic":
+			rule.PPanic, err = strconv.ParseFloat(v, 64)
+		case "pdelay":
+			rule.PDelay, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			rule.Delay, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("unknown -inject key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -inject value %q for %s: %w", v, k, err)
+		}
+	}
+	return pipeline.NewFaultInjector(seed, rule), nil
+}
+
+// writeFailures writes the sweep's failure report to dest ("" = skip,
+// "-" = stdout).
+func writeFailures(rep *flow.SweepReport, dest string) error {
+	if dest == "" {
+		return nil
+	}
+	if dest == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printPartial summarizes the completed pairs of a partial sweep.
+func printPartial(rep *flow.SweepReport) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tBinder\tStatus\tPower(mW)\tLUTs")
+	for _, ps := range rep.Pairs {
+		if ps.OK() {
+			fmt.Fprintf(tw, "%s\t%s\tok\t%.2f\t%d\n",
+				ps.Bench, ps.Binder, ps.Result.Power.DynamicPowerMW, ps.Result.LUTs)
+		} else {
+			status := "failed"
+			if ps.Failure.Canceled {
+				status = "canceled"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t\t\n", ps.Bench, ps.Binder, status)
+		}
+	}
+	tw.Flush()
 }
 
 // emitTrace writes the session's stage spans as a JSON array to dest
@@ -248,25 +381,34 @@ func emitTrace(se *flow.Session, dest string) error {
 	return tw.Flush()
 }
 
-func runTable(se *flow.Session, n int) {
+func runTable(ctx context.Context, se *flow.Session, n int) {
 	fmt.Printf("\n=== Table %d ===\n", n)
 	var err error
 	switch n {
 	case 1:
 		err = flow.Table1(os.Stdout)
 	case 2:
-		err = flow.Table2(os.Stdout, se)
+		err = flow.Table2(ctx, os.Stdout, se)
 	case 3:
-		err = flow.Table3(os.Stdout, se)
+		err = flow.Table3(ctx, os.Stdout, se)
 	case 4:
-		err = flow.Table4(os.Stdout, se)
+		err = flow.Table4(ctx, os.Stdout, se)
 	}
 	if err != nil {
 		fatal(err)
 	}
 }
 
+// fatal reports a runtime failure (exit 1).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hlpower:", err)
 	os.Exit(1)
+}
+
+// usageErr reports bad usage or malformed input (exit 2), the contract
+// the de-panicked parsers feed: untrusted input is rejected with a
+// message, never a panic.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "hlpower:", err)
+	os.Exit(2)
 }

@@ -6,22 +6,44 @@ import (
 	"repro/internal/logic"
 )
 
+// maxFlattenInstances bounds the total .subckt instantiations one
+// Flatten may perform. Hierarchies double per level with one line of
+// BLIF each, so without a cap a few dozen lines of input can demand
+// exponential work; real resource libraries sit far below this bound.
+const maxFlattenInstances = 1 << 16
+
 // Flatten elaborates the named top model of the library into a flat
 // logic.Network, recursively instantiating every .subckt. Node names are
 // hierarchical: "u0/u1/sig" for nested instances. Gates may appear in any
 // textual order inside a model; Flatten resolves dependencies and reports
 // combinational cycles or undefined signals.
-func Flatten(lib *Library, top string) (*logic.Network, error) {
+//
+// Flatten treats the library as untrusted input: recursive model
+// hierarchies, instantiation blow-ups, over-wide covers, and name
+// collisions with the hierarchical "uN/" namespace are reported as
+// errors, never panics.
+func Flatten(lib *Library, top string) (net *logic.Network, err error) {
 	m, ok := lib.Get(top)
 	if !ok {
 		return nil, fmt.Errorf("blif: model %q not found", top)
 	}
-	net := logic.NewNetwork(top)
+	// logic.Network reports construction-contract violations (duplicate
+	// node names, arity mismatches) by panicking, which is right for
+	// generated netlists but not for netlists parsed from disk: a BLIF
+	// signal named like a hierarchical instance path ("u0/x") collides
+	// with Flatten's own namespace. Convert those to errors here, at the
+	// untrusted-input boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			net, err = nil, fmt.Errorf("blif: model %q: malformed netlist: %v", top, r)
+		}
+	}()
+	net = logic.NewNetwork(top)
 	portMap := make(map[string]int, len(m.Inputs))
 	for _, in := range m.Inputs {
 		portMap[in] = net.AddInput(in)
 	}
-	f := &flattener{lib: lib, net: net}
+	f := &flattener{lib: lib, net: net, stack: map[string]bool{top: true}}
 	outs, err := f.elaborate(m, "", portMap)
 	if err != nil {
 		return nil, err
@@ -43,6 +65,10 @@ type flattener struct {
 	lib  *Library
 	net  *logic.Network
 	inst int // instance counter for unique hierarchical prefixes
+	// stack holds the models currently being elaborated; a .subckt
+	// referencing any of them is a recursive hierarchy (infinite
+	// elaboration), reported instead of recursed into.
+	stack map[string]bool
 }
 
 // elaborate instantiates model m with the given hierarchical name prefix
@@ -137,9 +163,17 @@ func (f *flattener) elaborate(m *Model, prefix string, portMap map[string]int) (
 					next = append(next, it)
 					continue
 				}
+				if f.stack[inner.Name] {
+					return nil, fmt.Errorf("blif: model %q instantiates %q recursively", m.Name, inner.Name)
+				}
+				if f.inst >= maxFlattenInstances {
+					return nil, fmt.Errorf("blif: more than %d subcircuit instances", maxFlattenInstances)
+				}
 				instPrefix := fmt.Sprintf("%su%d/", prefix, f.inst)
 				f.inst++
+				f.stack[inner.Name] = true
 				outs, err := f.elaborate(inner, instPrefix, innerPorts)
+				delete(f.stack, inner.Name)
 				if err != nil {
 					return nil, err
 				}

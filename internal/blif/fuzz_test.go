@@ -1,0 +1,39 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBlifParse feeds arbitrary text through the full untrusted-input
+// path: ParseString, then Flatten of every model in definition order.
+// Both must return errors for malformed input, never panic, and a
+// successfully flattened network must pass its own consistency check
+// (Flatten runs net.Check before returning).
+func FuzzBlifParse(f *testing.F) {
+	f.Add(".model top\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+	f.Add(".model top\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n")
+	f.Add(strings.Join([]string{
+		".model top", ".inputs a b", ".outputs y",
+		".subckt leaf x=a z=t", ".names t b y", "11 1", ".end",
+		".model leaf", ".inputs x", ".outputs z", ".names x z", "1 1", ".end", "",
+	}, "\n"))
+	// Crasher shapes fixed by the hardening pass: recursion, a signal
+	// name colliding with the hierarchical instance namespace, and an
+	// over-wide cover.
+	f.Add(".model a\n.inputs x\n.outputs y\n.subckt a x=x y=y\n.end\n")
+	f.Add(".model t\n.inputs u0/x\n.outputs y\n.subckt s x=u0/x z=y\n.end\n.model s\n.inputs x\n.outputs z\n.names x z\n1 1\n.end\n")
+	f.Add(".model w\n.inputs " + strings.Repeat("i ", 20) + "\n.outputs y\n.names " +
+		strings.Repeat("i ", 20) + "y\n" + strings.Repeat("-", 20) + " 1\n.end\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		lib, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		for _, name := range lib.Order {
+			if _, err := Flatten(lib, name); err != nil {
+				continue
+			}
+		}
+	})
+}

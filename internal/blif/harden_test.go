@@ -1,0 +1,106 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// These tests pin the untrusted-input hardening of the parse/flatten
+// path: inputs that previously panicked (or recursed without bound) now
+// return errors.
+
+func mustParse(t *testing.T, text string) *Library {
+	t.Helper()
+	lib, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestFlattenRejectsSelfRecursion(t *testing.T) {
+	lib := mustParse(t, ".model a\n.inputs x\n.outputs y\n.subckt a x=x y=y\n.end\n")
+	if _, err := Flatten(lib, "a"); err == nil || !strings.Contains(err.Error(), "recursively") {
+		t.Fatalf("self-recursive model: err = %v", err)
+	}
+}
+
+func TestFlattenRejectsMutualRecursion(t *testing.T) {
+	lib := mustParse(t, strings.Join([]string{
+		".model a", ".inputs x", ".outputs y", ".subckt b x=x y=y", ".end",
+		".model b", ".inputs x", ".outputs y", ".subckt a x=x y=y", ".end", "",
+	}, "\n"))
+	if _, err := Flatten(lib, "a"); err == nil || !strings.Contains(err.Error(), "recursively") {
+		t.Fatalf("mutually recursive models: err = %v", err)
+	}
+}
+
+// TestFlattenInstanceCap builds a doubling hierarchy: each of 20 levels
+// instantiates the next level twice, demanding 2^20 leaf instances from
+// ~100 lines of BLIF. The cap must stop elaboration.
+func TestFlattenInstanceCap(t *testing.T) {
+	var sb strings.Builder
+	const depth = 20
+	for i := 0; i < depth; i++ {
+		name := levelName(i)
+		sub := levelName(i + 1)
+		sb.WriteString(".model " + name + "\n.inputs x\n.outputs y\n")
+		sb.WriteString(".subckt " + sub + " x=x y=t\n")
+		sb.WriteString(".subckt " + sub + " x=t y=y\n.end\n")
+	}
+	sb.WriteString(".model " + levelName(depth) + "\n.inputs x\n.outputs y\n.names x y\n1 1\n.end\n")
+	lib := mustParse(t, sb.String())
+	_, err := Flatten(lib, levelName(0))
+	if err == nil || !strings.Contains(err.Error(), "instances") {
+		t.Fatalf("doubling hierarchy: err = %v", err)
+	}
+}
+
+func levelName(i int) string {
+	return "lvl" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+// TestFlattenNamespaceCollision feeds a top-level signal literally named
+// like a hierarchical instance path. logic.Network panics on the
+// duplicate node name; Flatten must convert that to an error.
+func TestFlattenNamespaceCollision(t *testing.T) {
+	lib := mustParse(t, strings.Join([]string{
+		".model t", ".inputs a", ".outputs y",
+		".names a u0/z", "1 1",
+		".subckt s x=a z=y", ".end",
+		".model s", ".inputs x", ".outputs z", ".names x z", "1 1", ".end", "",
+	}, "\n"))
+	if _, err := Flatten(lib, "t"); err == nil || !strings.Contains(err.Error(), "malformed netlist") {
+		t.Fatalf("namespace collision: err = %v", err)
+	}
+}
+
+func TestCoverToTruthTableRejectsWideCovers(t *testing.T) {
+	n := bitvec.MaxVars + 1
+	_, err := CoverToTruthTable(n, []Cube{{Inputs: strings.Repeat("-", n), Output: '1'}})
+	if err == nil || !strings.Contains(err.Error(), "max") {
+		t.Fatalf("wide cover: err = %v", err)
+	}
+	if _, err := CoverToTruthTable(-1, nil); err == nil {
+		t.Fatal("negative input count accepted")
+	}
+}
+
+// TestFlattenWideGateError checks the wide-cover error surfaces through
+// Flatten with gate provenance instead of a bitvec panic.
+func TestFlattenWideGateError(t *testing.T) {
+	n := bitvec.MaxVars + 1
+	ins := make([]string, n)
+	for i := range ins {
+		ins[i] = "i" + levelName(i)
+	}
+	text := ".model w\n.inputs " + strings.Join(ins, " ") + "\n.outputs y\n.names " +
+		strings.Join(ins, " ") + " y\n" + strings.Repeat("-", n) + " 1\n.end\n"
+	lib := mustParse(t, text)
+	_, err := Flatten(lib, "w")
+	if err == nil || !strings.Contains(err.Error(), `gate "y"`) {
+		t.Fatalf("wide gate: err = %v", err)
+	}
+}

@@ -84,7 +84,13 @@ func (l *Library) Get(name string) (*Model, bool) {
 // table. BLIF semantics: all rows of a cover must share the same output
 // phase; a '1' phase cover lists the on-set, a '0' phase cover the
 // off-set. An empty cover is constant 0 (".names x" with no rows).
+// Covers wider than bitvec.MaxVars inputs are rejected (truth tables are
+// explicit, so the width bound is a hard resource limit, not a parser
+// restriction).
 func CoverToTruthTable(n int, cover []Cube) (*bitvec.TruthTable, error) {
+	if n < 0 || n > bitvec.MaxVars {
+		return nil, fmt.Errorf("blif: cover has %d inputs, max %d", n, bitvec.MaxVars)
+	}
 	if len(cover) == 0 {
 		return bitvec.Const(n, false), nil
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -82,26 +83,26 @@ func ablationSpec(variant string, cfg Config, zeroTable, najmTable *satable.Tabl
 // (portopt frequently flips nothing) share the mapped netlist,
 // simulation, and power analysis too. Row order is deterministic:
 // benchmark-major in suite order, then variant order.
-func AblationData(se *Session) ([]AblationRow, error) {
+func AblationData(ctx context.Context, se *Session) ([]AblationRow, error) {
 	cfg := se.Cfg
 	zeroTable := satable.New(cfg.Width, satable.EstimatorZeroDelay)
 	najmTable := satable.New(cfg.Width, satable.EstimatorNajm)
 	perBench := make([][]AblationRow, len(se.Benchmarks))
-	err := forEach(len(se.Benchmarks), se.Jobs, func(bi int) error {
+	err := firstError(runItems(ctx, len(se.Benchmarks), se.Jobs, true, func(ctx context.Context, bi int) error {
 		p := se.Benchmarks[bi]
-		fe, rba, err := se.frontEnd(p)
+		fe, rba, err := se.frontEnd(ctx, p)
 		if err != nil {
 			return err
 		}
 		for _, variant := range ablationVariants {
 			spec, ms := ablationSpec(variant, cfg, zeroTable, najmTable)
-			ba, err := stageBind.Exec(se.stages, bindIn{
+			ba, err := stageBind.Exec(ctx, se.stages, bindIn{
 				name: p.Name, binder: variant, fe: fe, rba: rba, rc: p.RC, spec: spec,
 			}, se.trace)
 			if err != nil {
 				return err
 			}
-			_, ma, _, rep, err := runBackEnd(se.stages, cfg, fe, rba, ba, p.Name, variant, ms, se.trace)
+			_, ma, _, rep, err := runBackEnd(ctx, se.stages, cfg, fe, rba, ba, p.Name, variant, ms, se.trace)
 			if err != nil {
 				return err
 			}
@@ -117,7 +118,7 @@ func AblationData(se *Session) ([]AblationRow, error) {
 			})
 		}
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -129,8 +130,8 @@ func AblationData(se *Session) ([]AblationRow, error) {
 }
 
 // Ablation prints the ablation study.
-func Ablation(w io.Writer, se *Session) error {
-	rows, err := AblationData(se)
+func Ablation(ctx context.Context, w io.Writer, se *Session) error {
+	rows, err := AblationData(ctx, se)
 	if err != nil {
 		return err
 	}

@@ -14,7 +14,7 @@ func TestAblationRendersAllVariants(t *testing.T) {
 	pr, _ := workload.ByName("pr")
 	se.Benchmarks = []workload.Profile{pr}
 	var sb strings.Builder
-	if err := Ablation(&sb, se); err != nil {
+	if err := Ablation(bgc, &sb, se); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

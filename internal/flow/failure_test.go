@@ -1,0 +1,343 @@
+package flow
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// fullMatrixSession returns a session over the full seven-benchmark
+// paper suite at reduced scale, for sweep-failure tests that need the
+// real 7×3 matrix.
+func fullMatrixSession(jobs int) *Session {
+	cfg := testConfig()
+	cfg.Vectors = 50
+	se := NewSession(cfg)
+	se.Jobs = jobs
+	return se
+}
+
+// pairByName resolves a (bench, binder) name pair against the session's
+// sweep matrix.
+func pairByName(t *testing.T, se *Session, bench, binder string) (workload.Profile, Binder) {
+	t.Helper()
+	for _, p := range se.Benchmarks {
+		if p.Name != bench {
+			continue
+		}
+		for _, b := range AllBinders {
+			if b.Name == binder {
+				return p, b
+			}
+		}
+	}
+	t.Fatalf("pair %s/%s not in the sweep matrix", bench, binder)
+	return workload.Profile{}, Binder{}
+}
+
+// checkGoroutines fails the test if goroutines leaked relative to the
+// count captured at call time. It retries with backoff so goroutines
+// that are already unwinding (worker pools draining after Wait) do not
+// flake the check — a hand-rolled stand-in for goleak, which this repo
+// deliberately does not depend on.
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestSweepKeepGoingWithInjectedFaults is the acceptance scenario of
+// the failure model: a seeded injector forces one panic and one error
+// inside a full 7×3 sweep under keep-going. The sweep must complete,
+// every unaffected pair must carry a result, and the failure report
+// must name the exact stage, benchmark, and binder of both casualties.
+func TestSweepKeepGoingWithInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix sweep")
+	}
+	leak := checkGoroutines(t)
+
+	fi := pipeline.NewFaultInjector(11,
+		pipeline.FaultRule{Stage: StageMap, Bench: "chem", Binder: BinderHLPower05.Name, PPanic: 1},
+		pipeline.FaultRule{Stage: StageSim, Bench: "wang", Binder: BinderLOPASS.Name, PError: 1},
+	)
+	ctx := pipeline.WithInjector(context.Background(), fi)
+
+	se := fullMatrixSession(8)
+	rep, err := se.Sweep(ctx, SweepOptions{KeepGoing: true})
+	if err == nil {
+		t.Fatal("sweep with injected faults reported success")
+	}
+
+	total := len(se.Benchmarks) * len(AllBinders)
+	if len(rep.Pairs) != total {
+		t.Fatalf("report covers %d pairs, want %d", len(rep.Pairs), total)
+	}
+	if got, want := rep.Completed(), total-2; got != want {
+		t.Fatalf("%d pairs completed, want %d (every pair but the two injected)", got, want)
+	}
+
+	fails := rep.Failures()
+	if len(fails) != 2 {
+		t.Fatalf("got %d failures, want 2: %+v", len(fails), fails)
+	}
+	// Sweep order is benchmark-major over the paper suite, so chem
+	// precedes wang.
+	boom, errf := fails[0], fails[1]
+	if boom.Bench != "chem" || boom.Binder != BinderHLPower05.Name || boom.Stage != StageMap || !boom.Panicked {
+		t.Fatalf("panic failure misattributed: %+v", boom)
+	}
+	// The injected-panic chain survives stage-level recovery: the
+	// failure is identifiable as injected, not just as a panic.
+	if !boom.Injected || !errors.Is(boom.Err, pipeline.ErrInjected) {
+		t.Fatalf("injected panic lost its sentinel: %+v", boom)
+	}
+	if errf.Bench != "wang" || errf.Binder != BinderLOPASS.Name || errf.Stage != StageSim || errf.Panicked {
+		t.Fatalf("error failure misattributed: %+v", errf)
+	}
+	if !errf.Injected || !errors.Is(errf.Err, pipeline.ErrInjected) {
+		t.Fatalf("injected error lost its sentinel: %+v", errf)
+	}
+	if sErr, ok := pipeline.AsStageError(errf.Err); !ok || sErr.Scope.Bench != "wang" {
+		t.Fatalf("errors.As lost the StageError: %v", errf.Err)
+	}
+
+	// Unaffected pairs carry usable results.
+	for _, ps := range rep.Pairs {
+		if ps.OK() && (ps.Result == nil || ps.Result.LUTs == 0) {
+			t.Fatalf("completed pair %s/%s has no result", ps.Bench, ps.Binder)
+		}
+	}
+
+	// The poisoned artifacts must not be cached: rerunning the failed
+	// pairs without the injector heals both.
+	for _, f := range fails {
+		p, b := pairByName(t, se, f.Bench, f.Binder)
+		if _, err := se.Run(context.Background(), p, b); err != nil {
+			t.Fatalf("pair %s/%s did not heal after injection: %v", f.Bench, f.Binder, err)
+		}
+	}
+	leak()
+}
+
+// TestSweepFailureReportDeterministic runs the injected-fault sweep at
+// -j1 and -j8 (twice each) and requires identical failure reports:
+// positional injection plus index-ordered error selection make the
+// report a pure function of the sweep matrix, not of scheduling.
+func TestSweepFailureReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix sweeps")
+	}
+	var pairs int
+	report := func(jobs int) []Failure {
+		fi := pipeline.NewFaultInjector(42,
+			pipeline.FaultRule{Stage: StageBind, PPanic: 0.2, PError: 0.2},
+		)
+		ctx := pipeline.WithInjector(context.Background(), fi)
+		se := fullMatrixSession(jobs)
+		// A 4-benchmark subset keeps the four race-detector sweeps
+		// affordable; scheduling nondeterminism is matrix-size
+		// independent, and the full 7×3 matrix is covered by
+		// TestSweepKeepGoingWithInjectedFaults.
+		se.Benchmarks = se.Benchmarks[:4]
+		pairs = len(se.Benchmarks) * len(AllBinders)
+		rep, _ := se.Sweep(ctx, SweepOptions{KeepGoing: true})
+		fails := make([]Failure, 0, len(rep.Pairs))
+		for _, f := range rep.Failures() {
+			c := *f
+			c.Err = nil // compare the serializable projection
+			fails = append(fails, c)
+		}
+		return fails
+	}
+	serial := report(1)
+	if len(serial) == 0 {
+		t.Fatal("seed 42 injected nothing; the test exercises nothing")
+	}
+	if len(serial) == pairs {
+		t.Fatal("seed 42 killed every pair; pick different probabilities")
+	}
+	for run, jobs := range []int{8, 1, 8} {
+		if got := report(jobs); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("run %d (-j%d) failure report differs from -j1:\n-j1: %+v\n got: %+v",
+				run, jobs, serial, got)
+		}
+	}
+}
+
+// TestSweepStopOnError checks the default (non-keep-going) mode: the
+// first failure in sweep order is returned, in-flight work is
+// cancelled, and the report marks unfinished pairs as cancelled rather
+// than inventing results for them.
+func TestSweepStopOnError(t *testing.T) {
+	leak := checkGoroutines(t)
+	se := smallSession()
+	se.Jobs = 4
+	fi := pipeline.NewFaultInjector(5,
+		pipeline.FaultRule{Stage: StageBind, Bench: "pr", Binder: BinderLOPASS.Name, PError: 1},
+	)
+	ctx := pipeline.WithInjector(context.Background(), fi)
+	rep, err := se.Sweep(ctx, SweepOptions{})
+	if err == nil {
+		t.Fatal("stop-on-error sweep reported success")
+	}
+	if !errors.Is(err, pipeline.ErrInjected) {
+		t.Fatalf("sweep error is not the injected failure: %v", err)
+	}
+	sErr, ok := pipeline.AsStageError(err)
+	if !ok || sErr.Stage != StageBind || sErr.Scope.Bench != "pr" {
+		t.Fatalf("sweep error lost provenance: %v", err)
+	}
+	// Every non-completed pair must be attributed: either the injected
+	// failure or a cancellation, never a silent hole.
+	for _, ps := range rep.Pairs {
+		if ps.OK() {
+			continue
+		}
+		f := ps.Failure
+		if !f.Injected && !f.Canceled {
+			t.Fatalf("pair %s/%s failed for an unexplained reason: %+v", ps.Bench, ps.Binder, f)
+		}
+	}
+	leak()
+}
+
+// TestSweepCancelledContext checks mid-sweep cancellation: RunAll with
+// an already-cancelled context returns promptly with context.Canceled
+// and leaks no goroutines.
+func TestSweepCancelledContext(t *testing.T) {
+	leak := checkGoroutines(t)
+	se := smallSession()
+	se.Jobs = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- se.RunAll(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunAll did not return after cancellation")
+	}
+	// The session must recover: the same pairs run fine afterwards.
+	if err := se.RunAll(context.Background()); err != nil {
+		t.Fatalf("session did not recover from cancellation: %v", err)
+	}
+	leak()
+}
+
+// TestSweepTimeoutCancelsSimulation cancels mid-flight via a deadline:
+// the sim stage's vector-boundary checks must surface the deadline
+// through the StageError chain instead of running the sweep to the end.
+func TestSweepTimeoutCancelsSimulation(t *testing.T) {
+	se := smallSession()
+	se.Cfg.Vectors = 100000 // long enough that the deadline lands mid-simulation
+	se.Jobs = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := se.RunAll(ctx)
+	if err == nil {
+		t.Fatal("sweep beat a 50ms deadline over 100k-vector simulations")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v; vector-boundary checks are not wired", elapsed)
+	}
+}
+
+// TestSweepReportJSON pins the machine-readable report format.
+func TestSweepReportJSON(t *testing.T) {
+	rep := &SweepReport{Pairs: []PairStatus{
+		{Bench: "pr", Binder: "LOPASS", Result: &Result{}},
+		{Bench: "pr", Binder: "HLPower a=0.5", Failure: &Failure{
+			Bench: "pr", Binder: "HLPower a=0.5", Stage: StageMap,
+			Panicked: true, Cause: "stage map (pr/HLPower a=0.5): stage panicked: boom",
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Total     int `json:"total"`
+		Completed int `json:"completed"`
+		Failed    int `json:"failed"`
+		Failures  []struct {
+			Bench    string `json:"bench"`
+			Binder   string `json:"binder"`
+			Stage    string `json:"stage"`
+			Panicked bool   `json:"panicked"`
+			Cause    string `json:"cause"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Total != 2 || got.Completed != 1 || got.Failed != 1 {
+		t.Fatalf("counts wrong: %+v", got)
+	}
+	f := got.Failures[0]
+	if f.Bench != "pr" || f.Stage != StageMap || !f.Panicked || !strings.Contains(f.Cause, "boom") {
+		t.Fatalf("failure record wrong: %+v", f)
+	}
+	// A clean report serializes an empty array, not null.
+	buf.Reset()
+	if err := (&SweepReport{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"failures": []`) {
+		t.Fatalf("clean report must have an empty failures array:\n%s", buf.String())
+	}
+}
+
+// TestSessionRunErrorsAreStageErrors checks errors.As works end to end
+// through Session.Run for an organic failure (no injector): an
+// unschedulable profile fails in the schedule stage with full
+// provenance.
+func TestSessionRunErrorsAreStageErrors(t *testing.T) {
+	se := smallSession()
+	bad := se.Benchmarks[0]
+	bad.Name = "bad"
+	bad.RC.Add, bad.RC.Mult = 0, 0
+	_, err := se.Run(context.Background(), bad, BinderLOPASS)
+	if err == nil {
+		t.Fatal("unschedulable profile bound successfully")
+	}
+	sErr, ok := pipeline.AsStageError(err)
+	if !ok {
+		t.Fatalf("organic failure is not a StageError: %v", err)
+	}
+	if sErr.Stage != StageSchedule || sErr.Scope.Bench != "bad" {
+		t.Fatalf("provenance wrong: %+v", sErr)
+	}
+}

@@ -17,8 +17,8 @@
 package flow
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/binding"
@@ -183,15 +183,22 @@ type Result struct {
 // Run executes the full pipeline for one benchmark profile and binder,
 // scheduling to the paper's Table 2 cycle count. Each call is
 // self-contained (no artifact reuse); use a Session to share work
-// across runs.
+// across runs. Cancellation-aware callers should use RunCtx.
 func Run(p workload.Profile, b Binder, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), p, b, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx flows through every
+// stage, and stage failures surface as *pipeline.StageError values
+// naming the stage and the (benchmark, binder) pair.
+func RunCtx(ctx context.Context, p workload.Profile, b Binder, cfg Config) (*Result, error) {
 	cfg = cfg.Normalize()
 	var tr pipeline.Trace
-	fe, err := stageSchedule.Exec(nil, p, &tr)
+	fe, err := stageSchedule.Exec(ctx, nil, p, &tr)
 	if err != nil {
 		return nil, err
 	}
-	r, err := runPipeline(nil, cfg, fe, p.Name, p.RC, b, &tr)
+	r, err := runPipeline(ctx, nil, cfg, fe, p.Name, p.RC, b, &tr)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +226,7 @@ func RunScheduled(g *cdfg.Graph, name string, s *cdfg.Schedule, rc cdfg.Resource
 		return nil, fmt.Errorf("flow: %s: %w", name, err)
 	}
 	var tr pipeline.Trace
-	r, err := runPipeline(nil, cfg, newSchedArtifact(g, s), name, rc, b, &tr)
+	r, err := runPipeline(context.Background(), nil, cfg, newSchedArtifact(g, s), name, rc, b, &tr)
 	if err != nil {
 		return nil, err
 	}
@@ -241,6 +248,11 @@ func RunScheduled(g *cdfg.Graph, name string, s *cdfg.Schedule, rc cdfg.Resource
 // concurrent demands for one artifact share a single computation — so
 // RunAll can fan the sweep out over worker goroutines without
 // duplicating or racing any work.
+//
+// Failures never poison a session: errors (including recovered panics,
+// surfaced as *pipeline.StageError) are not cached, so a pair that
+// failed under a cancelled context or an injected fault recomputes
+// cleanly on the next demand.
 type Session struct {
 	// Cfg is the session's normalized configuration (see
 	// Config.Normalize; NewSession normalizes its argument).
@@ -252,9 +264,13 @@ type Session struct {
 	// ablation generators) fan out with; 0 selects GOMAXPROCS.
 	Jobs int
 
-	mu       sync.Mutex
-	cache    map[string]*Result
-	inflight map[string]*inflightRun
+	// runs is the per-(benchmark, binder) result cache. It is a
+	// pipeline.Cache of its own (class runClass) rather than a plain map
+	// so run-level demands get the same semantics as stage artifacts:
+	// singleflight sharing, context-aware waiting, no caching of errors,
+	// and waiter-retry on failure (a caller never adopts a foreign
+	// cancellation or injected fault as its own result).
+	runs *pipeline.Cache
 
 	// stages is the shared per-stage artifact cache; trace accumulates
 	// every stage span recorded across the session.
@@ -262,13 +278,9 @@ type Session struct {
 	trace  *pipeline.Trace
 }
 
-// inflightRun is one in-progress pipeline execution; duplicate callers
-// block on done and read res/err afterwards.
-type inflightRun struct {
-	done chan struct{}
-	res  *Result
-	err  error
-}
+// runClass is the runs-cache class key; kept out of StageNames so
+// Session.StageStats reports pipeline stages only.
+const runClass = "run"
 
 // NewSession creates a run cache over a configuration covering the full
 // benchmark suite. The configuration is normalized (see
@@ -279,8 +291,7 @@ func NewSession(cfg Config) *Session {
 	return &Session{
 		Cfg:        cfg.Normalize(),
 		Benchmarks: workload.Benchmarks,
-		cache:      make(map[string]*Result),
-		inflight:   make(map[string]*inflightRun),
+		runs:       pipeline.NewCache(),
 		stages:     pipeline.NewCache(),
 		trace:      new(pipeline.Trace),
 	}
@@ -299,8 +310,7 @@ func (se *Session) Derive(cfg Config) *Session {
 		Cfg:        cfg.Normalize(),
 		Benchmarks: se.Benchmarks,
 		Jobs:       se.Jobs,
-		cache:      make(map[string]*Result),
-		inflight:   make(map[string]*inflightRun),
+		runs:       pipeline.NewCache(),
 		stages:     se.stages,
 		trace:      se.trace,
 	}
@@ -308,44 +318,29 @@ func (se *Session) Derive(cfg Config) *Session {
 
 // Run returns the cached result for (benchmark, binder), executing the
 // pipeline on first use. Concurrent calls for the same pair share one
-// execution and return the identical *Result.
-func (se *Session) Run(p workload.Profile, b Binder) (*Result, error) {
+// execution and return the identical *Result. A failed execution is not
+// cached: concurrent waiters retry under their own context, and a later
+// Run recomputes the pair from whatever stage artifacts survived.
+func (se *Session) Run(ctx context.Context, p workload.Profile, b Binder) (*Result, error) {
 	key := p.Name + "|" + b.Name
-	se.mu.Lock()
-	if r, ok := se.cache[key]; ok {
-		se.mu.Unlock()
-		return r, nil
+	v, _, err := se.runs.Do(ctx, runClass, key, func() (any, error) {
+		return se.runStaged(ctx, p, b)
+	})
+	if err != nil {
+		return nil, err
 	}
-	if c, ok := se.inflight[key]; ok {
-		se.mu.Unlock()
-		<-c.done
-		return c.res, c.err
-	}
-	c := &inflightRun{done: make(chan struct{})}
-	se.inflight[key] = c
-	se.mu.Unlock()
-
-	c.res, c.err = se.runStaged(p, b)
-
-	se.mu.Lock()
-	if c.err == nil {
-		se.cache[key] = c.res
-	}
-	delete(se.inflight, key)
-	se.mu.Unlock()
-	close(c.done)
-	return c.res, c.err
+	return v.(*Result), nil
 }
 
 // runStaged executes one (benchmark, binder) pipeline through the
 // session's stage cache.
-func (se *Session) runStaged(p workload.Profile, b Binder) (*Result, error) {
+func (se *Session) runStaged(ctx context.Context, p workload.Profile, b Binder) (*Result, error) {
 	var tr pipeline.Trace
-	fe, err := stageSchedule.Exec(se.stages, p, se.trace, &tr)
+	fe, err := stageSchedule.Exec(ctx, se.stages, p, se.trace, &tr)
 	if err != nil {
 		return nil, err
 	}
-	r, err := runPipeline(se.stages, se.Cfg, fe, p.Name, p.RC, b, se.trace, &tr)
+	r, err := runPipeline(ctx, se.stages, se.Cfg, fe, p.Name, p.RC, b, se.trace, &tr)
 	if err != nil {
 		return nil, err
 	}
@@ -356,12 +351,12 @@ func (se *Session) runStaged(p workload.Profile, b Binder) (*Result, error) {
 // frontEnd returns the session's shared scheduled graph and register
 // binding for a benchmark (computing or fetching them through the stage
 // cache). The ablation and sweep generators start from it.
-func (se *Session) frontEnd(p workload.Profile) (*schedArtifact, *regbindArtifact, error) {
-	fe, err := stageSchedule.Exec(se.stages, p, se.trace)
+func (se *Session) frontEnd(ctx context.Context, p workload.Profile) (*schedArtifact, *regbindArtifact, error) {
+	fe, err := stageSchedule.Exec(ctx, se.stages, p, se.trace)
 	if err != nil {
 		return nil, nil, err
 	}
-	rba, err := stageRegbind.Exec(se.stages, regbindIn{name: p.Name, fe: fe, portSeed: se.Cfg.PortSeed}, se.trace)
+	rba, err := stageRegbind.Exec(ctx, se.stages, regbindIn{name: p.Name, fe: fe, portSeed: se.Cfg.PortSeed}, se.trace)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,6 +9,10 @@ import (
 	"repro/internal/satable"
 	"repro/internal/workload"
 )
+
+// bgc is the background context the tests run non-cancellation
+// pipelines under.
+var bgc = context.Background()
 
 // testConfig keeps unit tests fast: 4-bit datapath, 200 vectors.
 func testConfig() Config {
@@ -63,11 +68,11 @@ func TestRunGraphOnKernel(t *testing.T) {
 func TestSessionCaches(t *testing.T) {
 	se := smallSession()
 	p := se.Benchmarks[0]
-	r1, err := se.Run(p, BinderLOPASS)
+	r1, err := se.Run(bgc, p, BinderLOPASS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := se.Run(p, BinderLOPASS)
+	r2, err := se.Run(bgc, p, BinderLOPASS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,28 +96,28 @@ func TestTable1Renders(t *testing.T) {
 func TestTablesAndFigureRender(t *testing.T) {
 	se := smallSession()
 	var sb strings.Builder
-	if err := Table2(&sb, se); err != nil {
+	if err := Table2(bgc, &sb, se); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "pr") || !strings.Contains(sb.String(), "Cycle") {
 		t.Fatalf("Table 2 malformed:\n%s", sb.String())
 	}
 	sb.Reset()
-	if err := Table3(&sb, se); err != nil {
+	if err := Table3(bgc, &sb, se); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Average") {
 		t.Fatalf("Table 3 missing average row:\n%s", sb.String())
 	}
 	sb.Reset()
-	if err := Table4(&sb, se); err != nil {
+	if err := Table4(bgc, &sb, se); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "#muxes") {
 		t.Fatalf("Table 4 malformed:\n%s", sb.String())
 	}
 	sb.Reset()
-	if err := Figure3(&sb, se); err != nil {
+	if err := Figure3(bgc, &sb, se); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "LOPASS") || !strings.Contains(sb.String(), "a=0.5") {
@@ -126,7 +131,7 @@ func TestTablesAndFigureRender(t *testing.T) {
 // DCT benchmarks.
 func TestHeadlineShapeOnSmallSuite(t *testing.T) {
 	se := smallSession()
-	t4, err := Table4Data(se)
+	t4, err := Table4Data(bgc, se)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +143,7 @@ func TestHeadlineShapeOnSmallSuite(t *testing.T) {
 	if m05 > ml {
 		t.Fatalf("muxDiff mean should improve: LOPASS %.2f vs a=0.5 %.2f", ml, m05)
 	}
-	f3, err := Figure3Data(se)
+	f3, err := Figure3Data(bgc, se)
 	if err != nil {
 		t.Fatal(err)
 	}

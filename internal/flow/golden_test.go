@@ -20,11 +20,11 @@ func TestGoldenPr(t *testing.T) {
 	se := NewSession(cfg)
 	p, _ := workload.ByName("pr")
 
-	lo, err := se.Run(p, BinderLOPASS)
+	lo, err := se.Run(bgc, p, BinderLOPASS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hi, err := se.Run(p, BinderHLPower05)
+	hi, err := se.Run(bgc, p, BinderHLPower05)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 package flow
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -17,6 +21,12 @@ import (
 // RunAll exploits that to fill the Session cache with -j workers; the
 // table/figure generators then read the warm cache in deterministic
 // benchmark order.
+//
+// The failure model is deterministic too: runItems records one error
+// slot per item, a panic in any item is confined to that item's slot
+// (converted to a *pipeline.StageError by the worker's recover), and
+// firstError picks the winner by item index, never by goroutine
+// scheduling — so the reported failure is identical under -j1 and -j8.
 
 // AllBinders is the full binder matrix of the paper's sweep (Tables 3-4,
 // Figure 3).
@@ -30,23 +40,60 @@ func normJobs(jobs int) int {
 	return jobs
 }
 
-// forEach runs fn(0..n-1) on up to jobs workers and returns the
-// lowest-index error (so the reported failure does not depend on
-// goroutine scheduling). jobs <= 1 degrades to a plain serial loop.
-func forEach(n, jobs int, fn func(i int) error) error {
+// safeItem runs fn(ctx, i) with panic isolation: a panic escaping the
+// item (a bug in harness glue — stage panics are already recovered at
+// the stage boundary) becomes a diagnosed *pipeline.StageError instead
+// of killing the whole process, so a sweep under keep-going loses one
+// item, not the run.
+func safeItem(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = pipeline.NewPanicError("sweep", pipeline.Scope{}, "", r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// runItems runs fn(ctx, 0..n-1) on up to jobs workers and returns the
+// per-item error slice (index-aligned with the items). A panicking item
+// is recorded as a *pipeline.StageError in its own slot.
+//
+// With stopOnErr, the first failure cancels the item context: in-flight
+// items observe the cancellation at their next check and unstarted items
+// are recorded as cancelled without running. Without it (keep-going),
+// every item runs to completion regardless of other items' failures;
+// only the parent ctx can stop the sweep early.
+//
+// jobs <= 1 degrades to a plain serial loop with identical semantics,
+// which is what makes -j1 and -j8 failure reports comparable.
+func runItems(ctx context.Context, n, jobs int, stopOnErr bool, fn func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	ictx := ctx
+	var cancel context.CancelFunc
+	if stopOnErr {
+		ictx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	one := func(i int) {
+		if err := ictx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		errs[i] = safeItem(ictx, i, fn)
+		if errs[i] != nil && stopOnErr {
+			cancel()
+		}
+	}
 	jobs = normJobs(jobs)
 	if jobs > n {
 		jobs = n
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
+			one(i)
 		}
-		return nil
+		return errs
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -58,40 +105,70 @@ func forEach(n, jobs int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				one(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return errs
+}
+
+// firstError picks the sweep's reported error from a per-item slice:
+// the lowest-index error that is not a pure cancellation, falling back
+// to the lowest-index cancellation. Real failures therefore win over
+// the cancellation cascade they trigger under stop-on-error, and the
+// choice depends only on item order — never on which worker goroutine
+// happened to fail first.
+func firstError(errs []error) error {
+	var canceled error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return err
+	}
+	return canceled
+}
+
+// sweepPair is one (benchmark, binder) item of a sweep, in deterministic
+// benchmark-major order.
+type sweepPair struct {
+	p workload.Profile
+	b Binder
+}
+
+// sweepPairs enumerates the session's sweep matrix.
+func (se *Session) sweepPairs(binders []Binder) []sweepPair {
+	if len(binders) == 0 {
+		binders = AllBinders
+	}
+	pairs := make([]sweepPair, 0, len(se.Benchmarks)*len(binders))
+	for _, p := range se.Benchmarks {
+		for _, b := range binders {
+			pairs = append(pairs, sweepPair{p, b})
 		}
 	}
-	return nil
+	return pairs
 }
 
 // RunAll executes every (benchmark, binder) pair of the session's sweep
 // on Session.Jobs workers (0 = GOMAXPROCS), filling the run cache. With
 // no binders given it runs the full paper matrix (AllBinders). Results
 // are identical to serial execution — every run is independently seeded
-// — and the first error (in sweep order) is returned.
-func (se *Session) RunAll(binders ...Binder) error {
-	if len(binders) == 0 {
-		binders = AllBinders
-	}
-	type pair struct {
-		p workload.Profile
-		b Binder
-	}
-	pairs := make([]pair, 0, len(se.Benchmarks)*len(binders))
-	for _, p := range se.Benchmarks {
-		for _, b := range binders {
-			pairs = append(pairs, pair{p, b})
-		}
-	}
-	return forEach(len(pairs), se.Jobs, func(i int) error {
-		_, err := se.Run(pairs[i].p, pairs[i].b)
+// — and the first failure (in sweep order, see firstError) cancels the
+// in-flight remainder and is returned. Use Sweep for keep-going
+// semantics and a structured failure report.
+func (se *Session) RunAll(ctx context.Context, binders ...Binder) error {
+	pairs := se.sweepPairs(binders)
+	errs := runItems(ctx, len(pairs), se.Jobs, true, func(ctx context.Context, i int) error {
+		_, err := se.Run(ctx, pairs[i].p, pairs[i].b)
 		return err
 	})
+	return firstError(errs)
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -63,20 +64,20 @@ func TestParallelMatchesSerial(t *testing.T) {
 	serial := fullSuiteSession(1)
 	par := fullSuiteSession(8)
 
-	if err := serial.RunAll(); err != nil {
+	if err := serial.RunAll(bgc); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.RunAll(); err != nil {
+	if err := par.RunAll(bgc); err != nil {
 		t.Fatal(err)
 	}
 
 	for _, p := range serial.Benchmarks {
 		for _, b := range AllBinders {
-			rs, err := serial.Run(p, b)
+			rs, err := serial.Run(bgc, p, b)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rp, err := par.Run(p, b)
+			rp, err := par.Run(bgc, p, b)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,24 +88,24 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 	}
 
-	t3s, err := Table3Data(serial)
+	t3s, err := Table3Data(bgc, serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t3p, err := Table3Data(par)
+	t3p, err := Table3Data(bgc, par)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(t3s, t3p) {
 		t.Errorf("Table3Data rows differ between -j 1 and -j 8")
 	}
-	t4s, _ := Table4Data(serial)
-	t4p, _ := Table4Data(par)
+	t4s, _ := Table4Data(bgc, serial)
+	t4p, _ := Table4Data(bgc, par)
 	if !reflect.DeepEqual(t4s, t4p) {
 		t.Errorf("Table4Data rows differ between -j 1 and -j 8")
 	}
-	f3s, _ := Figure3Data(serial)
-	f3p, _ := Figure3Data(par)
+	f3s, _ := Figure3Data(bgc, serial)
+	f3p, _ := Figure3Data(bgc, par)
 	if !reflect.DeepEqual(f3s, f3p) {
 		t.Errorf("Figure3Data rows differ between -j 1 and -j 8")
 	}
@@ -112,13 +113,13 @@ func TestParallelMatchesSerial(t *testing.T) {
 	// Rendered output must be byte-identical too.
 	render := func(se *Session) string {
 		var sb strings.Builder
-		if err := Table3(&sb, se); err != nil {
+		if err := Table3(bgc, &sb, se); err != nil {
 			t.Fatal(err)
 		}
-		if err := Table4(&sb, se); err != nil {
+		if err := Table4(bgc, &sb, se); err != nil {
 			t.Fatal(err)
 		}
-		if err := Figure3(&sb, se); err != nil {
+		if err := Figure3(bgc, &sb, se); err != nil {
 			t.Fatal(err)
 		}
 		return sb.String()
@@ -145,7 +146,7 @@ func TestSessionSingleflight(t *testing.T) {
 		go func() {
 			defer done.Done()
 			start.Wait()
-			results[w], errs[w] = se.Run(p, BinderLOPASS)
+			results[w], errs[w] = se.Run(bgc, p, BinderLOPASS)
 		}()
 	}
 	start.Done()
@@ -165,20 +166,18 @@ func TestSessionSingleflight(t *testing.T) {
 func TestRunAllFillsCache(t *testing.T) {
 	se := smallSession()
 	se.Jobs = 4
-	if err := se.RunAll(); err != nil {
+	if err := se.RunAll(bgc); err != nil {
 		t.Fatal(err)
 	}
-	se.mu.Lock()
-	n := len(se.cache)
-	se.mu.Unlock()
+	n := se.runs.Len(runClass)
 	if want := len(se.Benchmarks) * len(AllBinders); n != want {
 		t.Fatalf("cache holds %d runs, want %d", n, want)
 	}
-	r1, err := se.Run(se.Benchmarks[0], BinderHLPower05)
+	r1, err := se.Run(bgc, se.Benchmarks[0], BinderHLPower05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := se.Run(se.Benchmarks[0], BinderHLPower05)
+	r2, _ := se.Run(bgc, se.Benchmarks[0], BinderHLPower05)
 	if r1 != r2 {
 		t.Fatal("post-RunAll Run did not hit the cache")
 	}
@@ -194,7 +193,7 @@ func TestRunAllPropagatesError(t *testing.T) {
 	bad.RC = workload.Benchmarks[0].RC
 	bad.RC.Add, bad.RC.Mult = 0, 0 // unschedulable: no units at all
 	se.Benchmarks = append([]workload.Profile{bad}, se.Benchmarks...)
-	err := se.RunAll()
+	err := se.RunAll(bgc)
 	if err == nil {
 		t.Fatal("RunAll ignored a failing benchmark")
 	}
@@ -203,11 +202,13 @@ func TestRunAllPropagatesError(t *testing.T) {
 	}
 }
 
-// TestForEachOrderedErrors checks forEach reports the lowest-index error.
-func TestForEachOrderedErrors(t *testing.T) {
+// TestRunItemsOrderedErrors checks the sweep reports the lowest-index
+// error regardless of worker scheduling (keep-going mode, so both
+// failures are recorded).
+func TestRunItemsOrderedErrors(t *testing.T) {
 	errA := &indexErr{3}
 	errB := &indexErr{7}
-	err := forEach(10, 4, func(i int) error {
+	errs := runItems(bgc, 10, 4, false, func(_ context.Context, i int) error {
 		switch i {
 		case 3:
 			return errA
@@ -216,8 +217,11 @@ func TestForEachOrderedErrors(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errA {
+	if err := firstError(errs); err != errA {
 		t.Fatalf("got %v, want the index-3 error", err)
+	}
+	if errs[7] != errB {
+		t.Fatalf("keep-going lost the index-7 error: %v", errs[7])
 	}
 }
 

@@ -1,0 +1,186 @@
+package flow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+
+	"repro/internal/pipeline"
+)
+
+// Failure is the machine-readable record of one failed (benchmark,
+// binder) run: which pair, which pipeline stage, and why. It is what a
+// keep-going sweep emits per casualty instead of aborting.
+type Failure struct {
+	// Bench and Binder identify the sweep pair.
+	Bench  string `json:"bench"`
+	Binder string `json:"binder"`
+	// Stage names the pipeline stage that failed (see StageNames), or
+	// "sweep" for a failure in harness glue outside any stage. Empty if
+	// the pair was cancelled before any stage ran.
+	Stage string `json:"stage,omitempty"`
+	// Key is the failed stage's cache key, when one was computed.
+	Key string `json:"key,omitempty"`
+	// Panicked reports that the failure was a recovered panic.
+	Panicked bool `json:"panicked,omitempty"`
+	// Canceled reports that the run was cut short by context
+	// cancellation (timeout, interrupt, or stop-on-error) rather than
+	// failing on its own.
+	Canceled bool `json:"canceled,omitempty"`
+	// Injected reports that the failure originated in the fault-
+	// injection harness (pipeline.ErrInjected).
+	Injected bool `json:"injected,omitempty"`
+	// Cause is the failure message (the full error chain, rendered).
+	Cause string `json:"cause"`
+	// Err is the underlying error for programmatic inspection
+	// (errors.Is/errors.As); not serialized.
+	Err error `json:"-"`
+}
+
+// newFailure builds the Failure record for a pair's error, lifting
+// provenance from the *pipeline.StageError when one is in the chain.
+func newFailure(bench, binder string, err error) *Failure {
+	f := &Failure{
+		Bench:    bench,
+		Binder:   binder,
+		Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		Injected: errors.Is(err, pipeline.ErrInjected),
+		Cause:    err.Error(),
+		Err:      err,
+	}
+	if se, ok := pipeline.AsStageError(err); ok {
+		f.Stage = se.Stage
+		f.Key = se.Key
+		f.Panicked = se.Panicked()
+	}
+	return f
+}
+
+// PairStatus is the outcome of one (benchmark, binder) pair of a sweep:
+// exactly one of Result and Failure is set.
+type PairStatus struct {
+	Bench   string   `json:"bench"`
+	Binder  string   `json:"binder"`
+	Result  *Result  `json:"-"`
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// OK reports whether the pair completed.
+func (ps PairStatus) OK() bool { return ps.Failure == nil }
+
+// SweepReport is the complete outcome of a sweep: every pair's status in
+// deterministic benchmark-major order, independent of worker count and
+// goroutine scheduling.
+type SweepReport struct {
+	// Pairs holds one entry per (benchmark, binder) pair, in sweep
+	// order (benchmark-major, binder order as given).
+	Pairs []PairStatus `json:"pairs"`
+}
+
+// Failures returns the failed pairs' records, in sweep order.
+func (r *SweepReport) Failures() []*Failure {
+	var out []*Failure
+	for _, ps := range r.Pairs {
+		if ps.Failure != nil {
+			out = append(out, ps.Failure)
+		}
+	}
+	return out
+}
+
+// Completed returns how many pairs finished with a result.
+func (r *SweepReport) Completed() int {
+	n := 0
+	for _, ps := range r.Pairs {
+		if ps.OK() {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether every pair completed.
+func (r *SweepReport) OK() bool { return r.Completed() == len(r.Pairs) }
+
+// Err returns the sweep's representative error: the first failure in
+// sweep order that is not a pure cancellation, else the first
+// cancellation, else nil. The choice mirrors firstError, so it is
+// deterministic across worker counts.
+func (r *SweepReport) Err() error {
+	errs := make([]error, 0, len(r.Pairs))
+	for _, ps := range r.Pairs {
+		if ps.Failure != nil {
+			errs = append(errs, ps.Failure.Err)
+		}
+	}
+	return firstError(errs)
+}
+
+// reportJSON is the serialized form of a SweepReport.
+type reportJSON struct {
+	Total     int        `json:"total"`
+	Completed int        `json:"completed"`
+	Failed    int        `json:"failed"`
+	Failures  []*Failure `json:"failures"`
+}
+
+// WriteJSON writes the failure report as indented JSON: pair totals
+// plus one record per failure (empty array when the sweep was clean).
+// The output is deterministic for a given outcome set.
+func (r *SweepReport) WriteJSON(w io.Writer) error {
+	fails := r.Failures()
+	if fails == nil {
+		fails = []*Failure{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reportJSON{
+		Total:     len(r.Pairs),
+		Completed: r.Completed(),
+		Failed:    len(fails),
+		Failures:  fails,
+	})
+}
+
+// SweepOptions configures Session.Sweep.
+type SweepOptions struct {
+	// Binders selects the binder matrix; nil runs AllBinders.
+	Binders []Binder
+	// KeepGoing keeps the sweep running after a pair fails: the failure
+	// is recorded in the report and every other pair still executes.
+	// Without it the first failure (in sweep order) cancels the
+	// in-flight remainder.
+	KeepGoing bool
+}
+
+// Sweep executes the session's (benchmark × binder) matrix on
+// Session.Jobs workers and returns the per-pair outcome report. Failed
+// or cancelled pairs carry a Failure with stage/bench/binder
+// provenance; completed pairs carry their Result (also visible to
+// subsequent Session.Run calls via the run cache).
+//
+// The returned error is the report's representative error (Report.Err):
+// nil exactly when every pair completed. Under KeepGoing a partial
+// sweep still returns the full report — callers decide whether partial
+// results are usable.
+func (se *Session) Sweep(ctx context.Context, opts SweepOptions) (*SweepReport, error) {
+	pairs := se.sweepPairs(opts.Binders)
+	results := make([]*Result, len(pairs))
+	errs := runItems(ctx, len(pairs), se.Jobs, !opts.KeepGoing, func(ctx context.Context, i int) error {
+		r, err := se.Run(ctx, pairs[i].p, pairs[i].b)
+		results[i] = r
+		return err
+	})
+	rep := &SweepReport{Pairs: make([]PairStatus, len(pairs))}
+	for i, pr := range pairs {
+		ps := PairStatus{Bench: pr.p.Name, Binder: pr.b.Name}
+		if errs[i] != nil {
+			ps.Failure = newFailure(pr.p.Name, pr.b.Name, errs[i])
+		} else {
+			ps.Result = results[i]
+		}
+		rep.Pairs[i] = ps
+	}
+	return rep, rep.Err()
+}

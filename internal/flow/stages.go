@@ -20,6 +20,7 @@ package flow
 // artifacts.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -284,6 +285,8 @@ type simIn struct {
 }
 
 type powerIn struct {
+	name   string
+	binder string
 	ma     *mapArtifact
 	counts sim.Counts
 	simKey string
@@ -312,9 +315,10 @@ func powerFP(m power.Model) string {
 // paper's Table 2 cycle count — the binder-independent root of the
 // pipeline, computed once per benchmark per session.
 var stageSchedule = pipeline.Stage[workload.Profile, *schedArtifact]{
-	Name: StageSchedule,
-	Key:  func(p workload.Profile) string { return profileKey(p) },
-	Run: func(p workload.Profile) (*schedArtifact, error) {
+	Name:  StageSchedule,
+	Key:   func(p workload.Profile) string { return profileKey(p) },
+	Scope: func(p workload.Profile) pipeline.Scope { return pipeline.Scope{Bench: p.Name} },
+	Run: func(_ context.Context, p workload.Profile) (*schedArtifact, error) {
 		g := workload.Generate(p)
 		s, err := workload.Schedule(p, g)
 		if err != nil {
@@ -338,7 +342,8 @@ var stageRegbind = pipeline.Stage[regbindIn, *regbindArtifact]{
 	Key: func(in regbindIn) string {
 		return pipeline.NewHasher().Str(in.fe.fp).Int64(in.portSeed).Sum()
 	},
-	Run: func(in regbindIn) (*regbindArtifact, error) {
+	Scope: func(in regbindIn) pipeline.Scope { return pipeline.Scope{Bench: in.name} },
+	Run: func(_ context.Context, in regbindIn) (*regbindArtifact, error) {
 		swap := binding.RandomPortAssignment(in.fe.g, in.portSeed)
 		rb, err := regbind.BindOpt(in.fe.g, in.fe.s, regbind.Options{Swap: swap})
 		if err != nil {
@@ -360,7 +365,8 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			Str(in.rba.fp).Int(in.rc.Add).Int(in.rc.Mult).Str(in.spec.fp()).
 			Sum()
 	},
-	Run: func(in bindIn) (*bindArtifact, error) {
+	Scope: func(in bindIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
+	Run: func(_ context.Context, in bindIn) (*bindArtifact, error) {
 		g, s, rb := in.fe.g, in.fe.s, in.rba.rb
 		var res *binding.Result
 		var rt time.Duration
@@ -411,7 +417,8 @@ var stageDatapath = pipeline.Stage[datapathIn, *dpArtifact]{
 			Str(in.ba.fp).Int(in.width).Str(modselFP(in.modsel)).
 			Sum()
 	},
-	Run: func(in datapathIn) (*dpArtifact, error) {
+	Scope: func(in datapathIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
+	Run: func(_ context.Context, in datapathIn) (*dpArtifact, error) {
 		var arch *datapath.Arch
 		if in.modsel != nil {
 			sel, err := modsel.NewSelector(*in.modsel).Select(in.fe.g, in.rba.rb, in.ba.res)
@@ -439,7 +446,8 @@ var stageMap = pipeline.Stage[mapIn, *mapArtifact]{
 		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt)
 		return mapOptFPInto(h, in.mapOpt).Sum()
 	},
-	Run: func(in mapIn) (*mapArtifact, error) {
+	Scope: func(in mapIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
+	Run: func(_ context.Context, in mapIn) (*mapArtifact, error) {
 		toMap := in.dp.d.Net
 		if in.preOpt {
 			toMap, _ = logic.Optimize(toMap)
@@ -458,14 +466,17 @@ var stageMap = pipeline.Stage[mapIn, *mapArtifact]{
 // stageSim runs the random-vector delay simulation and counts
 // transitions.
 var stageSim = pipeline.Stage[simIn, sim.Counts]{
-	Name: StageSim,
-	Key:  simKey,
-	Run: func(in simIn) (sim.Counts, error) {
+	Name:  StageSim,
+	Key:   simKey,
+	Scope: func(in simIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
+	Run: func(ctx context.Context, in simIn) (sim.Counts, error) {
 		sr, err := sim.NewWithDelays(in.ma.m.Mapped, in.delay, in.delaySeed)
 		if err != nil {
 			return sim.Counts{}, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 		}
-		return sr.RunRandom(in.vectors, in.vectorSeed), nil
+		// RunRandomCtx checks ctx at every vector boundary, so a sweep
+		// under -timeout or Ctrl-C never waits out a long vector run.
+		return sr.RunRandomCtx(ctx, in.vectors, in.vectorSeed)
 	},
 	Size: func(c sim.Counts) int { return int(c.Gate + c.Latch) },
 }
@@ -476,7 +487,8 @@ var stagePower = pipeline.Stage[powerIn, power.Report]{
 	Key: func(in powerIn) string {
 		return pipeline.NewHasher().Str(in.simKey).Str(powerFP(in.model)).Sum()
 	},
-	Run: func(in powerIn) (power.Report, error) {
+	Scope: func(in powerIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
+	Run: func(_ context.Context, in powerIn) (power.Report, error) {
 		return in.model.Analyze(in.ma.m.Mapped, in.counts), nil
 	},
 }
@@ -487,15 +499,15 @@ var stagePower = pipeline.Stage[powerIn, power.Report]{
 // runBackEnd executes the post-binding stages (datapath, map, sim,
 // power) for one bound design. The ablation study and the mainline
 // pipeline share it.
-func runBackEnd(cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbindArtifact, ba *bindArtifact, name, binderName string, ms *modsel.Options, trs ...*pipeline.Trace) (*dpArtifact, *mapArtifact, sim.Counts, power.Report, error) {
-	dp, err := stageDatapath.Exec(cache, datapathIn{
+func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbindArtifact, ba *bindArtifact, name, binderName string, ms *modsel.Options, trs ...*pipeline.Trace) (*dpArtifact, *mapArtifact, sim.Counts, power.Report, error) {
+	dp, err := stageDatapath.Exec(ctx, cache, datapathIn{
 		name: name, binder: binderName, fe: fe, rba: rba, ba: ba,
 		width: cfg.Width, modsel: ms,
 	}, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err
 	}
-	ma, err := stageMap.Exec(cache, mapIn{
+	ma, err := stageMap.Exec(ctx, cache, mapIn{
 		name: name, binder: binderName, dp: dp,
 		preOpt: cfg.PreOptimize, mapOpt: cfg.MapOpt,
 	}, trs...)
@@ -507,11 +519,12 @@ func runBackEnd(cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbi
 		delay: cfg.Delay, delaySeed: cfg.DelaySeed,
 		vectors: cfg.Vectors, vectorSeed: cfg.VectorSeed,
 	}
-	counts, err := stageSim.Exec(cache, sin, trs...)
+	counts, err := stageSim.Exec(ctx, cache, sin, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err
 	}
-	rep, err := stagePower.Exec(cache, powerIn{
+	rep, err := stagePower.Exec(ctx, cache, powerIn{
+		name: name, binder: binderName,
 		ma: ma, counts: counts, simKey: simKey(sin), model: cfg.Power,
 	}, trs...)
 	if err != nil {
@@ -522,19 +535,19 @@ func runBackEnd(cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbi
 
 // runPipeline executes the staged pipeline from a scheduled front end
 // through the measurement back end, assembling the full Result record.
-func runPipeline(cache *pipeline.Cache, cfg Config, fe *schedArtifact, name string, rc cdfg.ResourceConstraint, b Binder, trs ...*pipeline.Trace) (*Result, error) {
-	rba, err := stageRegbind.Exec(cache, regbindIn{name: name, fe: fe, portSeed: cfg.PortSeed}, trs...)
+func runPipeline(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *schedArtifact, name string, rc cdfg.ResourceConstraint, b Binder, trs ...*pipeline.Trace) (*Result, error) {
+	rba, err := stageRegbind.Exec(ctx, cache, regbindIn{name: name, fe: fe, portSeed: cfg.PortSeed}, trs...)
 	if err != nil {
 		return nil, err
 	}
-	ba, err := stageBind.Exec(cache, bindIn{
+	ba, err := stageBind.Exec(ctx, cache, bindIn{
 		name: name, binder: b.Name, fe: fe, rba: rba, rc: rc,
 		spec: specForBinder(b, cfg),
 	}, trs...)
 	if err != nil {
 		return nil, err
 	}
-	dp, ma, counts, rep, err := runBackEnd(cache, cfg, fe, rba, ba, name, b.Name, resolveModSel(cfg), trs...)
+	dp, ma, counts, rep, err := runBackEnd(ctx, cache, cfg, fe, rba, ba, name, b.Name, resolveModSel(cfg), trs...)
 	if err != nil {
 		return nil, err
 	}

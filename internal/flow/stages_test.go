@@ -125,7 +125,7 @@ func TestStagedMatchesMonolithic(t *testing.T) {
 	cfg = cfg.Normalize()
 	se := NewSession(cfg)
 	se.Jobs = 4
-	if err := se.RunAll(); err != nil {
+	if err := se.RunAll(bgc); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range se.Benchmarks {
@@ -135,7 +135,7 @@ func TestStagedMatchesMonolithic(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, b := range AllBinders {
-			staged, err := se.Run(p, b)
+			staged, err := se.Run(bgc, p, b)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func TestStagedMatchesMonolithic(t *testing.T) {
 func TestGenerationRunsOncePerBenchmark(t *testing.T) {
 	se := smallSession()
 	se.Jobs = 4
-	if err := se.RunAll(); err != nil {
+	if err := se.RunAll(bgc); err != nil {
 		t.Fatal(err)
 	}
 	stats := se.StageStats()
@@ -204,7 +204,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 
 	base := NewSession(cfg)
 	base.Benchmarks = []workload.Profile{pr}
-	if _, err := base.Run(pr, BinderHLPower05); err != nil {
+	if _, err := base.Run(bgc, pr, BinderHLPower05); err != nil {
 		t.Fatal(err)
 	}
 
@@ -310,7 +310,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 			tc.mutate(&mut)
 			se := base.Derive(mut)
 			before := se.StageStats()
-			if _, err := se.Run(pr, BinderHLPower05); err != nil {
+			if _, err := se.Run(bgc, pr, BinderHLPower05); err != nil {
 				t.Fatal(err)
 			}
 			d := statsDelta(before, se.StageStats())
@@ -336,7 +336,7 @@ func TestAlphaSweepSharesFrontEnd(t *testing.T) {
 	se := smallSession()
 	se.Jobs = 4
 	alphas := []float64{0, 0.25, 0.5, 0.75, 1}
-	if _, err := AlphaSweepData(se, alphas); err != nil {
+	if _, err := AlphaSweepData(bgc, se, alphas); err != nil {
 		t.Fatal(err)
 	}
 	stats := se.StageStats()
@@ -405,7 +405,7 @@ func TestNormalizeTables(t *testing.T) {
 func TestRunRecordsStageTrace(t *testing.T) {
 	se := smallSession()
 	p := se.Benchmarks[0]
-	r1, err := se.Run(p, BinderLOPASS)
+	r1, err := se.Run(bgc, p, BinderLOPASS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestRunRecordsStageTrace(t *testing.T) {
 			t.Errorf("%s span has no key", sp.Stage)
 		}
 	}
-	r2, err := se.Run(p, BinderHLPower05)
+	r2, err := se.Run(bgc, p, BinderHLPower05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,13 +453,13 @@ func TestAblationSharesMainlineBinds(t *testing.T) {
 	se.Jobs = 2
 	for _, p := range se.Benchmarks {
 		for _, b := range []Binder{BinderLOPASS, BinderHLPower05} {
-			if _, err := se.Run(p, b); err != nil {
+			if _, err := se.Run(bgc, p, b); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	before := se.StageStats()
-	rows, err := AblationData(se)
+	rows, err := AblationData(bgc, se)
 	if err != nil {
 		t.Fatal(err)
 	}

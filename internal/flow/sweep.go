@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -36,15 +37,15 @@ func AlphaBinders(alphas []float64) []Binder {
 // alpha range) share the elaborated datapath, mapping, simulation, and
 // power analysis as well — see Session.StageStats for the realized hit
 // counts. Row order is benchmark-major in suite order, then alpha order.
-func AlphaSweepData(se *Session, alphas []float64) ([]AlphaSweepRow, error) {
+func AlphaSweepData(ctx context.Context, se *Session, alphas []float64) ([]AlphaSweepRow, error) {
 	binders := AlphaBinders(alphas)
-	if err := se.RunAll(binders...); err != nil {
+	if err := se.RunAll(ctx, binders...); err != nil {
 		return nil, err
 	}
 	rows := make([]AlphaSweepRow, 0, len(se.Benchmarks)*len(binders))
 	for _, p := range se.Benchmarks {
 		for i, b := range binders {
-			r, err := se.Run(p, b)
+			r, err := se.Run(ctx, p, b)
 			if err != nil {
 				return nil, err
 			}
@@ -62,8 +63,8 @@ func AlphaSweepData(se *Session, alphas []float64) ([]AlphaSweepRow, error) {
 }
 
 // AlphaSweep prints the alpha-sensitivity sweep.
-func AlphaSweep(w io.Writer, se *Session, alphas []float64) error {
-	rows, err := AlphaSweepData(se, alphas)
+func AlphaSweep(ctx context.Context, w io.Writer, se *Session, alphas []float64) error {
+	rows, err := AlphaSweepData(ctx, se, alphas)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -25,14 +26,14 @@ func Table1(w io.Writer) error {
 
 // Table2 prints resource constraints, schedule length, register count,
 // and HLPower runtime (paper Table 2).
-func Table2(w io.Writer, se *Session) error {
-	if err := se.RunAll(BinderHLPower05); err != nil {
+func Table2(ctx context.Context, w io.Writer, se *Session) error {
+	if err := se.RunAll(ctx, BinderHLPower05); err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Benchmark\tAdd\tMult\tCycle\tReg\tHLPower Runtime")
 	for _, p := range se.Benchmarks {
-		r, err := se.Run(p, BinderHLPower05)
+		r, err := se.Run(ctx, p, BinderHLPower05)
 		if err != nil {
 			return err
 		}
@@ -60,17 +61,17 @@ type Table3Row struct {
 // underlying runs execute on Session.Jobs workers; the rows are
 // assembled from the warm cache in benchmark order, so the output is
 // independent of the worker count.
-func Table3Data(se *Session) ([]Table3Row, error) {
-	if err := se.RunAll(BinderLOPASS, BinderHLPower05); err != nil {
+func Table3Data(ctx context.Context, se *Session) ([]Table3Row, error) {
+	if err := se.RunAll(ctx, BinderLOPASS, BinderHLPower05); err != nil {
 		return nil, err
 	}
 	var rows []Table3Row
 	for _, p := range se.Benchmarks {
-		lo, err := se.Run(p, BinderLOPASS)
+		lo, err := se.Run(ctx, p, BinderLOPASS)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := se.Run(p, BinderHLPower05)
+		hi, err := se.Run(ctx, p, BinderHLPower05)
 		if err != nil {
 			return nil, err
 		}
@@ -106,8 +107,8 @@ func pct(base, val float64) float64 {
 }
 
 // Table3 prints the power/area comparison (paper Table 3).
-func Table3(w io.Writer, se *Session) error {
-	rows, err := Table3Data(se)
+func Table3(ctx context.Context, w io.Writer, se *Session) error {
+	rows, err := Table3Data(ctx, se)
 	if err != nil {
 		return err
 	}
@@ -143,21 +144,21 @@ type Table4Row struct {
 
 // Table4Data computes muxDiff mean/variance for the three binders,
 // fanning the runs out over Session.Jobs workers.
-func Table4Data(se *Session) ([]Table4Row, error) {
-	if err := se.RunAll(); err != nil {
+func Table4Data(ctx context.Context, se *Session) ([]Table4Row, error) {
+	if err := se.RunAll(ctx); err != nil {
 		return nil, err
 	}
 	var rows []Table4Row
 	for _, p := range se.Benchmarks {
-		lo, err := se.Run(p, BinderLOPASS)
+		lo, err := se.Run(ctx, p, BinderLOPASS)
 		if err != nil {
 			return nil, err
 		}
-		h1, err := se.Run(p, BinderHLPower1)
+		h1, err := se.Run(ctx, p, BinderHLPower1)
 		if err != nil {
 			return nil, err
 		}
-		h05, err := se.Run(p, BinderHLPower05)
+		h05, err := se.Run(ctx, p, BinderHLPower05)
 		if err != nil {
 			return nil, err
 		}
@@ -176,8 +177,8 @@ func Table4Data(se *Session) ([]Table4Row, error) {
 }
 
 // Table4 prints the muxDiff statistics (paper Table 4).
-func Table4(w io.Writer, se *Session) error {
-	rows, err := Table4Data(se)
+func Table4(ctx context.Context, w io.Writer, se *Session) error {
+	rows, err := Table4Data(ctx, se)
 	if err != nil {
 		return err
 	}
@@ -207,21 +208,21 @@ type Figure3Row struct {
 
 // Figure3Data computes the toggle-rate series of Figure 3, fanning the
 // runs out over Session.Jobs workers.
-func Figure3Data(se *Session) ([]Figure3Row, error) {
-	if err := se.RunAll(); err != nil {
+func Figure3Data(ctx context.Context, se *Session) ([]Figure3Row, error) {
+	if err := se.RunAll(ctx); err != nil {
 		return nil, err
 	}
 	var rows []Figure3Row
 	for _, p := range se.Benchmarks {
-		lo, err := se.Run(p, BinderLOPASS)
+		lo, err := se.Run(ctx, p, BinderLOPASS)
 		if err != nil {
 			return nil, err
 		}
-		h1, err := se.Run(p, BinderHLPower1)
+		h1, err := se.Run(ctx, p, BinderHLPower1)
 		if err != nil {
 			return nil, err
 		}
-		h05, err := se.Run(p, BinderHLPower05)
+		h05, err := se.Run(ctx, p, BinderHLPower05)
 		if err != nil {
 			return nil, err
 		}
@@ -237,8 +238,8 @@ func Figure3Data(se *Session) ([]Figure3Row, error) {
 
 // Figure3 prints the average toggle-rate comparison with an ASCII bar
 // chart (paper Figure 3).
-func Figure3(w io.Writer, se *Session) error {
-	rows, err := Figure3Data(se)
+func Figure3(ctx context.Context, w io.Writer, se *Session) error {
+	rows, err := Figure3Data(ctx, se)
 	if err != nil {
 		return err
 	}
@@ -279,9 +280,9 @@ func Figure3(w io.Writer, se *Session) error {
 // average power and toggle rate, muxDiff drops from LOPASS to alpha=0.5,
 // and the clock-period change stays small. It returns a list of
 // deviations (empty = all shapes hold).
-func ValidateAgainstPaper(se *Session) ([]string, error) {
+func ValidateAgainstPaper(ctx context.Context, se *Session) ([]string, error) {
 	var devs []string
-	t3, err := Table3Data(se)
+	t3, err := Table3Data(ctx, se)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +303,7 @@ func ValidateAgainstPaper(se *Session) ([]string, error) {
 	if lutAvg >= 5 {
 		devs = append(devs, fmt.Sprintf("LUT area grew (%+.2f%%)", lutAvg))
 	}
-	t4, err := Table4Data(se)
+	t4, err := Table4Data(ctx, se)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +317,7 @@ func ValidateAgainstPaper(se *Session) ([]string, error) {
 	if m05 > ml+0.25*n {
 		devs = append(devs, fmt.Sprintf("muxDiff mean did not improve (LOPASS %.2f vs a=0.5 %.2f)", ml/n, m05/n))
 	}
-	f3, err := Figure3Data(se)
+	f3, err := Figure3Data(ctx, se)
 	if err != nil {
 		return nil, err
 	}

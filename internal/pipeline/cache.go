@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -67,42 +68,67 @@ func (c *Cache) class(class string) (map[string]*entry, *Stats) {
 
 // Do returns the artifact stored under (class, key), computing it with
 // fn on first use. Concurrent calls on the same key share a single
-// execution; the duplicates block and count as hits. Errors are not
-// cached: a failed computation is retried by the next caller. The
-// returned hit flag reports whether this call was served without
-// invoking fn. If fn panics, the panic propagates to the caller that ran
-// it and waiters receive an error.
-func (c *Cache) Do(class, key string, fn func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
-	m, st := c.class(class)
-	if e, ok := m[key]; ok {
-		st.Hits++
-		c.mu.Unlock()
-		<-e.done
-		return e.val, true, e.err
-	}
-	e := &entry{done: make(chan struct{})}
-	m[key] = e
-	st.Misses++
-	c.mu.Unlock()
-
-	completed := false
-	defer func() {
-		if !completed {
-			// fn panicked: unblock waiters with an error, drop the entry,
-			// and let the panic propagate.
-			e.err = fmt.Errorf("pipeline: computing %s/%s panicked", class, key)
+// successful execution; the duplicates block and count as hits. Errors
+// are never cached, and a waiter whose computation fails under another
+// caller retries under its own call instead of adopting the foreign
+// error — so the error every caller ultimately reports carries its own
+// provenance and is deterministic regardless of which goroutine happened
+// to compute first. (A retrying waiter counts one hit for the wait and
+// one miss for its own computation.)
+//
+// ctx cancels the wait on an in-flight computation (and is checked
+// before computing); the computation itself is fn's to cancel — stage
+// closures thread their own context. If fn panics, the panic propagates
+// to the caller that ran it and waiters retry.
+//
+// The returned hit flag reports whether this call was served without
+// invoking fn.
+func (c *Cache) Do(ctx context.Context, class, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
 		}
 		c.mu.Lock()
-		if e.err != nil {
-			delete(m, key)
+		m, st := c.class(class)
+		if e, ok := m[key]; ok {
+			st.Hits++
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if e.err != nil {
+				// The shared computation failed (error, panic, or the
+				// computing caller's cancellation). The entry is already
+				// gone; compute under our own call.
+				continue
+			}
+			return e.val, true, nil
 		}
+		e := &entry{done: make(chan struct{})}
+		m[key] = e
+		st.Misses++
 		c.mu.Unlock()
-		close(e.done)
-	}()
-	e.val, e.err = fn()
-	completed = true
-	return e.val, false, e.err
+
+		completed := false
+		defer func() {
+			if !completed {
+				// fn panicked: unblock waiters with an error, drop the entry,
+				// and let the panic propagate.
+				e.err = fmt.Errorf("pipeline: computing %s/%s panicked", class, key)
+			}
+			c.mu.Lock()
+			if e.err != nil {
+				delete(m, key)
+			}
+			c.mu.Unlock()
+			close(e.done)
+		}()
+		e.val, e.err = fn()
+		completed = true
+		return e.val, false, e.err
+	}
 }
 
 // Put stores an externally produced artifact (e.g. one loaded from

@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scope is the experiment-level provenance of a stage execution: which
+// (benchmark, binder) pair demanded the artifact. Either field may be
+// empty for stages that are not specific to one (the schedule stage is
+// benchmark-only; ad-hoc stages may carry neither).
+type Scope struct {
+	Bench  string `json:"bench,omitempty"`
+	Binder string `json:"binder,omitempty"`
+}
+
+func (sc Scope) String() string {
+	switch {
+	case sc.Bench == "" && sc.Binder == "":
+		return ""
+	case sc.Binder == "":
+		return sc.Bench
+	case sc.Bench == "":
+		return sc.Binder
+	}
+	return sc.Bench + "/" + sc.Binder
+}
+
+// ErrPanic marks a StageError that was converted from a recovered panic.
+// errors.Is(err, ErrPanic) identifies panic-derived failures anywhere in
+// a wrapped chain.
+var ErrPanic = errors.New("stage panicked")
+
+// StageError is the structured failure record of one pipeline stage
+// execution. Every error that escapes Stage.Exec is (or wraps) a
+// StageError, so callers can recover the failing stage, its cache key,
+// and its experiment provenance with errors.As, and match the underlying
+// cause (context.Canceled, ErrPanic, ErrInjected, a library error) with
+// errors.Is.
+type StageError struct {
+	// Stage is the stage name (one of the pipeline's stage constants, or
+	// "sweep" for failures caught at the worker-pool boundary).
+	Stage string
+	// Scope is the (benchmark, binder) provenance of the failed demand.
+	Scope Scope
+	// Key is the stage cache key of the failed execution ("" when the
+	// stage ran uncached).
+	Key string
+	// Err is the wrapped cause. For a recovered panic it wraps ErrPanic.
+	Err error
+	// PanicValue is the recovered panic value (nil unless the stage
+	// panicked).
+	PanicValue any
+	// Stack is the goroutine stack captured at recovery time (empty
+	// unless the stage panicked). It is diagnostic output only and is
+	// excluded from deterministic failure reports.
+	Stack string
+}
+
+// Error renders "stage <name> (<scope>): <cause>". The text is
+// deterministic for deterministic causes: it never includes the stack,
+// timestamps, or goroutine identities.
+func (e *StageError) Error() string {
+	sc := e.Scope.String()
+	if sc != "" {
+		sc = " (" + sc + ")"
+	}
+	return fmt.Sprintf("stage %s%s: %v", e.Stage, sc, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Panicked reports whether the error was converted from a recovered
+// panic.
+func (e *StageError) Panicked() bool { return errors.Is(e.Err, ErrPanic) }
+
+// AsStageError extracts the outermost StageError of a chain.
+func AsStageError(err error) (*StageError, bool) {
+	var se *StageError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
+// NewPanicError converts a recovered panic value into a StageError. The
+// worker-pool boundary uses it for panics that escape stage-level
+// recovery (glue code between stages); stage-level recovery builds the
+// same shape internally. A panic value that is itself an error keeps its
+// chain: errors.Is still matches its sentinels (e.g. ErrInjected for an
+// injected panic) through the StageError.
+func NewPanicError(stage string, sc Scope, key string, v any, stack []byte) *StageError {
+	cause := fmt.Errorf("%w: %v", ErrPanic, v)
+	if verr, ok := v.(error); ok {
+		cause = fmt.Errorf("%w: %w", ErrPanic, verr)
+	}
+	return &StageError{
+		Stage:      stage,
+		Scope:      sc,
+		Key:        key,
+		Err:        cause,
+		PanicValue: v,
+		Stack:      string(stack),
+	}
+}

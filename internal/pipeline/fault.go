@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks an error produced by a FaultInjector. Tests match it
+// with errors.Is to separate injected failures from organic ones.
+var ErrInjected = errors.New("injected fault")
+
+// FaultRule describes one injection site. Empty match fields match
+// everything, so {PError: 1} fails every stage execution and
+// {Stage: "sim", Bench: "chem", PPanic: 1} panics exactly the sim-stage
+// executions of benchmark chem.
+//
+// Probabilities partition a single uniform draw: a rule with PPanic=0.1,
+// PError=0.2 panics 10% of matching executions, errors a further 20%,
+// and leaves the rest alone (optionally delayed, see PDelay). The draw
+// is a pure hash of (injector seed, rule index, stage, cache key) — not
+// a shared RNG stream — so the set of injected faults is identical for
+// any worker count and any execution order. That positional determinism
+// is what lets tests require -j1 and -j8 sweeps to produce identical
+// failure reports.
+type FaultRule struct {
+	// Stage matches the stage name ("" = every stage).
+	Stage string
+	// Bench and Binder match the execution's Scope ("" = any).
+	Bench, Binder string
+	// PPanic is the probability of panicking the execution.
+	PPanic float64
+	// PError is the probability of failing the execution with ErrInjected.
+	PError float64
+	// PDelay is the probability of sleeping for Delay before running
+	// (cancellation tests use it to hold a stage open deterministically).
+	PDelay float64
+	// Delay is the injected sleep; it honors context cancellation.
+	Delay time.Duration
+}
+
+func (r FaultRule) matches(stage string, sc Scope) bool {
+	if r.Stage != "" && r.Stage != stage {
+		return false
+	}
+	if r.Bench != "" && r.Bench != sc.Bench {
+		return false
+	}
+	if r.Binder != "" && r.Binder != sc.Binder {
+		return false
+	}
+	return true
+}
+
+// InjectedFault is one logged injector decision.
+type InjectedFault struct {
+	Stage string
+	Scope Scope
+	Key   string
+	// Kind is "panic", "error", or "delay".
+	Kind string
+}
+
+// FaultInjector deterministically injects errors, panics, and delays at
+// stage boundaries. It is the test harness the pipeline's failure model
+// is proven with: seeded injection demonstrates that every stage
+// converts faults into structured StageErrors, that the artifact cache
+// never retains a poisoned entry, and that cancellation mid-sweep winds
+// down cleanly.
+//
+// An injector travels in a context (WithInjector); Stage.Exec consults
+// it inside the compute closure, so cache hits are never re-injected
+// and injected failures are never cached. Safe for concurrent use.
+type FaultInjector struct {
+	seed  int64
+	rules []FaultRule
+
+	mu  sync.Mutex
+	log []InjectedFault
+}
+
+// NewFaultInjector returns an injector whose decisions are a pure
+// function of seed and the (stage, key) identity of each execution.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return &FaultInjector{seed: seed, rules: rules}
+}
+
+// Add appends a rule. Rules are evaluated in order; every matching rule
+// gets its own independent draw.
+func (fi *FaultInjector) Add(r FaultRule) { fi.rules = append(fi.rules, r) }
+
+// Injected returns the logged decisions sorted by (stage, bench, binder,
+// key, kind) — a deterministic view regardless of execution order.
+// Retried executions (singleflight waiters re-running a failed key)
+// deduplicate: one logical fault appears once.
+func (fi *FaultInjector) Injected() []InjectedFault {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	seen := make(map[InjectedFault]bool, len(fi.log))
+	out := make([]InjectedFault, 0, len(fi.log))
+	for _, f := range fi.log {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Scope.Bench != b.Scope.Bench {
+			return a.Scope.Bench < b.Scope.Bench
+		}
+		if a.Scope.Binder != b.Scope.Binder {
+			return a.Scope.Binder < b.Scope.Binder
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+func (fi *FaultInjector) record(stage string, sc Scope, key, kind string) {
+	fi.mu.Lock()
+	fi.log = append(fi.log, InjectedFault{Stage: stage, Scope: sc, Key: key, Kind: kind})
+	fi.mu.Unlock()
+}
+
+// Inject applies the injector's rules to one stage execution: it may
+// sleep, return an ErrInjected-wrapped error, or panic. Stage.Exec calls
+// it just before Run; stage-level recovery converts the panic into a
+// StageError like any library panic.
+func (fi *FaultInjector) Inject(ctx context.Context, stage, key string, sc Scope) error {
+	for ri, r := range fi.rules {
+		if !r.matches(stage, sc) {
+			continue
+		}
+		u := unitDraw(fi.seed, int64(ri), stage, key)
+		switch {
+		case u < r.PPanic:
+			fi.record(stage, sc, key, "panic")
+			// Panic with an error wrapping ErrInjected so the failure
+			// stays identifiable as injected after stage-level recovery.
+			panic(fmt.Errorf("%w: injected panic at stage %s (%s)", ErrInjected, stage, sc))
+		case u < r.PPanic+r.PError:
+			fi.record(stage, sc, key, "error")
+			return fmt.Errorf("%w at stage %s (%s)", ErrInjected, stage, sc)
+		case u < r.PPanic+r.PError+r.PDelay:
+			fi.record(stage, sc, key, "delay")
+			t := time.NewTimer(r.Delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// unitDraw hashes (seed, rule, stage, key) into [0, 1) with a
+// splitmix64-style finalizer over an FNV-1a digest. Positional: no
+// shared state, so concurrent sweeps draw identically to serial ones.
+func unitDraw(seed, rule int64, stage, key string) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * i)))
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(rule) >> (8 * i)))
+	}
+	for i := 0; i < len(stage); i++ {
+		mix(stage[i])
+	}
+	mix(0)
+	for i := 0; i < len(key); i++ {
+		mix(key[i])
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// injectorKey is the context key an injector travels under.
+type injectorKey struct{}
+
+// WithInjector returns a context carrying the injector; every Stage.Exec
+// under that context consults it. A nil injector is equivalent to none.
+func WithInjector(ctx context.Context, fi *FaultInjector) context.Context {
+	return context.WithValue(ctx, injectorKey{}, fi)
+}
+
+// InjectorFrom returns the context's injector, or nil.
+func InjectorFrom(ctx context.Context) *FaultInjector {
+	fi, _ := ctx.Value(injectorKey{}).(*FaultInjector)
+	return fi
+}

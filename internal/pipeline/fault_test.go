@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// failingStage builds a stage whose Run fails or panics on demand.
+func failingStage(name string, run func(ctx context.Context, in string) (int, error)) Stage[string, int] {
+	return Stage[string, int]{
+		Name:  name,
+		Key:   func(in string) string { return in },
+		Scope: func(in string) Scope { return Scope{Bench: in, Binder: "b"} },
+		Run:   run,
+	}
+}
+
+func TestStageErrorCarriesProvenance(t *testing.T) {
+	cause := errors.New("mapper exploded")
+	st := failingStage("map", func(ctx context.Context, in string) (int, error) { return 0, cause })
+	_, err := st.Exec(bg, NewCache(), "chem")
+	se, ok := AsStageError(err)
+	if !ok {
+		t.Fatalf("error is not a StageError: %v", err)
+	}
+	if se.Stage != "map" || se.Scope.Bench != "chem" || se.Scope.Binder != "b" || se.Key != "chem" {
+		t.Fatalf("provenance wrong: %+v", se)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("errors.Is lost the cause")
+	}
+	if se.Panicked() {
+		t.Fatal("plain error flagged as panic")
+	}
+	if want := "stage map (chem/b): mapper exploded"; se.Error() != want {
+		t.Fatalf("Error() = %q, want %q", se.Error(), want)
+	}
+}
+
+func TestStagePanicIsolation(t *testing.T) {
+	st := failingStage("bind", func(ctx context.Context, in string) (int, error) {
+		panic("index out of range [7]")
+	})
+	c := NewCache()
+	_, err := st.Exec(bg, c, "wang")
+	se, ok := AsStageError(err)
+	if !ok {
+		t.Fatalf("panic did not become a StageError: %v", err)
+	}
+	if !se.Panicked() || !errors.Is(err, ErrPanic) {
+		t.Fatal("panic not flagged")
+	}
+	if se.PanicValue != "index out of range [7]" {
+		t.Fatalf("panic value lost: %v", se.PanicValue)
+	}
+	if !strings.Contains(se.Stack, "runSafe") {
+		t.Fatalf("stack not captured: %q", se.Stack[:min(len(se.Stack), 120)])
+	}
+	// The cache must not retain the poisoned key.
+	if _, ok := c.Lookup("bind", "wang"); ok {
+		t.Fatal("panicked computation was cached")
+	}
+}
+
+func TestStageCancellationWrapsContextError(t *testing.T) {
+	ran := false
+	st := failingStage("sim", func(ctx context.Context, in string) (int, error) { ran = true; return 1, nil })
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, err := st.Exec(ctx, NewCache(), "chem")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if se, ok := AsStageError(err); !ok || se.Stage != "sim" {
+		t.Fatalf("cancellation lost stage attribution: %v", err)
+	}
+	if ran {
+		t.Fatal("Run executed under a canceled context")
+	}
+}
+
+func TestInjectorDeterministicAcrossOrder(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	decide := func(shuffle bool) map[string]bool {
+		fi := NewFaultInjector(42, FaultRule{Stage: "s", PError: 0.5})
+		st := Stage[string, int]{
+			Name: "s",
+			Key:  func(in string) string { return in },
+			Run:  func(_ context.Context, in string) (int, error) { return 1, nil },
+		}
+		ctx := WithInjector(bg, fi)
+		order := keys
+		if shuffle {
+			order = []string{"h", "c", "a", "f", "b", "g", "e", "d"}
+		}
+		failed := make(map[string]bool)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, k := range order {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := st.Exec(ctx, nil, k)
+				mu.Lock()
+				failed[k] = err != nil
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return failed
+	}
+	a, b := decide(false), decide(true)
+	nFail := 0
+	for _, k := range keys {
+		if a[k] != b[k] {
+			t.Fatalf("key %s: injection depends on execution order", k)
+		}
+		if a[k] {
+			nFail++
+		}
+	}
+	if nFail == 0 || nFail == len(keys) {
+		t.Fatalf("PError=0.5 over 8 keys injected %d faults; draw looks degenerate", nFail)
+	}
+}
+
+func TestInjectorErrorAndPanicKinds(t *testing.T) {
+	fi := NewFaultInjector(1,
+		FaultRule{Stage: "err", PError: 1},
+		FaultRule{Stage: "boom", PPanic: 1},
+	)
+	ctx := WithInjector(bg, fi)
+	errStage := failingStage("err", func(ctx context.Context, in string) (int, error) { return 1, nil })
+	boomStage := failingStage("boom", func(ctx context.Context, in string) (int, error) { return 1, nil })
+
+	_, err := errStage.Exec(ctx, NewCache(), "k")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err-stage: %v, want ErrInjected", err)
+	}
+	if se, _ := AsStageError(err); se == nil || se.Panicked() {
+		t.Fatalf("err-stage wrong shape: %v", err)
+	}
+
+	_, err = boomStage.Exec(ctx, NewCache(), "k")
+	se, ok := AsStageError(err)
+	if !ok || !se.Panicked() {
+		t.Fatalf("boom-stage: %v, want panic-derived StageError", err)
+	}
+
+	log := fi.Injected()
+	if len(log) != 2 || log[0].Kind != "panic" || log[1].Kind != "error" {
+		t.Fatalf("injection log = %+v", log)
+	}
+}
+
+func TestInjectorDelayHonorsCancellation(t *testing.T) {
+	fi := NewFaultInjector(1, FaultRule{PDelay: 1, Delay: time.Hour})
+	st := failingStage("slow", func(ctx context.Context, in string) (int, error) { return 1, nil })
+	ctx, cancel := context.WithCancel(WithInjector(bg, fi))
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Exec(ctx, NewCache(), "k")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected delay ignored cancellation")
+	}
+}
+
+// TestInjectedFailureNotCachedAndRecovers proves a poisoned key heals:
+// after removing the injector from the context, the same stage/key
+// computes cleanly.
+func TestInjectedFailureNotCachedAndRecovers(t *testing.T) {
+	fi := NewFaultInjector(7, FaultRule{Stage: "s", PPanic: 1})
+	st := Stage[string, int]{
+		Name: "s",
+		Key:  func(in string) string { return in },
+		Run:  func(_ context.Context, in string) (int, error) { return 99, nil },
+	}
+	c := NewCache()
+	if _, err := st.Exec(WithInjector(bg, fi), c, "k"); err == nil {
+		t.Fatal("injection did not fire")
+	}
+	if _, ok := c.Lookup("s", "k"); ok {
+		t.Fatal("injected failure was cached")
+	}
+	v, err := st.Exec(bg, c, "k")
+	if err != nil || v != 99 {
+		t.Fatalf("key did not heal: v=%v err=%v", v, err)
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	cases := []struct {
+		sc   Scope
+		want string
+	}{
+		{Scope{}, ""},
+		{Scope{Bench: "chem"}, "chem"},
+		{Scope{Binder: "LOPASS"}, "LOPASS"},
+		{Scope{Bench: "chem", Binder: "LOPASS"}, "chem/LOPASS"},
+	}
+	for _, c := range cases {
+		if got := c.sc.String(); got != c.want {
+			t.Errorf("%+v => %q, want %q", c.sc, got, c.want)
+		}
+	}
+}
+
+// Ensure the example-style deterministic draw stays stable enough to use
+// in docs (regression anchor, not a golden value test).
+func ExampleFaultInjector() {
+	fi := NewFaultInjector(3, FaultRule{Stage: "bind", Bench: "chem", PError: 1})
+	st := Stage[string, int]{
+		Name:  "bind",
+		Key:   func(in string) string { return in },
+		Scope: func(in string) Scope { return Scope{Bench: in, Binder: "HLPower a=0.5"} },
+		Run:   func(_ context.Context, in string) (int, error) { return 1, nil },
+	}
+	ctx := WithInjector(context.Background(), fi)
+	_, err := st.Exec(ctx, nil, "chem")
+	se, _ := AsStageError(err)
+	fmt.Println(se.Stage, se.Scope.Bench, errors.Is(err, ErrInjected))
+	// Output: bind chem true
+}

@@ -1,21 +1,24 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 )
 
+var bg = context.Background()
+
 func TestDoComputesOnceAndCountsStats(t *testing.T) {
 	c := NewCache()
 	calls := 0
 	fn := func() (any, error) { calls++; return 42, nil }
-	v, hit, err := c.Do("s", "k", fn)
+	v, hit, err := c.Do(bg, "s", "k", fn)
 	if err != nil || hit || v.(int) != 42 {
 		t.Fatalf("first Do: v=%v hit=%v err=%v", v, hit, err)
 	}
-	v, hit, err = c.Do("s", "k", fn)
+	v, hit, err = c.Do(bg, "s", "k", fn)
 	if err != nil || !hit || v.(int) != 42 {
 		t.Fatalf("second Do: v=%v hit=%v err=%v", v, hit, err)
 	}
@@ -29,8 +32,8 @@ func TestDoComputesOnceAndCountsStats(t *testing.T) {
 
 func TestDoKeysAreClassScoped(t *testing.T) {
 	c := NewCache()
-	c.Do("a", "k", func() (any, error) { return 1, nil })
-	v, hit, _ := c.Do("b", "k", func() (any, error) { return 2, nil })
+	c.Do(bg, "a", "k", func() (any, error) { return 1, nil })
+	v, hit, _ := c.Do(bg, "b", "k", func() (any, error) { return 2, nil })
 	if hit || v.(int) != 2 {
 		t.Fatalf("class b key k leaked class a's entry: v=%v hit=%v", v, hit)
 	}
@@ -39,12 +42,75 @@ func TestDoKeysAreClassScoped(t *testing.T) {
 func TestDoDoesNotCacheErrors(t *testing.T) {
 	c := NewCache()
 	boom := errors.New("boom")
-	if _, _, err := c.Do("s", "k", func() (any, error) { return nil, boom }); err != boom {
+	if _, _, err := c.Do(bg, "s", "k", func() (any, error) { return nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	v, hit, err := c.Do("s", "k", func() (any, error) { return 7, nil })
+	v, hit, err := c.Do(bg, "s", "k", func() (any, error) { return 7, nil })
 	if err != nil || hit || v.(int) != 7 {
 		t.Fatalf("error was cached: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestDoCanceledContext(t *testing.T) {
+	c := NewCache()
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := c.Do(ctx, "s", "k", func() (any, error) { return 1, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The failed attempt must not leave an entry behind.
+	if _, ok := c.Lookup("s", "k"); ok {
+		t.Fatal("canceled Do left an entry")
+	}
+}
+
+func TestDoWaiterCancellation(t *testing.T) {
+	c := NewCache()
+	gate := make(chan struct{})
+	computing := make(chan struct{})
+	go func() {
+		c.Do(bg, "s", "k", func() (any, error) {
+			close(computing)
+			<-gate
+			return 1, nil
+		})
+	}()
+	<-computing
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := c.Do(ctx, "s", "k", func() (any, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(gate)
+}
+
+// TestDoWaitersRetryOnError proves the provenance-determinism contract:
+// a waiter that observes another caller's failure recomputes under its
+// own call instead of adopting the foreign error.
+func TestDoWaitersRetryOnError(t *testing.T) {
+	c := NewCache()
+	gate := make(chan struct{})
+	computing := make(chan struct{})
+	firstErr := errors.New("first caller failed")
+	go func() {
+		c.Do(bg, "s", "k", func() (any, error) {
+			close(computing)
+			<-gate
+			return nil, firstErr
+		})
+	}()
+	<-computing
+	done := make(chan struct{})
+	var v any
+	var err error
+	go func() {
+		defer close(done)
+		v, _, err = c.Do(bg, "s", "k", func() (any, error) { return 7, nil })
+	}()
+	close(gate)
+	<-done
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("waiter adopted the foreign error: v=%v err=%v", v, err)
 	}
 }
 
@@ -63,7 +129,7 @@ func TestDoSingleflight(t *testing.T) {
 		go func() {
 			defer done.Done()
 			start.Wait()
-			v, hit, err := c.Do("s", "k", func() (any, error) {
+			v, hit, err := c.Do(bg, "s", "k", func() (any, error) {
 				calls++ // safe: singleflight means exactly one runner
 				<-gate
 				return 99, nil
@@ -105,10 +171,10 @@ func TestDoPanicUnblocksWaiters(t *testing.T) {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		c.Do("s", "k", func() (any, error) { panic("bug") })
+		c.Do(bg, "s", "k", func() (any, error) { panic("bug") })
 	}()
 	// The failed entry must be gone: the next caller recomputes.
-	v, hit, err := c.Do("s", "k", func() (any, error) { return 5, nil })
+	v, hit, err := c.Do(bg, "s", "k", func() (any, error) { return 5, nil })
 	if err != nil || hit || v.(int) != 5 {
 		t.Fatalf("post-panic Do: v=%v hit=%v err=%v", v, hit, err)
 	}
@@ -136,7 +202,7 @@ func TestPutLookupSnapshotLen(t *testing.T) {
 		t.Fatalf("Put counted as traffic: %+v", st)
 	}
 	// Put is served as a hit afterwards.
-	v, hit, err := c.Do("s", "a", func() (any, error) { return nil, errors.New("must not run") })
+	v, hit, err := c.Do(bg, "s", "a", func() (any, error) { return nil, errors.New("must not run") })
 	if err != nil || !hit || v.(float64) != 1.5 {
 		t.Fatalf("Do after Put: v=%v hit=%v err=%v", v, hit, err)
 	}
@@ -148,12 +214,12 @@ func TestStageExecCachesAndTraces(t *testing.T) {
 	double := Stage[int, int]{
 		Name: "double",
 		Key:  func(in int) string { return fmt.Sprintf("%d", in) },
-		Run:  func(in int) (int, error) { runs++; return 2 * in, nil },
+		Run:  func(_ context.Context, in int) (int, error) { runs++; return 2 * in, nil },
 		Size: func(out int) int { return out },
 	}
 	var tr Trace
 	for i := 0; i < 2; i++ {
-		out, err := double.Exec(c, 21, &tr)
+		out, err := double.Exec(bg, c, 21, &tr)
 		if err != nil || out != 42 {
 			t.Fatalf("Exec: %v %v", out, err)
 		}
@@ -178,11 +244,11 @@ func TestStageExecNilCacheAndNilTrace(t *testing.T) {
 	st := Stage[int, int]{
 		Name: "s",
 		Key:  func(in int) string { return "k" },
-		Run:  func(in int) (int, error) { runs++; return in, nil },
+		Run:  func(_ context.Context, in int) (int, error) { runs++; return in, nil },
 	}
 	var nilTrace *Trace
 	for i := 0; i < 2; i++ {
-		if _, err := st.Exec(nil, 1, nilTrace); err != nil {
+		if _, err := st.Exec(bg, nil, 1, nilTrace); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -197,10 +263,10 @@ func TestStageExecEmptyKeyDisablesCaching(t *testing.T) {
 	st := Stage[int, int]{
 		Name: "s",
 		Key:  func(in int) string { return "" },
-		Run:  func(in int) (int, error) { runs++; return in, nil },
+		Run:  func(_ context.Context, in int) (int, error) { runs++; return in, nil },
 	}
-	st.Exec(c, 1)
-	st.Exec(c, 1)
+	st.Exec(bg, c, 1)
+	st.Exec(bg, c, 1)
 	if runs != 2 {
 		t.Fatalf("empty key must disable caching; ran %d times", runs)
 	}

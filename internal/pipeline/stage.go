@@ -1,6 +1,9 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -53,41 +56,62 @@ func (t *Trace) Spans() []Span {
 
 // Stage is one typed, cached, instrumented pipeline step.
 type Stage[In, Out any] struct {
-	// Name labels the stage in traces and namespaces its cache class.
+	// Name labels the stage in traces, errors, and its cache class.
 	Name string
 	// Key derives the cache key from the input. It must cover every
 	// configuration field Run's result depends on, plus the content
 	// fingerprint of the upstream artifact. An empty key disables
 	// caching for that input.
 	Key func(In) string
+	// Scope extracts the (benchmark, binder) provenance of an input for
+	// structured errors and fault-injection matching (optional).
+	Scope func(In) Scope
 	// Run computes the artifact. The result is shared through the cache
 	// and must not be mutated afterwards, by Run's caller or anyone
-	// downstream.
-	Run func(In) (Out, error)
+	// downstream. Run must honor ctx at its own internal boundaries if
+	// it loops; Exec checks it once before invoking Run.
+	Run func(ctx context.Context, in In) (Out, error)
 	// Size reports the artifact size metric recorded in spans (optional).
 	Size func(Out) int
 }
 
 // Exec runs the stage on in through cache c (nil = always compute),
 // recording one span into every non-nil trace. Concurrent Exec calls
-// with the same key share a single Run.
-func (s Stage[In, Out]) Exec(c *Cache, in In, traces ...*Trace) (Out, error) {
+// with the same key share a single successful Run.
+//
+// Failure model: every error Exec returns is a *StageError (or wraps
+// one) carrying the stage name, the input's Scope, and the cache key —
+// including context cancellation (the cause is ctx.Err(), so errors.Is
+// against context.Canceled / DeadlineExceeded still matches) and
+// recovered panics (the cause wraps ErrPanic and the StageError records
+// the panic value and stack). A failed computation is never cached, so
+// the artifact cache cannot retain poisoned entries. If the context
+// carries a FaultInjector (WithInjector), it is consulted inside the
+// compute path — cache hits are never re-injected.
+func (s Stage[In, Out]) Exec(ctx context.Context, c *Cache, in In, traces ...*Trace) (Out, error) {
 	start := time.Now()
 	key := ""
 	if s.Key != nil {
 		key = s.Key(in)
 	}
+	var sc Scope
+	if s.Scope != nil {
+		sc = s.Scope(in)
+	}
 	var out Out
 	var err error
 	hit := false
 	if c == nil || key == "" {
-		out, err = s.Run(in)
+		out, err = s.runSafe(ctx, in, key, sc)
 	} else {
 		var v any
-		v, hit, err = c.Do(s.Name, key, func() (any, error) { return s.Run(in) })
+		v, hit, err = c.Do(ctx, s.Name, key, func() (any, error) { return s.runSafe(ctx, in, key, sc) })
 		if err == nil {
 			out = v.(Out)
 		}
+	}
+	if err != nil {
+		err = s.wrapErr(err, key, sc)
 	}
 	sp := Span{Stage: s.Name, Key: key, CacheHit: hit, DurationNs: int64(time.Since(start))}
 	if err == nil && s.Size != nil {
@@ -97,4 +121,36 @@ func (s Stage[In, Out]) Exec(c *Cache, in In, traces ...*Trace) (Out, error) {
 		tr.Add(sp)
 	}
 	return out, err
+}
+
+// runSafe is the isolated compute path: context check, fault injection,
+// Run, and panic-to-StageError conversion. Panics never escape it, so
+// neither the cache nor the worker pool above ever sees one from here.
+func (s Stage[In, Out]) runSafe(ctx context.Context, in In, key string, sc Scope) (out Out, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(s.Name, sc, key, r, debug.Stack())
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if fi := InjectorFrom(ctx); fi != nil {
+		if err := fi.Inject(ctx, s.Name, key, sc); err != nil {
+			return out, err
+		}
+	}
+	return s.Run(ctx, in)
+}
+
+// wrapErr guarantees the StageError contract: an error that is not
+// already attributed to a stage gets this stage's identity; one that is
+// (a StageError from runSafe, possibly from a retried waiter) passes
+// through untouched.
+func (s Stage[In, Out]) wrapErr(err error, key string, sc Scope) error {
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: s.Name, Scope: sc, Key: key, Err: err}
 }

@@ -17,8 +17,10 @@ package satable
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -112,7 +114,28 @@ func New(width int, est Estimator) *Table {
 
 // Get returns the estimated SA for the configuration, computing and
 // caching it if absent. Mux sizes are clamped to >= 1.
+//
+// Get is the binder's hot-path accessor and keeps its historical
+// value-only signature; it panics if the underlying computation fails
+// (unknown FU kind, unmappable partial datapath), which only a
+// programming bug can cause for the validated kinds the binders pass.
+// Code handling untrusted or dynamic keys should call GetE instead —
+// and any panic escaping here inside a pipeline stage is converted into
+// a structured StageError by the stage's recovery boundary.
 func (t *Table) Get(kind netgen.FUKind, kl, kr int) float64 {
+	v, err := t.GetE(context.Background(), kind, kl, kr)
+	if err != nil {
+		panic(fmt.Sprintf("satable: %v", err))
+	}
+	return v
+}
+
+// GetE is Get with an error return: a failed computation (unknown FU
+// kind, mapper failure, cancellation while waiting on another
+// goroutine's in-flight computation) is reported instead of panicking.
+// Mux sizes are clamped to >= 1. Errors are never cached, so a failed
+// key heals on the next demand.
+func (t *Table) GetE(ctx context.Context, kind netgen.FUKind, kl, kr int) (float64, error) {
 	if kl < 1 {
 		kl = 1
 	}
@@ -120,36 +143,39 @@ func (t *Table) Get(kind netgen.FUKind, kl, kr int) float64 {
 		kr = 1
 	}
 	key := keyString(Key{Kind: kind, KL: kl, KR: kr})
-	v, _, err := t.cache.Do(saClass, key, func() (any, error) {
-		return t.compute(kind, kl, kr), nil
+	v, _, err := t.cache.Do(ctx, saClass, key, func() (any, error) {
+		return t.compute(kind, kl, kr)
 	})
 	if err != nil {
-		// compute never returns an error (it panics on mapper bugs); err
-		// here means the computing goroutine panicked out from under us.
-		panic(err)
+		return 0, err
 	}
-	return v.(float64)
+	return v.(float64), nil
 }
 
 // compute generates the partial datapath, maps it, and estimates SA —
-// the "dynamic SA estimation" path of §5.2.2.
-func (t *Table) compute(kind netgen.FUKind, kl, kr int) float64 {
+// the "dynamic SA estimation" path of §5.2.2. Generator and mapper
+// failures (including panics from invalid FU kinds) come back as
+// errors so a bad key cannot take down a sweep.
+func (t *Table) compute(kind netgen.FUKind, kl, kr int) (sa float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("satable: computing %s(%d,%d): %v", kind, kl, kr, r)
+		}
+	}()
 	net := netgen.PartialDatapathNetwork(kind, kl, kr, t.Width)
 	res, err := mapper.Map(net, t.MapOpt)
 	if err != nil {
-		// Partial datapaths are always mappable; an error here is a
-		// programming bug, not an input condition.
-		panic(fmt.Sprintf("satable: mapping %s(%d,%d): %v", kind, kl, kr, err))
+		return 0, fmt.Errorf("satable: mapping %s(%d,%d): %w", kind, kl, kr, err)
 	}
 	switch t.Est {
 	case EstimatorNajm:
 		e := prob.EstimateNetwork(res.Mapped, prob.MethodNajm, t.MapOpt.Sources)
-		return e.TotalActivity(res.Mapped)
+		return e.TotalActivity(res.Mapped), nil
 	case EstimatorZeroDelay:
 		e := prob.EstimateNetwork(res.Mapped, prob.MethodChouRoy, t.MapOpt.Sources)
-		return e.TotalActivity(res.Mapped)
+		return e.TotalActivity(res.Mapped), nil
 	default:
-		return res.EstSA
+		return res.EstSA, nil
 	}
 }
 
@@ -176,6 +202,17 @@ func (t *Table) Precompute(maxMux int) {
 // PrecomputeParallel is Precompute with an explicit worker count
 // (jobs <= 0 selects GOMAXPROCS).
 func (t *Table) PrecomputeParallel(maxMux, jobs int) {
+	// The background context never cancels and the builtin FU kinds
+	// always compute, so the error is unreachable here.
+	_ = t.PrecomputeCtx(context.Background(), maxMux, jobs)
+}
+
+// PrecomputeCtx is the cancellable precompute: workers stop picking up
+// new entries once ctx is done and the call returns ctx's error. A
+// partially filled table stays valid — completed entries are kept and
+// the next Precompute resumes from them. The first computation error
+// (in key order, deterministic for any worker count) is returned.
+func (t *Table) PrecomputeCtx(ctx context.Context, maxMux, jobs int) error {
 	var keys []Key
 	for _, kind := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
 		for kl := 1; kl <= maxMux; kl++ {
@@ -190,28 +227,42 @@ func (t *Table) PrecomputeParallel(maxMux, jobs int) {
 	if jobs > len(keys) {
 		jobs = len(keys)
 	}
-	if jobs <= 1 {
-		for _, k := range keys {
-			t.Get(k.Kind, k.KL, k.KR)
+	errs := make([]error, len(keys))
+	fill := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		return
+		_, err := t.GetE(ctx, keys[i].Kind, keys[i].KL, keys[i].KR)
+		return err
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(keys) {
-					return
+	if jobs <= 1 {
+		for i := range keys {
+			errs[i] = fill(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(keys) {
+						return
+					}
+					errs[i] = fill(i)
 				}
-				t.Get(keys[i].Kind, keys[i].KL, keys[i].KR)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Save writes the table as a text file (one "kind kl kr sa" row per
@@ -248,11 +299,29 @@ func (t *Table) Save(w io.Writer) error {
 	return nil
 }
 
+// Bounds Load accepts. Wider than anything the flow generates, tight
+// enough that a corrupt file cannot smuggle in absurd configurations
+// that later panic the partial-datapath generator or mapper.
+const (
+	maxLoadWidth = 64
+	maxLoadMux   = 256
+)
+
 // Load reads a table saved by Save. The estimator/width are recovered
 // from the header.
+//
+// The input is treated as untrusted: a malformed header, an unknown
+// estimator or FU kind, out-of-range widths or mux sizes, and
+// non-finite or negative SA values are all load errors — never panics,
+// and never entries that would poison a later binder run. (Entries a
+// Save never emits used to flow straight into the cache and blow up
+// deep inside netgen on first use.)
 func Load(r io.Reader) (*Table, error) {
 	sc := bufio.NewScanner(r)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("satable: reading header: %w", err)
+		}
 		return nil, fmt.Errorf("satable: empty input")
 	}
 	header := sc.Text()
@@ -261,12 +330,19 @@ func Load(r io.Reader) (*Table, error) {
 	if _, err := fmt.Sscanf(header, "# hlpower-satable width=%d est=%s", &width, &estName); err != nil {
 		return nil, fmt.Errorf("satable: bad header %q: %w", header, err)
 	}
-	est := EstimatorGlitch
+	if width < 1 || width > maxLoadWidth {
+		return nil, fmt.Errorf("satable: header width %d out of range [1,%d]", width, maxLoadWidth)
+	}
+	var est Estimator
 	switch estName {
+	case "glitch":
+		est = EstimatorGlitch
 	case "najm":
 		est = EstimatorNajm
 	case "zerodelay":
 		est = EstimatorZeroDelay
+	default:
+		return nil, fmt.Errorf("satable: unknown estimator %q in header", estName)
 	}
 	t := New(width, est)
 	lineNo := 1
@@ -282,7 +358,21 @@ func Load(r io.Reader) (*Table, error) {
 		if _, err := fmt.Sscanf(line, "%s %d %d %g", &kind, &kl, &kr, &sa); err != nil {
 			return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
 		}
+		switch netgen.FUKind(kind) {
+		case netgen.FUAdd, netgen.FUMult:
+		default:
+			return nil, fmt.Errorf("satable: line %d: unknown FU kind %q", lineNo, kind)
+		}
+		if kl < 1 || kl > maxLoadMux || kr < 1 || kr > maxLoadMux {
+			return nil, fmt.Errorf("satable: line %d: mux sizes (%d,%d) out of range [1,%d]", lineNo, kl, kr, maxLoadMux)
+		}
+		if math.IsNaN(sa) || math.IsInf(sa, 0) || sa < 0 {
+			return nil, fmt.Errorf("satable: line %d: SA value %g is not a finite non-negative number", lineNo, sa)
+		}
 		t.cache.Put(saClass, keyString(Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}), sa)
 	}
-	return t, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
+	}
+	return t, nil
 }

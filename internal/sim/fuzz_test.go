@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzVCD throws arbitrary text at the VCD reader. ParseVCD must return
+// an error for anything malformed — never panic — and any dump it does
+// accept must satisfy the type's invariants (non-negative counters,
+// per-signal transitions only for declared signals).
+func FuzzVCD(f *testing.F) {
+	f.Add("$timescale 1ns $end\n$scope module top $end\n" +
+		"$var wire 1 ! a $end\n$var wire 1 \" y $end\n" +
+		"$upscope $end\n$enddefinitions $end\n" +
+		"$dumpvars\n0!\n0\"\n$end\n" +
+		"#0\n1!\n#1\n1\"\n#100\n0!\n#101\n0\"\n")
+	f.Add("$var wire 1 ! a $end\n$enddefinitions $end\n#0\nx!\n#5\n1!\n#9\nz!\n")
+	f.Add("$comment junk $end\n$enddefinitions $end\n")
+	f.Add("#0\n1!\n") // value change for an undeclared code
+	f.Add("$var wire 8 ! bus $end\n$enddefinitions $end\n#0\nb101 !\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseVCD(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if d.EndTime < 0 || d.Changes < 0 {
+			t.Fatalf("negative counters: end=%d changes=%d", d.EndTime, d.Changes)
+		}
+		declared := make(map[string]bool, len(d.Signals))
+		for _, s := range d.Signals {
+			declared[s] = true
+		}
+		var total int64
+		for name, n := range d.Transitions {
+			if !declared[name] {
+				t.Fatalf("transitions for undeclared signal %q", name)
+			}
+			if n < 0 {
+				t.Fatalf("negative transition count for %q", name)
+			}
+			total += n
+		}
+		if total > d.Changes {
+			t.Fatalf("more transitions (%d) than value changes (%d)", total, d.Changes)
+		}
+	})
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -290,15 +291,29 @@ func (s *Simulator) settleCounts() {
 // seed, one per clock cycle — the paper's 1000-random-vector .vwf
 // methodology — and returns the transition counts.
 func (s *Simulator) RunRandom(n int, seed int64) Counts {
+	// The background context never cancels, so the error is unreachable.
+	c, _ := s.RunRandomCtx(context.Background(), n, seed)
+	return c
+}
+
+// RunRandomCtx is RunRandom with cooperative cancellation at every
+// vector boundary: a cancelled context stops the run before the next
+// clock cycle and returns ctx's error alongside the counts accumulated
+// so far. This is the simulation stage's cancellation point — a sweep
+// under -timeout or Ctrl-C never waits for a long vector run to finish.
+func (s *Simulator) RunRandomCtx(ctx context.Context, n int, seed int64) (Counts, error) {
 	rng := rand.New(rand.NewSource(seed))
 	in := make([]bool, len(s.net.Inputs))
 	for c := 0; c < n; c++ {
+		if err := ctx.Err(); err != nil {
+			return s.counts, err
+		}
 		for i := range in {
 			in[i] = rng.Intn(2) == 0
 		}
 		s.Step(in)
 	}
-	return s.counts
+	return s.counts, nil
 }
 
 // RunVectors applies the given vectors in order.

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VCDDump is the parsed form of a value-change dump: the declared
+// signals and the per-signal transition counts the dump records. It is
+// the read-side counterpart of Simulator.EnableVCD — parsing a dump the
+// simulator wrote recovers exactly the per-node transition tallies of
+// the run — and accepts the common single-bit subset of IEEE 1364 VCD
+// produced by other tools as well.
+type VCDDump struct {
+	// Signals lists the declared wire names in declaration order.
+	Signals []string
+	// Transitions counts the value changes of each signal (by name),
+	// excluding the initial $dumpvars values and changes to/from the
+	// unknown value 'x'.
+	Transitions map[string]int64
+	// Changes is the total number of value-change records (including
+	// x-transitions, excluding $dumpvars initialization).
+	Changes int64
+	// EndTime is the largest timestamp seen.
+	EndTime int64
+}
+
+// Limits the parser enforces on untrusted input. A dump the simulator
+// writes stays far below both.
+const (
+	maxVCDSignals = 1 << 20
+	maxVCDCodeLen = 16
+)
+
+// ParseVCD reads a value-change dump. The input is treated as
+// untrusted: structural violations (values for undeclared identifier
+// codes, malformed timestamps, time running backwards, unterminated
+// declarations, vector values wider than 1 bit) are errors, never
+// panics. Scalar values 0, 1, x, z are accepted; z is treated as x.
+func ParseVCD(r io.Reader) (*VCDDump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Split(bufio.ScanWords)
+
+	d := &VCDDump{Transitions: make(map[string]int64)}
+	codes := make(map[string]string) // identifier code -> signal name
+	vals := make(map[string]byte)    // identifier code -> current value ('0','1','x')
+	inDefs := true
+	var time int64
+
+	next := func() (string, bool) { ok := sc.Scan(); return sc.Text(), ok }
+	// skipToEnd consumes tokens through the closing $end of a
+	// declaration command.
+	skipToEnd := func(cmd string) error {
+		for {
+			tok, ok := next()
+			if !ok {
+				return fmt.Errorf("sim: vcd: unterminated %s", cmd)
+			}
+			if tok == "$end" {
+				return nil
+			}
+		}
+	}
+
+	for {
+		tok, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case tok == "$var":
+			if !inDefs {
+				return nil, fmt.Errorf("sim: vcd: $var after $enddefinitions")
+			}
+			// $var <type> <width> <code> <name...> $end
+			var fields []string
+			for {
+				t, ok := next()
+				if !ok {
+					return nil, fmt.Errorf("sim: vcd: unterminated $var")
+				}
+				if t == "$end" {
+					break
+				}
+				fields = append(fields, t)
+				if len(fields) > 64 {
+					return nil, fmt.Errorf("sim: vcd: runaway $var declaration")
+				}
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("sim: vcd: short $var declaration %v", fields)
+			}
+			width, err := strconv.Atoi(fields[1])
+			if err != nil || width != 1 {
+				return nil, fmt.Errorf("sim: vcd: only 1-bit wires supported, got width %q", fields[1])
+			}
+			code := fields[2]
+			if len(code) > maxVCDCodeLen {
+				return nil, fmt.Errorf("sim: vcd: identifier code %q too long", code)
+			}
+			name := strings.Join(fields[3:], " ")
+			if _, dup := codes[code]; dup {
+				return nil, fmt.Errorf("sim: vcd: identifier code %q declared twice", code)
+			}
+			if len(codes) >= maxVCDSignals {
+				return nil, fmt.Errorf("sim: vcd: more than %d signals", maxVCDSignals)
+			}
+			codes[code] = name
+			vals[code] = 'x'
+			d.Signals = append(d.Signals, name)
+		case tok == "$enddefinitions":
+			if err := skipToEnd(tok); err != nil {
+				return nil, err
+			}
+			inDefs = false
+		case tok == "$dumpvars" || tok == "$dumpall" || tok == "$dumpon" || tok == "$dumpoff":
+			// Initialization block: value entries up to $end set state
+			// without counting as transitions.
+			for {
+				t, ok := next()
+				if !ok {
+					// The writer in this package terminates $dumpvars with
+					// $end, but some emitters leave it open; treat EOF as
+					// end of the block.
+					return d, nil
+				}
+				if t == "$end" {
+					break
+				}
+				code, v, err := scalarChange(t)
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := codes[code]; !ok {
+					return nil, fmt.Errorf("sim: vcd: value for undeclared code %q", code)
+				}
+				vals[code] = v
+			}
+		case strings.HasPrefix(tok, "$"):
+			// $date, $version, $timescale, $scope, $upscope, $comment.
+			if err := skipToEnd(tok); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(tok, "#"):
+			ts, err := strconv.ParseInt(tok[1:], 10, 64)
+			if err != nil || ts < 0 {
+				return nil, fmt.Errorf("sim: vcd: bad timestamp %q", tok)
+			}
+			if ts < time {
+				return nil, fmt.Errorf("sim: vcd: time runs backwards (%d after %d)", ts, time)
+			}
+			time = ts
+			if ts > d.EndTime {
+				d.EndTime = ts
+			}
+		default:
+			if inDefs {
+				return nil, fmt.Errorf("sim: vcd: value change %q before $enddefinitions", tok)
+			}
+			code, v, err := scalarChange(tok)
+			if err != nil {
+				return nil, err
+			}
+			name, ok := codes[code]
+			if !ok {
+				return nil, fmt.Errorf("sim: vcd: value for undeclared code %q", code)
+			}
+			d.Changes++
+			if old := vals[code]; old != 'x' && v != 'x' && old != v {
+				d.Transitions[name]++
+			}
+			vals[code] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: vcd: %w", err)
+	}
+	return d, nil
+}
+
+// scalarChange splits a scalar value-change token ("1!", "0#", "xA")
+// into its identifier code and normalized value.
+func scalarChange(tok string) (code string, v byte, err error) {
+	if len(tok) < 2 {
+		return "", 0, fmt.Errorf("sim: vcd: malformed value change %q", tok)
+	}
+	switch tok[0] {
+	case '0', '1':
+		v = tok[0]
+	case 'x', 'X', 'z', 'Z':
+		v = 'x'
+	case 'b', 'B', 'r', 'R':
+		return "", 0, fmt.Errorf("sim: vcd: vector value %q unsupported (1-bit wires only)", tok)
+	default:
+		return "", 0, fmt.Errorf("sim: vcd: malformed value change %q", tok)
+	}
+	code = tok[1:]
+	if len(code) > maxVCDCodeLen {
+		return "", 0, fmt.Errorf("sim: vcd: identifier code in %q too long", tok)
+	}
+	return code, v, nil
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netgen"
+)
+
+// TestVCDRoundTrip checks that ParseVCD recovers exactly what EnableVCD
+// wrote: the declared signals and the per-node transition activity of
+// the run.
+func TestVCDRoundTrip(t *testing.T) {
+	net := netgen.AdderNetwork(4)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.EnableVCD(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunRandom(50, 7)
+	if err := s.VCDErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := ParseVCD(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing our own dump: %v", err)
+	}
+	if d.EndTime == 0 || d.Changes == 0 {
+		t.Fatalf("empty dump: %+v", d)
+	}
+	// Every named node was watched; the dump's per-signal tallies must
+	// match the simulator's own transition counters. Inputs are dumped
+	// but not tallied in NodeTransitions, so compare gates and latches.
+	inputs := make(map[int]bool, len(net.Inputs))
+	for _, id := range net.Inputs {
+		inputs[id] = true
+	}
+	var fromDump, fromSim int64
+	for _, nd := range net.Nodes {
+		if nd.Name == "" || inputs[nd.ID] {
+			continue
+		}
+		fromDump += d.Transitions[nd.Name]
+		fromSim += s.NodeTransitions[nd.ID]
+	}
+	if fromDump != fromSim {
+		t.Fatalf("dump records %d transitions, simulator counted %d", fromDump, fromSim)
+	}
+}
+
+func TestVCDRoundTripSubset(t *testing.T) {
+	net := logic.NewNetwork("v")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	y := net.AddGate("y", logic.TTXor2(), a, b)
+	net.MarkOutput("y", y)
+	s, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.EnableVCD(&sb, []int{y}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunRandom(40, 11)
+	d, err := ParseVCD(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Signals) != 1 || d.Signals[0] != "y" {
+		t.Fatalf("signals = %v, want [y]", d.Signals)
+	}
+	if got, want := d.Transitions["y"], s.NodeTransitions[y]; got != want {
+		t.Fatalf("y transitions = %d, simulator counted %d", got, want)
+	}
+}
+
+func TestParseVCDErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared code":   "$enddefinitions $end\n#0\n1!\n",
+		"vector value":      "$var wire 1 ! a $end\n$enddefinitions $end\n#0\nb101 !\n",
+		"wide wire":         "$var wire 8 ! a $end\n$enddefinitions $end\n",
+		"dup code":          "$var wire 1 ! a $end\n$var wire 1 ! b $end\n$enddefinitions $end\n",
+		"backwards time":    "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n",
+		"negative time":     "$var wire 1 ! a $end\n$enddefinitions $end\n#-2\n",
+		"change in defs":    "$var wire 1 ! a $end\n1!\n",
+		"unterminated var":  "$var wire 1 ! a\n",
+		"short var":         "$var wire 1 $end\n$enddefinitions $end\n",
+		"malformed change":  "$enddefinitions $end\n!\n",
+		"var after enddefs": "$enddefinitions $end\n$var wire 1 ! a $end\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseVCD(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseVCD accepted %q", name, text)
+		}
+	}
+}
+
+// TestParseVCDTolerance pins the deliberate leniencies: z is read as x,
+// an EOF inside $dumpvars is accepted (some emitters never close the
+// block), and x-transitions count as changes but not as signal activity.
+func TestParseVCDTolerance(t *testing.T) {
+	d, err := ParseVCD(strings.NewReader(
+		"$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1!\n#1\nz!\n#2\n0!\n#3\n1!\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 -> z(x) -> 0 -> 1: the x hop breaks the first pair, so only the
+	// final 0->1 counts as a transition; all four records are changes.
+	if d.Changes != 4 || d.Transitions["a"] != 1 {
+		t.Fatalf("changes=%d transitions=%d, want 4 and 1", d.Changes, d.Transitions["a"])
+	}
+	if d.EndTime != 3 {
+		t.Fatalf("EndTime = %d, want 3", d.EndTime)
+	}
+
+	if _, err := ParseVCD(strings.NewReader("$var wire 1 ! a $end\n$enddefinitions $end\n$dumpvars\n0!")); err != nil {
+		t.Fatalf("EOF inside $dumpvars should be tolerated: %v", err)
+	}
+}
