@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// TestBindStatsGolden pins the -bindstats JSON shape against a golden
+// fixture. The report is fabricated (deterministic timings included),
+// so this guards the serialization contract — field names, nesting,
+// ordering — not engine behaviour. Regenerate the fixture with
+// -update after an intentional shape change.
+func TestBindStatsGolden(t *testing.T) {
+	stats := []flow.BindStat{
+		{
+			Bench: "pr",
+			Algo:  "hlpower alpha=0.5",
+			Report: &core.Report{
+				Iterations:   2,
+				EdgesScored:  40,
+				EdgesReused:  25,
+				WeightShapes: 6,
+				TableMisses:  3,
+				Runtime:      1500 * time.Microsecond,
+				Iters: []core.IterationStat{
+					{Iter: 1, UNodes: 4, VNodes: 10, EdgesScored: 40, EdgesReused: 0, Merges: 1, ScoreNs: 900000, SolveNs: 100000},
+					{Iter: 2, UNodes: 4, VNodes: 9, EdgesScored: 0, EdgesReused: 25, Merges: 1, ScoreNs: 300000, SolveNs: 90000},
+				},
+			},
+		},
+		{
+			Bench: "wang",
+			Algo:  "hlpower alpha=1",
+			Report: &core.Report{
+				Iterations:  1,
+				EdgesScored: 12,
+				Runtime:     200 * time.Microsecond,
+				Iters: []core.IterationStat{
+					{Iter: 1, UNodes: 2, VNodes: 6, EdgesScored: 12, Merges: 2, ScoreNs: 150000, SolveNs: 40000},
+				},
+			},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := writeBindStats(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "bindstats.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-bindstats JSON shape diverges from golden fixture\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestBindStatsEmpty: with no HLPower runs the document still carries
+// an (empty) bind_stats array, never null.
+func TestBindStatsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeBindStats(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"bind_stats\": []\n}\n"
+	if buf.String() != want {
+		t.Fatalf("empty document = %q, want %q", buf.String(), want)
+	}
+}

@@ -13,10 +13,15 @@
 //	hlpower -satable FILE         precompute and save the SA table
 //
 // Common flags: -width, -vectors, -alpha, -benchset (comma-separated
-// benchmark subset), -loadsatable FILE, -j N (parallel workers; every
-// run is independently seeded, so the output is identical for any -j),
-// -trace FILE (write pipeline stage spans as JSON to FILE, or "-" for
-// stdout, and print a per-stage cache summary to stderr).
+// benchmark subset), -loadsatable FILE, -j N (parallel workers for the
+// sweep and the binding engine's edge scoring; every run is
+// independently seeded and bindings are bit-identical at every worker
+// count, so the output is identical for any -j), -trace FILE (write
+// pipeline stage spans as JSON to FILE, or "-" for stdout, and print a
+// per-stage cache summary to stderr), -bindstats FILE (write the
+// binding engine's per-run reports — edges scored vs reused,
+// invalidation ratio, per-iteration timings — as JSON to FILE, "-" for
+// stdout).
 //
 // Failure handling: -timeout D bounds the whole invocation (the sweep
 // cancels cooperatively, like Ctrl-C/SIGTERM), -keepgoing finishes the
@@ -33,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -64,6 +70,7 @@ func main() {
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
+		bindStats = flag.String("bindstats", "", "write the binding engine's per-run statistics as JSON to FILE (\"-\" = stdout)")
 		timeout   = flag.Duration("timeout", 0, "cancel the whole invocation after this long (0 = no limit)")
 		keepGoing = flag.Bool("keepgoing", false, "after a pair fails, keep sweeping the remaining (benchmark, binder) pairs and report partial results")
 		failOut   = flag.String("failures", "", "write the machine-readable failure report as JSON to FILE (\"-\" = stdout)")
@@ -130,6 +137,7 @@ func main() {
 		return
 	}
 
+	cfg.BindJobs = *jobs
 	se := flow.NewSession(cfg)
 	se.Jobs = *jobs
 	if *benchset != "" {
@@ -233,6 +241,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *bindStats != "" {
+		if err := emitBindStats(se.BindStats(), *bindStats); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // parseAlphas parses the -alphasweep value list.
@@ -325,6 +338,34 @@ func printPartial(rep *flow.SweepReport) {
 		}
 	}
 	tw.Flush()
+}
+
+// emitBindStats writes the binding-engine reports as JSON to dest
+// ("-" = stdout): {"bind_stats": [{bench, algo, report}, ...]}, sorted
+// by (bench, algo). The shape is pinned by TestBindStatsGolden.
+func emitBindStats(stats []flow.BindStat, dest string) error {
+	out := os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return writeBindStats(out, stats)
+}
+
+// writeBindStats renders the -bindstats JSON document.
+func writeBindStats(w io.Writer, stats []flow.BindStat) error {
+	if stats == nil {
+		stats = []flow.BindStat{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		BindStats []flow.BindStat `json:"bind_stats"`
+	}{stats})
 }
 
 // emitTrace writes the session's stage spans as a JSON array to dest

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/bitvec"
 	"repro/internal/cdfg"
 	"repro/internal/netgen"
 	"repro/internal/regbind"
@@ -112,6 +113,11 @@ func MuxDiff(g *cdfg.Graph, rb *regbind.Binding, r *Result, fu *FU) int {
 // MergedMuxSizes returns the port mux sizes that would result from
 // binding two operation sets to the same FU — the quantity HLPower
 // evaluates per bipartite edge (paper §5.2.2 step 1).
+//
+// This is the allocating, recompute-from-ops form: each call rebuilds
+// both FUs' source sets from scratch. The binding engine, which asks
+// this question O(|U|·|V|) times per merge round, maintains PortSets
+// per node instead and answers through MergedMuxSizesSets.
 func MergedMuxSizes(g *cdfg.Graph, rb *regbind.Binding, r *Result, a, b *FU) (int, int) {
 	ls := map[int]bool{}
 	rs := map[int]bool{}
@@ -123,6 +129,51 @@ func MergedMuxSizes(g *cdfg.Graph, rb *regbind.Binding, r *Result, a, b *FU) (in
 		}
 	}
 	return len(ls), len(rs)
+}
+
+// PortSets is the incremental form of the per-port source bookkeeping
+// behind PortSources/MergedMuxSizes: bitvec-backed sets of the distinct
+// register sources feeding an FU's left and right ports. Register IDs
+// are dense, so bit reg+1 represents register reg (bit 0 stands for the
+// never-stored pseudo-source Reg == -1), and distinct-source counts
+// agree exactly with the map-based accessors. A binder maintains one
+// PortSets per working FU node, merges them in O(numRegs/64) words when
+// nodes combine, and sizes a prospective merge without touching the
+// operation lists at all.
+type PortSets struct {
+	L, R bitvec.Set
+}
+
+// NewPortSets builds the port source sets of an operation set under the
+// result's port assignment.
+func NewPortSets(g *cdfg.Graph, rb *regbind.Binding, r *Result, ops []int) PortSets {
+	ps := PortSets{L: bitvec.NewSet(rb.NumRegs + 1), R: bitvec.NewSet(rb.NumRegs + 1)}
+	for _, op := range ops {
+		l, rr := r.PortArgs(g, op)
+		ps.L.Add(rb.Reg[l] + 1)
+		ps.R.Add(rb.Reg[rr] + 1)
+	}
+	return ps
+}
+
+// Merge folds o's sources into ps — the port-set effect of the FU
+// absorbing o's operations.
+func (ps PortSets) Merge(o PortSets) {
+	ps.L.Union(o.L)
+	ps.R.Union(o.R)
+}
+
+// Sizes returns the port mux sizes (kL, kR) of the set.
+func (ps PortSets) Sizes() (int, int) {
+	return ps.L.Count(), ps.R.Count()
+}
+
+// MergedMuxSizesSets returns the port mux sizes of merging two FUs from
+// their maintained port sets — the allocation-free counterpart of
+// MergedMuxSizes, and the call shape the binding engine's edge scorer
+// uses (paper §5.2.2 step 1).
+func MergedMuxSizesSets(a, b PortSets) (int, int) {
+	return bitvec.UnionCount(a.L, b.L), bitvec.UnionCount(a.R, b.R)
 }
 
 // Compatible reports whether two FU nodes may be merged: same operation

@@ -1,0 +1,84 @@
+package bitvec
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set over a dense integer universe
+// [0, 64*len(s)). It backs the binding engine's hot per-node state —
+// control-step occupation intervals and register-source sets — where
+// union is a handful of word ORs, overlap testing a handful of ANDs,
+// and cardinality a popcount, all allocation-free (compare the
+// map[int]bool representation it replaced, which allocated per element
+// and iterated hash buckets per compatibility check).
+//
+// The zero value is an empty set of capacity zero; size one for a
+// universe with NewSet.
+type Set []uint64
+
+// NewSet returns an empty set able to hold elements in [0, n).
+func NewSet(n int) Set {
+	return make(Set, (n+63)/64)
+}
+
+// Add inserts i. i must be below the capacity NewSet was given.
+func (s Set) Add(i int) {
+	s[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool {
+	return s[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Union folds o into s in place. o must not exceed s's capacity.
+func (s Set) Union(o Set) {
+	for i, w := range o {
+		s[i] |= w
+	}
+}
+
+// Intersects reports whether the sets share any element.
+func (s Set) Intersects(o Set) bool {
+	n := len(s)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if s[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the set's cardinality.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionCount returns |a ∪ b| without materializing the union — the
+// merged-multiplexer-size query the binding engine issues per bipartite
+// edge.
+func UnionCount(a, b Set) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w | b[i])
+	}
+	for _, w := range b[len(a):] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CloneSet returns an independent copy of s.
+func (s Set) CloneSet() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}

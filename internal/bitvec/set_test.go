@@ -1,0 +1,96 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(130)
+	if s.Count() != 0 {
+		t.Fatalf("empty set count = %d", s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Has(2) || s.Has(128) {
+		t.Fatal("spurious membership")
+	}
+	if s.Count() != 6 {
+		t.Fatalf("count = %d, want 6", s.Count())
+	}
+	c := s.CloneSet()
+	c.Add(2)
+	if s.Has(2) {
+		t.Fatal("CloneSet aliases the original")
+	}
+}
+
+func TestSetUnionIntersects(t *testing.T) {
+	a, b := NewSet(200), NewSet(200)
+	a.Add(3)
+	a.Add(70)
+	b.Add(70)
+	b.Add(150)
+	if !a.Intersects(b) {
+		t.Fatal("sets share 70 but Intersects = false")
+	}
+	b2 := NewSet(200)
+	b2.Add(4)
+	if a.Intersects(b2) {
+		t.Fatal("disjoint sets Intersects = true")
+	}
+	if got := UnionCount(a, b); got != 3 {
+		t.Fatalf("UnionCount = %d, want 3", got)
+	}
+	a.Union(b)
+	if a.Count() != 3 || !a.Has(150) {
+		t.Fatal("Union did not fold o into s")
+	}
+}
+
+// TestSetMatchesMap drives the Set API against a map[int]bool reference
+// — the representation it replaced in the binding engine — over random
+// operation sequences, including mixed-capacity UnionCount.
+func TestSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := 1+rng.Intn(300), 1+rng.Intn(300)
+		a, b := NewSet(na), NewSet(nb)
+		am, bm := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 40; i++ {
+			x := rng.Intn(na)
+			a.Add(x)
+			am[x] = true
+			y := rng.Intn(nb)
+			b.Add(y)
+			bm[y] = true
+		}
+		if a.Count() != len(am) || b.Count() != len(bm) {
+			t.Fatalf("trial %d: counts diverge from map reference", trial)
+		}
+		union := map[int]bool{}
+		inter := false
+		for x := range am {
+			union[x] = true
+			if bm[x] {
+				inter = true
+			}
+		}
+		for y := range bm {
+			union[y] = true
+		}
+		if got := UnionCount(a, b); got != len(union) {
+			t.Fatalf("trial %d: UnionCount = %d, want %d", trial, got, len(union))
+		}
+		if got := UnionCount(b, a); got != len(union) {
+			t.Fatalf("trial %d: UnionCount not symmetric", trial)
+		}
+		if a.Intersects(b) != inter || b.Intersects(a) != inter {
+			t.Fatalf("trial %d: Intersects = %v, want %v", trial, a.Intersects(b), inter)
+		}
+	}
+}

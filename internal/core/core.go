@@ -14,16 +14,21 @@
 //	w(e) = alpha * 1/SA + (1-alpha) * 1/((muxDiff+1) * beta)     (Eq. 4)
 //
 // with beta ~ 30 for adders and ~ 1000 for multipliers.
+//
+// The iteration is run by an incremental engine (engine.go): edge
+// weights persist across merge rounds and only edges incident to
+// changed U-nodes are rescored, Eq. 4 is memoized per distinct mux
+// shape, and fresh scoring fans out over a deterministic worker pool.
+// Bindings are bit-identical to a full per-round rescore at every
+// worker count.
 package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/binding"
 	"repro/internal/cdfg"
-	"repro/internal/matching"
 	"repro/internal/netgen"
 	"repro/internal/regbind"
 	"repro/internal/satable"
@@ -51,6 +56,11 @@ type Options struct {
 	// paper's complexity analysis (a linear number of bipartite solves)
 	// corresponds to a small bound.
 	MergesPerIteration int
+	// Workers sets the scoring worker-pool size: 0 uses GOMAXPROCS,
+	// 1 scores serially. The binding is identical at every setting —
+	// parallelism only spreads pure per-edge evaluations; aggregation
+	// is order-independent.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration (alpha = 0.5).
@@ -58,21 +68,56 @@ func DefaultOptions(table *satable.Table) Options {
 	return Options{Alpha: 0.5, BetaAdd: 30, BetaMult: 1000, Table: table, PortSeed: 1}
 }
 
+// IterationStat records one merge round of the engine — the
+// per-iteration observability behind the flow stage's bind.iter spans
+// and cmd/hlpower's -bindstats.
+type IterationStat struct {
+	// Iter is the 1-based merge-round number.
+	Iter int `json:"iter"`
+	// UNodes and VNodes are the bipartite partition sizes this round.
+	UNodes int `json:"u_nodes"`
+	VNodes int `json:"v_nodes"`
+	// EdgesScored counts compatible edges whose weight was freshly
+	// evaluated this round; EdgesReused counts compatible edges served
+	// from the persistent store.
+	EdgesScored int `json:"edges_scored"`
+	EdgesReused int `json:"edges_reused"`
+	// Merges is the number of matched pairs combined this round.
+	Merges int `json:"merges"`
+	// ScoreNs and SolveNs split the round's wall time between edge
+	// scoring and the bipartite solve.
+	ScoreNs int64 `json:"score_ns"`
+	SolveNs int64 `json:"solve_ns"`
+}
+
 // Report carries run statistics (Table 2's runtime column and the
 // iteration behaviour discussed in §5.2).
 type Report struct {
-	Iterations  int
-	EdgesScored int
-	TableMisses int
-	Runtime     time.Duration
+	Iterations int `json:"iterations"`
+	// EdgesScored counts freshly evaluated edge weights; EdgesReused
+	// counts compatible edges answered from the persistent edge store
+	// without re-evaluation. Their sum equals the compatible-edge count
+	// a full per-round rescore would have evaluated.
+	EdgesScored int `json:"edges_scored"`
+	EdgesReused int `json:"edges_reused"`
+	// WeightShapes is the number of distinct (kind, kL, kR) mux shapes
+	// Eq. 4 was evaluated for — the size of the weight memo.
+	WeightShapes int           `json:"weight_shapes"`
+	TableMisses  int           `json:"table_misses"`
+	Runtime      time.Duration `json:"runtime_ns"`
+	// Iters holds one entry per merge round.
+	Iters []IterationStat `json:"iters,omitempty"`
 }
 
-// fuNode is a working functional-unit node of the bipartite graph.
-type fuNode struct {
-	kind  netgen.FUKind
-	ops   []int
-	inU   bool
-	steps map[int]bool
+// InvalidationRatio returns the fraction of compatible edge queries
+// that required fresh evaluation — 1.0 means no reuse (every round
+// rescored everything), lower is better.
+func (r *Report) InvalidationRatio() float64 {
+	total := r.EdgesScored + r.EdgesReused
+	if total == 0 {
+		return 0
+	}
+	return float64(r.EdgesScored) / float64(total)
 }
 
 // Bind runs Algorithm 1 on a scheduled graph with a completed register
@@ -98,173 +143,13 @@ func Bind(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, rc cdfg.Resource
 		res.SwapPorts = binding.RandomPortAssignment(g, opt.PortSeed)
 	}
 
-	// Initial nodes: every operation is its own functional unit. The
-	// steps set holds the full occupation interval so multi-cycle
-	// resources merge correctly.
-	nodes := make([]*fuNode, 0, len(g.Ops()))
-	for _, op := range g.Ops() {
-		occ := map[int]bool{}
-		for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
-			occ[t] = true
-		}
-		nodes = append(nodes, &fuNode{
-			kind:  g.Nodes[op].Kind.FUClass(),
-			ops:   []int{op},
-			steps: occ,
-		})
+	e := newEngine(g, s, rb, res, rc, opt)
+	if err := e.run(rep); err != nil {
+		return nil, nil, err
 	}
+	e.materialize(res)
 
-	// Seed U with the densest control step per class (§5.2.1): those
-	// operations pairwise conflict, so they are a lower bound witness.
-	// When the resource constraint allows more units than the densest
-	// step holds, pad U from the next-densest steps up to the
-	// constraint — otherwise every operation would merge into fewer
-	// units than allocated, bloating their multiplexers while leaving
-	// allocated units idle.
-	for _, class := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
-		perStep := make(map[int][]*fuNode)
-		for _, n := range nodes {
-			if n.kind == class {
-				step := s.Step[n.ops[0]]
-				perStep[step] = append(perStep[step], n)
-			}
-		}
-		if len(perStep) == 0 {
-			continue
-		}
-		steps := make([]int, 0, len(perStep))
-		for step := range perStep {
-			steps = append(steps, step)
-		}
-		sort.Slice(steps, func(i, j int) bool {
-			if len(perStep[steps[i]]) != len(perStep[steps[j]]) {
-				return len(perStep[steps[i]]) > len(perStep[steps[j]])
-			}
-			return steps[i] < steps[j]
-		})
-		target := limitFor(rc, class)
-		if target <= 0 || target < len(perStep[steps[0]]) {
-			target = len(perStep[steps[0]])
-		}
-		seeded := 0
-		for _, step := range steps {
-			for _, n := range perStep[step] {
-				if seeded >= target {
-					break
-				}
-				n.inU = true
-				seeded++
-			}
-		}
-	}
-
-	count := func(class netgen.FUKind) int {
-		c := 0
-		for _, n := range nodes {
-			if n.kind == class {
-				c++
-			}
-		}
-		return c
-	}
-	limit := func(class netgen.FUKind) int {
-		return limitFor(rc, class)
-	}
-	over := func(class netgen.FUKind) bool {
-		l := limit(class)
-		return l > 0 && count(class) > l
-	}
-
-	// Iterative bipartite matching (Algorithm 1, lines 7-16).
-	for over(netgen.FUAdd) || over(netgen.FUMult) {
-		rep.Iterations++
-		var uList, vList []*fuNode
-		for _, n := range nodes {
-			// Only classes still above their constraint participate.
-			if !over(n.kind) {
-				continue
-			}
-			if n.inU {
-				uList = append(uList, n)
-			} else {
-				vList = append(vList, n)
-			}
-		}
-		var edges []matching.Edge
-		for ui, u := range uList {
-			for vi, v := range vList {
-				if !compatibleNodes(u, v) {
-					continue
-				}
-				w := edgeWeight(g, rb, res, u, v, opt)
-				rep.EdgesScored++
-				edges = append(edges, matching.Edge{U: ui, V: vi, W: w})
-			}
-		}
-		weightOf := make(map[[2]int]float64, len(edges))
-		for _, e := range edges {
-			weightOf[[2]int{e.U, e.V}] = e.W
-		}
-		match, _ := matching.MaxWeight(len(uList), len(vList), edges)
-		// Apply the matched merges best-weight first so that when the
-		// class reaches its constraint mid-iteration, the low-value
-		// merges are the ones skipped.
-		type pair struct {
-			ui, vi int
-			w      float64
-		}
-		var pairs []pair
-		for ui, vi := range match {
-			if vi >= 0 {
-				pairs = append(pairs, pair{ui, vi, weightOf[[2]int{ui, vi}]})
-			}
-		}
-		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].w > pairs[j].w })
-		merged := 0
-		absorbed := make(map[*fuNode]bool)
-		live := map[netgen.FUKind]int{
-			netgen.FUAdd:  count(netgen.FUAdd),
-			netgen.FUMult: count(netgen.FUMult),
-		}
-		for _, pr := range pairs {
-			if opt.MergesPerIteration > 0 && merged >= opt.MergesPerIteration {
-				break
-			}
-			u, v := uList[pr.ui], vList[pr.vi]
-			// Respect the constraint exactly: stop merging a class once
-			// this iteration's merges bring it to its limit.
-			if live[u.kind] <= limit(u.kind) {
-				continue
-			}
-			u.ops = append(u.ops, v.ops...)
-			for st := range v.steps {
-				u.steps[st] = true
-			}
-			absorbed[v] = true
-			live[u.kind]--
-			merged++
-		}
-		if merged == 0 {
-			return nil, nil, fmt.Errorf("core: resource constraint {add:%d mult:%d} unreachable: no compatible merges remain (adds=%d mults=%d)",
-				rc.Add, rc.Mult, count(netgen.FUAdd), count(netgen.FUMult))
-		}
-		keep := nodes[:0]
-		for _, n := range nodes {
-			if !absorbed[n] {
-				keep = append(keep, n)
-			}
-		}
-		nodes = keep
-	}
-
-	// Materialize the result.
-	for _, n := range nodes {
-		fu := &binding.FU{ID: len(res.FUs), Kind: n.kind, Ops: append([]int(nil), n.ops...)}
-		res.FUs = append(res.FUs, fu)
-		for _, op := range n.ops {
-			res.FUOf[op] = fu.ID
-		}
-	}
+	rep.WeightShapes = len(e.memo)
 	rep.TableMisses = opt.Table.Misses() - missesBefore
 	rep.Runtime = time.Since(start)
 	if err := res.Validate(g, s, rc); err != nil {
@@ -279,42 +164,4 @@ func limitFor(rc cdfg.ResourceConstraint, class netgen.FUKind) int {
 		return rc.Add
 	}
 	return rc.Mult
-}
-
-// compatibleNodes applies the paper's two compatibility criteria: same
-// operation class and no overlapping control steps.
-func compatibleNodes(a, b *fuNode) bool {
-	if a.kind != b.kind {
-		return false
-	}
-	small, large := a, b
-	if len(large.steps) < len(small.steps) {
-		small, large = large, small
-	}
-	for st := range small.steps {
-		if large.steps[st] {
-			return false
-		}
-	}
-	return true
-}
-
-// edgeWeight evaluates Eq. 4 for merging nodes u and v: the mux sizes of
-// the combined FU are derived from the fixed register binding, the SA of
-// the resulting partial datapath is looked up in the precalculated
-// table, and the muxDiff term rewards balanced input multiplexers.
-func edgeWeight(g *cdfg.Graph, rb *regbind.Binding, res *binding.Result, u, v *fuNode, opt Options) float64 {
-	fa := &binding.FU{Kind: u.kind, Ops: u.ops}
-	fb := &binding.FU{Kind: v.kind, Ops: v.ops}
-	kl, kr := binding.MergedMuxSizes(g, rb, res, fa, fb)
-	sa := opt.Table.Get(u.kind, kl, kr)
-	muxDiff := kl - kr
-	if muxDiff < 0 {
-		muxDiff = -muxDiff
-	}
-	beta := opt.BetaAdd
-	if u.kind == netgen.FUMult {
-		beta = opt.BetaMult
-	}
-	return opt.Alpha*(1/sa) + (1-opt.Alpha)*(1/(float64(muxDiff+1)*beta))
 }

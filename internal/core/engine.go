@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/bitvec"
+	"repro/internal/cdfg"
+	"repro/internal/matching"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+	"repro/internal/satable"
+)
+
+// The incremental binding engine behind Bind.
+//
+// A full rescore evaluates every compatible U×V edge each merge round,
+// but a round only mutates the U-nodes that absorbed a partner (their
+// operation set, occupation interval, and port sources grow) and kills
+// the absorbed V-nodes. Every other pair is untouched, so its
+// compatibility verdict and Eq. 4 weight are still valid. The engine
+// therefore keeps a persistent edge store keyed by node identity,
+// drops a U-node's row whenever it merges (forcing a compatibility
+// re-check against its new occupation interval and a rescore), and
+// answers everything else from the store.
+//
+// Freshly scored edges split into two phases: a parallel pure phase
+// (compatibility + merged mux shape, written to per-edge slots so no
+// two workers share state) and a serial aggregation phase that memoizes
+// Eq. 4 per distinct (kind, kL, kR) shape — the weight depends on the
+// merged pair only through that shape, so one SA lookup and one Eq. 4
+// evaluation serve every edge of the same shape. Aggregation walks the
+// slots in a fixed order, which makes the result independent of worker
+// count and keeps bindings bit-identical to the monolithic rescore.
+
+// weightKey is the memoization key of one Eq. 4 evaluation: with alpha
+// and beta fixed per run, the weight is a pure function of the merged
+// mux shape.
+type weightKey struct {
+	kind   netgen.FUKind
+	kl, kr int
+}
+
+// storedEdge is one persisted U×V verdict. Incompatible pairs persist
+// too (compat false) so their occupation-interval check is also never
+// repeated while both endpoints stand.
+type storedEdge struct {
+	w      float64
+	compat bool
+}
+
+// fuNode is a working functional-unit node of the bipartite graph.
+type fuNode struct {
+	id   int // stable identity; edge-store key
+	kind netgen.FUKind
+	ops  []int
+	inU  bool
+	dead bool
+	// occ is the control-step occupation interval union (multi-cycle
+	// resources occupy start..BusyUntil).
+	occ bitvec.Set
+	// ports tracks the distinct register sources per FU port.
+	ports binding.PortSets
+}
+
+type engine struct {
+	rc  cdfg.ResourceConstraint
+	opt Options
+
+	nodes  []*fuNode
+	counts map[netgen.FUKind]int // live nodes per class, maintained across merges
+	store  map[int]map[int]storedEdge
+	memo   map[weightKey]float64
+	solver *matching.Solver
+}
+
+// testHookOnEdges, when non-nil, observes every round's assembled edge
+// list before the bipartite solve. Test-only.
+var testHookOnEdges func(iter, nU, nV int, edges []matching.Edge)
+
+func newEngine(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, rc cdfg.ResourceConstraint, opt Options) *engine {
+	e := &engine{
+		rc:     rc,
+		opt:    opt,
+		counts: map[netgen.FUKind]int{},
+		store:  map[int]map[int]storedEdge{},
+		memo:   map[weightKey]float64{},
+		solver: matching.NewSolver(),
+	}
+	maxStep := 0
+	for _, op := range g.Ops() {
+		if bu := s.BusyUntil(g, op); bu > maxStep {
+			maxStep = bu
+		}
+	}
+	// Initial nodes: every operation is its own functional unit, with
+	// its full occupation interval and port source sets.
+	for _, op := range g.Ops() {
+		occ := bitvec.NewSet(maxStep + 1)
+		for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
+			occ.Add(t)
+		}
+		n := &fuNode{
+			id:    len(e.nodes),
+			kind:  g.Nodes[op].Kind.FUClass(),
+			ops:   []int{op},
+			occ:   occ,
+			ports: binding.NewPortSets(g, rb, res, []int{op}),
+		}
+		e.nodes = append(e.nodes, n)
+		e.counts[n.kind]++
+	}
+	e.seedU(s)
+	return e
+}
+
+// seedU seeds U with the densest control step per class (§5.2.1): those
+// operations pairwise conflict, so they are a lower bound witness. When
+// the resource constraint allows more units than the densest step
+// holds, U is padded from the next-densest steps up to the constraint —
+// otherwise every operation would merge into fewer units than
+// allocated, bloating their multiplexers while leaving allocated units
+// idle.
+func (e *engine) seedU(s *cdfg.Schedule) {
+	for _, class := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
+		perStep := make(map[int][]*fuNode)
+		for _, n := range e.nodes {
+			if n.kind == class {
+				step := s.Step[n.ops[0]]
+				perStep[step] = append(perStep[step], n)
+			}
+		}
+		if len(perStep) == 0 {
+			continue
+		}
+		steps := make([]int, 0, len(perStep))
+		for step := range perStep {
+			steps = append(steps, step)
+		}
+		sort.Slice(steps, func(i, j int) bool {
+			if len(perStep[steps[i]]) != len(perStep[steps[j]]) {
+				return len(perStep[steps[i]]) > len(perStep[steps[j]])
+			}
+			return steps[i] < steps[j]
+		})
+		target := limitFor(e.rc, class)
+		if target <= 0 || target < len(perStep[steps[0]]) {
+			target = len(perStep[steps[0]])
+		}
+		seeded := 0
+		for _, step := range steps {
+			for _, n := range perStep[step] {
+				if seeded >= target {
+					break
+				}
+				n.inU = true
+				seeded++
+			}
+		}
+	}
+}
+
+// over reports whether a class still exceeds its resource constraint.
+func (e *engine) over(class netgen.FUKind) bool {
+	l := limitFor(e.rc, class)
+	return l > 0 && e.counts[class] > l
+}
+
+// run drives the iterative bipartite matching (Algorithm 1, lines 7-16),
+// recording one IterationStat per merge round.
+func (e *engine) run(rep *Report) error {
+	for e.over(netgen.FUAdd) || e.over(netgen.FUMult) {
+		rep.Iterations++
+		var uList, vList []*fuNode
+		for _, n := range e.nodes {
+			// Only classes still above their constraint participate.
+			if !e.over(n.kind) {
+				continue
+			}
+			if n.inU {
+				uList = append(uList, n)
+			} else {
+				vList = append(vList, n)
+			}
+		}
+		scoreStart := time.Now()
+		edges, scored, reused, err := e.scoreEdges(uList, vList)
+		if err != nil {
+			return err
+		}
+		scoreNs := time.Since(scoreStart).Nanoseconds()
+		if testHookOnEdges != nil {
+			testHookOnEdges(rep.Iterations, len(uList), len(vList), edges)
+		}
+		weightOf := make(map[[2]int]float64, len(edges))
+		for _, ed := range edges {
+			weightOf[[2]int{ed.U, ed.V}] = ed.W
+		}
+		solveStart := time.Now()
+		match, _ := e.solver.MaxWeight(len(uList), len(vList), edges)
+		solveNs := time.Since(solveStart).Nanoseconds()
+		// Apply the matched merges best-weight first so that when the
+		// class reaches its constraint mid-iteration, the low-value
+		// merges are the ones skipped. Equal weights break on (ui, vi)
+		// — with one match per U-node this reproduces the stable
+		// by-weight order of the pre-engine implementation exactly.
+		type pair struct {
+			ui, vi int
+			w      float64
+		}
+		var pairs []pair
+		for ui, vi := range match {
+			if vi >= 0 {
+				pairs = append(pairs, pair{ui, vi, weightOf[[2]int{ui, vi}]})
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].w != pairs[j].w {
+				return pairs[i].w > pairs[j].w
+			}
+			if pairs[i].ui != pairs[j].ui {
+				return pairs[i].ui < pairs[j].ui
+			}
+			return pairs[i].vi < pairs[j].vi
+		})
+		merged := 0
+		for _, pr := range pairs {
+			if e.opt.MergesPerIteration > 0 && merged >= e.opt.MergesPerIteration {
+				break
+			}
+			u, v := uList[pr.ui], vList[pr.vi]
+			// Respect the constraint exactly: stop merging a class once
+			// this iteration's merges bring it to its limit.
+			if e.counts[u.kind] <= limitFor(e.rc, u.kind) {
+				continue
+			}
+			e.merge(u, v)
+			merged++
+		}
+		if merged == 0 {
+			return fmt.Errorf("core: resource constraint {add:%d mult:%d} unreachable: no compatible merges remain (adds=%d mults=%d)",
+				e.rc.Add, e.rc.Mult, e.counts[netgen.FUAdd], e.counts[netgen.FUMult])
+		}
+		e.compact()
+		rep.EdgesScored += scored
+		rep.EdgesReused += reused
+		rep.Iters = append(rep.Iters, IterationStat{
+			Iter:        rep.Iterations,
+			UNodes:      len(uList),
+			VNodes:      len(vList),
+			EdgesScored: scored,
+			EdgesReused: reused,
+			Merges:      merged,
+			ScoreNs:     scoreNs,
+			SolveNs:     solveNs,
+		})
+	}
+	return nil
+}
+
+// scoreEdges assembles the round's compatible weighted edges. Pairs
+// with a stored verdict are answered from the store; the rest are
+// evaluated — compatibility and merged mux shape in parallel over
+// per-pair slots, then weights via the shape memo in a fixed serial
+// order — and persisted. The returned edge list is identical at every
+// worker count.
+func (e *engine) scoreEdges(uList, vList []*fuNode) (edges []matching.Edge, scored, reused int, err error) {
+	type slot struct {
+		ui, vi int
+		compat bool
+		kl, kr int
+	}
+	var pending []slot
+	for ui, u := range uList {
+		row := e.store[u.id]
+		for vi, v := range vList {
+			if se, ok := row[v.id]; ok {
+				if se.compat {
+					edges = append(edges, matching.Edge{U: ui, V: vi, W: se.w})
+					reused++
+				}
+				continue
+			}
+			pending = append(pending, slot{ui: ui, vi: vi})
+		}
+	}
+	// Parallel pure phase: each worker writes only its own slots.
+	parallelDo(len(pending), e.opt.Workers, func(i int) {
+		sl := &pending[i]
+		u, v := uList[sl.ui], vList[sl.vi]
+		// The paper's two compatibility criteria: same operation class
+		// and no overlapping occupation steps.
+		if u.kind != v.kind || u.occ.Intersects(v.occ) {
+			return
+		}
+		sl.compat = true
+		sl.kl, sl.kr = binding.MergedMuxSizesSets(u.ports, v.ports)
+	})
+	// Serial aggregation: collect the distinct unmemoized shapes in
+	// first-seen slot order, batch-fetch their SA, memoize Eq. 4.
+	var missing []satable.Key
+	seen := map[weightKey]bool{}
+	for i := range pending {
+		sl := &pending[i]
+		if !sl.compat {
+			continue
+		}
+		k := weightKey{uList[sl.ui].kind, sl.kl, sl.kr}
+		if _, ok := e.memo[k]; ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		missing = append(missing, satable.Key{Kind: k.kind, KL: k.kl, KR: k.kr})
+	}
+	if len(missing) > 0 {
+		vals, berr := e.opt.Table.GetBatch(context.Background(), missing, e.opt.Workers)
+		if berr != nil {
+			return nil, 0, 0, fmt.Errorf("core: SA lookup: %w", berr)
+		}
+		for i, key := range missing {
+			e.memo[weightKey{key.Kind, key.KL, key.KR}] = e.weightFromShape(key.Kind, key.KL, key.KR, vals[i])
+		}
+	}
+	for i := range pending {
+		sl := &pending[i]
+		u, v := uList[sl.ui], vList[sl.vi]
+		row := e.store[u.id]
+		if row == nil {
+			row = map[int]storedEdge{}
+			e.store[u.id] = row
+		}
+		if !sl.compat {
+			row[v.id] = storedEdge{}
+			continue
+		}
+		w := e.memo[weightKey{u.kind, sl.kl, sl.kr}]
+		row[v.id] = storedEdge{w: w, compat: true}
+		edges = append(edges, matching.Edge{U: sl.ui, V: sl.vi, W: w})
+		scored++
+	}
+	return edges, scored, reused, nil
+}
+
+// weightFromShape evaluates Eq. 4 for a merged mux shape. The
+// arithmetic is kept in exactly this form — alpha*(1/sa) +
+// (1-alpha)*(1/((muxDiff+1)*beta)) — so memoized weights are
+// bit-identical to per-edge recomputation.
+func (e *engine) weightFromShape(kind netgen.FUKind, kl, kr int, sa float64) float64 {
+	muxDiff := kl - kr
+	if muxDiff < 0 {
+		muxDiff = -muxDiff
+	}
+	beta := e.opt.BetaAdd
+	if kind == netgen.FUMult {
+		beta = e.opt.BetaMult
+	}
+	return e.opt.Alpha*(1/sa) + (1-e.opt.Alpha)*(1/(float64(muxDiff+1)*beta))
+}
+
+// merge folds v into u: operations, occupation, and port sources union;
+// u's stored edges are invalidated (its intervals and shapes changed);
+// v dies and its column is pruned during compaction.
+func (e *engine) merge(u, v *fuNode) {
+	u.ops = append(u.ops, v.ops...)
+	u.occ.Union(v.occ)
+	u.ports.Merge(v.ports)
+	delete(e.store, u.id)
+	e.counts[u.kind]--
+	v.dead = true
+}
+
+// compact removes absorbed nodes and prunes their store columns.
+func (e *engine) compact() {
+	keep := e.nodes[:0]
+	for _, n := range e.nodes {
+		if n.dead {
+			for _, row := range e.store {
+				delete(row, n.id)
+			}
+			continue
+		}
+		keep = append(keep, n)
+	}
+	e.nodes = keep
+}
+
+// materialize writes the surviving nodes into the binding result.
+func (e *engine) materialize(res *binding.Result) {
+	for _, n := range e.nodes {
+		fu := &binding.FU{ID: len(res.FUs), Kind: n.kind, Ops: append([]int(nil), n.ops...)}
+		res.FUs = append(res.FUs, fu)
+		for _, op := range n.ops {
+			res.FUOf[op] = fu.ID
+		}
+	}
+}
+
+// parallelDo runs fn(0..n-1) over a pool of workers (0 = GOMAXPROCS,
+// 1 = serial inline). Work items are claimed via an atomic counter;
+// callers must make fn(i) touch only item-i state.
+func parallelDo(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/cdfg"
+	"repro/internal/matching"
+	"repro/internal/netgen"
+	"repro/internal/regbind"
+	"repro/internal/workload"
+)
+
+// referenceBind is the pre-engine monolithic implementation of
+// Algorithm 1, kept verbatim as the oracle for the incremental engine:
+// map-based occupation sets, full per-round rescoring of every
+// compatible edge through MergedMuxSizes and Table.Get, and
+// sort.SliceStable merge ordering. onEdges observes each round's edge
+// list before the bipartite solve.
+func referenceBind(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, rc cdfg.ResourceConstraint, opt Options,
+	onEdges func(iter int, edges []matching.Edge)) (*binding.Result, *Report, error) {
+	type refNode struct {
+		kind  netgen.FUKind
+		ops   []int
+		inU   bool
+		steps map[int]bool
+	}
+	compatible := func(a, b *refNode) bool {
+		if a.kind != b.kind {
+			return false
+		}
+		small, large := a, b
+		if len(large.steps) < len(small.steps) {
+			small, large = large, small
+		}
+		for st := range small.steps {
+			if large.steps[st] {
+				return false
+			}
+		}
+		return true
+	}
+	weight := func(res *binding.Result, u, v *refNode) float64 {
+		fa := &binding.FU{Kind: u.kind, Ops: u.ops}
+		fb := &binding.FU{Kind: v.kind, Ops: v.ops}
+		kl, kr := binding.MergedMuxSizes(g, rb, res, fa, fb)
+		sa := opt.Table.Get(u.kind, kl, kr)
+		muxDiff := kl - kr
+		if muxDiff < 0 {
+			muxDiff = -muxDiff
+		}
+		beta := opt.BetaAdd
+		if u.kind == netgen.FUMult {
+			beta = opt.BetaMult
+		}
+		return opt.Alpha*(1/sa) + (1-opt.Alpha)*(1/(float64(muxDiff+1)*beta))
+	}
+
+	rep := &Report{}
+	res := binding.NewResult(g)
+	if opt.Swap != nil {
+		copy(res.SwapPorts, opt.Swap)
+	} else {
+		res.SwapPorts = binding.RandomPortAssignment(g, opt.PortSeed)
+	}
+	var nodes []*refNode
+	for _, op := range g.Ops() {
+		occ := map[int]bool{}
+		for t := s.Step[op]; t <= s.BusyUntil(g, op); t++ {
+			occ[t] = true
+		}
+		nodes = append(nodes, &refNode{kind: g.Nodes[op].Kind.FUClass(), ops: []int{op}, steps: occ})
+	}
+	for _, class := range []netgen.FUKind{netgen.FUAdd, netgen.FUMult} {
+		perStep := make(map[int][]*refNode)
+		for _, n := range nodes {
+			if n.kind == class {
+				perStep[s.Step[n.ops[0]]] = append(perStep[s.Step[n.ops[0]]], n)
+			}
+		}
+		if len(perStep) == 0 {
+			continue
+		}
+		steps := make([]int, 0, len(perStep))
+		for step := range perStep {
+			steps = append(steps, step)
+		}
+		sort.Slice(steps, func(i, j int) bool {
+			if len(perStep[steps[i]]) != len(perStep[steps[j]]) {
+				return len(perStep[steps[i]]) > len(perStep[steps[j]])
+			}
+			return steps[i] < steps[j]
+		})
+		target := limitFor(rc, class)
+		if target <= 0 || target < len(perStep[steps[0]]) {
+			target = len(perStep[steps[0]])
+		}
+		seeded := 0
+		for _, step := range steps {
+			for _, n := range perStep[step] {
+				if seeded >= target {
+					break
+				}
+				n.inU = true
+				seeded++
+			}
+		}
+	}
+	count := func(class netgen.FUKind) int {
+		c := 0
+		for _, n := range nodes {
+			if n.kind == class {
+				c++
+			}
+		}
+		return c
+	}
+	over := func(class netgen.FUKind) bool {
+		l := limitFor(rc, class)
+		return l > 0 && count(class) > l
+	}
+	for over(netgen.FUAdd) || over(netgen.FUMult) {
+		rep.Iterations++
+		var uList, vList []*refNode
+		for _, n := range nodes {
+			if !over(n.kind) {
+				continue
+			}
+			if n.inU {
+				uList = append(uList, n)
+			} else {
+				vList = append(vList, n)
+			}
+		}
+		var edges []matching.Edge
+		for ui, u := range uList {
+			for vi, v := range vList {
+				if !compatible(u, v) {
+					continue
+				}
+				rep.EdgesScored++
+				edges = append(edges, matching.Edge{U: ui, V: vi, W: weight(res, u, v)})
+			}
+		}
+		if onEdges != nil {
+			onEdges(rep.Iterations, edges)
+		}
+		weightOf := make(map[[2]int]float64, len(edges))
+		for _, e := range edges {
+			weightOf[[2]int{e.U, e.V}] = e.W
+		}
+		match, _ := matching.MaxWeight(len(uList), len(vList), edges)
+		type pair struct {
+			ui, vi int
+			w      float64
+		}
+		var pairs []pair
+		for ui, vi := range match {
+			if vi >= 0 {
+				pairs = append(pairs, pair{ui, vi, weightOf[[2]int{ui, vi}]})
+			}
+		}
+		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].w > pairs[j].w })
+		merged := 0
+		absorbed := make(map[*refNode]bool)
+		live := map[netgen.FUKind]int{
+			netgen.FUAdd:  count(netgen.FUAdd),
+			netgen.FUMult: count(netgen.FUMult),
+		}
+		for _, pr := range pairs {
+			if opt.MergesPerIteration > 0 && merged >= opt.MergesPerIteration {
+				break
+			}
+			u, v := uList[pr.ui], vList[pr.vi]
+			if live[u.kind] <= limitFor(rc, u.kind) {
+				continue
+			}
+			u.ops = append(u.ops, v.ops...)
+			for st := range v.steps {
+				u.steps[st] = true
+			}
+			absorbed[v] = true
+			live[u.kind]--
+			merged++
+		}
+		if merged == 0 {
+			return nil, nil, fmt.Errorf("reference: constraint unreachable")
+		}
+		keep := nodes[:0]
+		for _, n := range nodes {
+			if !absorbed[n] {
+				keep = append(keep, n)
+			}
+		}
+		nodes = keep
+	}
+	for _, n := range nodes {
+		fu := &binding.FU{ID: len(res.FUs), Kind: n.kind, Ops: append([]int(nil), n.ops...)}
+		res.FUs = append(res.FUs, fu)
+		for _, op := range n.ops {
+			res.FUOf[op] = fu.ID
+		}
+	}
+	return res, rep, nil
+}
+
+// randomBindCase generates a seeded random scheduled CDFG with a
+// register binding (the TestRandomGraphsBindValidly generator).
+func randomBindCase(seed int64) (*cdfg.Graph, *cdfg.Schedule, *regbind.Binding, cdfg.ResourceConstraint, Options, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	g := cdfg.NewGraph("rand")
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		g.AddInput("")
+	}
+	ops := 5 + rng.Intn(25)
+	for i := 0; i < ops; i++ {
+		kind := cdfg.KindAdd
+		switch rng.Intn(3) {
+		case 1:
+			kind = cdfg.KindMult
+		case 2:
+			kind = cdfg.KindSub
+		}
+		g.AddOp(kind, "", rng.Intn(len(g.Nodes)), rng.Intn(len(g.Nodes)))
+	}
+	consumers := g.Consumers()
+	for _, nd := range g.Nodes {
+		if nd.Kind.IsOp() && len(consumers[nd.ID]) == 0 {
+			g.MarkOutput(nd.ID)
+		}
+	}
+	lib := cdfg.Library{AddLatency: 1 + rng.Intn(2), MultLatency: 1 + rng.Intn(2)}
+	rc := cdfg.ResourceConstraint{Add: 1 + rng.Intn(3), Mult: 1 + rng.Intn(3)}
+	s, err := cdfg.ListScheduleLat(g, rc, lib)
+	if err != nil {
+		return nil, nil, nil, rc, Options{}, false
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		return nil, nil, nil, rc, Options{}, false
+	}
+	opt := DefaultOptions(sharedTable)
+	opt.Alpha = []float64{0, 0.5, 1}[rng.Intn(3)]
+	opt.MergesPerIteration = rng.Intn(3)
+	return g, s, rb, rc, opt, true
+}
+
+// sortEdges orders an edge list canonically for set comparison.
+func sortEdges(edges []matching.Edge) []matching.Edge {
+	out := append([]matching.Edge(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// TestEngineMatchesFullRescore is the refactor contract: across seeded
+// random CDFGs and worker counts, the incremental engine must produce
+// (a) the exact per-iteration compatible edge sets of a full rescore,
+// with bit-identical weights, (b) the identical final binding, and
+// (c) scored+reused bookkeeping summing to the rescore's evaluation
+// count.
+func TestEngineMatchesFullRescore(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 60 && cases < 25; seed++ {
+		g, s, rb, rc, opt, ok := randomBindCase(seed)
+		if !ok {
+			continue
+		}
+		refEdges := map[int][]matching.Edge{}
+		refRes, refRep, refErr := referenceBind(g, s, rb, rc, opt, func(iter int, edges []matching.Edge) {
+			refEdges[iter] = sortEdges(edges)
+		})
+
+		for _, workers := range []int{1, 4} {
+			engEdges := map[int][]matching.Edge{}
+			testHookOnEdges = func(iter, nU, nV int, edges []matching.Edge) {
+				engEdges[iter] = sortEdges(edges)
+			}
+			o := opt
+			o.Workers = workers
+			res, rep, err := Bind(g, s, rb, rc, o)
+			testHookOnEdges = nil
+
+			if (err != nil) != (refErr != nil) {
+				t.Fatalf("seed %d workers %d: error mismatch: engine %v, reference %v", seed, workers, err, refErr)
+			}
+			if err != nil {
+				continue
+			}
+			for iter, want := range refEdges {
+				if !reflect.DeepEqual(engEdges[iter], want) {
+					t.Fatalf("seed %d workers %d: iteration %d edge set diverges\nengine:    %v\nreference: %v",
+						seed, workers, iter, engEdges[iter], want)
+				}
+			}
+			if len(engEdges) != len(refEdges) {
+				t.Fatalf("seed %d workers %d: %d engine iterations vs %d reference", seed, workers, len(engEdges), len(refEdges))
+			}
+			if !reflect.DeepEqual(res.FUOf, refRes.FUOf) {
+				t.Fatalf("seed %d workers %d: FUOf diverges from full rescore", seed, workers)
+			}
+			if len(res.FUs) != len(refRes.FUs) {
+				t.Fatalf("seed %d workers %d: FU count %d vs %d", seed, workers, len(res.FUs), len(refRes.FUs))
+			}
+			for i, fu := range res.FUs {
+				if !reflect.DeepEqual(fu.Ops, refRes.FUs[i].Ops) || fu.Kind != refRes.FUs[i].Kind {
+					t.Fatalf("seed %d workers %d: FU %d diverges", seed, workers, i)
+				}
+			}
+			if rep.EdgesScored+rep.EdgesReused != refRep.EdgesScored {
+				t.Fatalf("seed %d workers %d: scored %d + reused %d != reference evaluations %d",
+					seed, workers, rep.EdgesScored, rep.EdgesReused, refRep.EdgesScored)
+			}
+			if rep.Iterations != refRep.Iterations {
+				t.Fatalf("seed %d workers %d: iteration counts diverge", seed, workers)
+			}
+		}
+		if refErr == nil {
+			cases++
+		}
+	}
+	if cases < 10 {
+		t.Fatalf("only %d successful random cases exercised", cases)
+	}
+}
+
+// BenchmarkEngineVsFullRescore pairs the incremental engine against
+// the pre-engine full-rescore implementation (referenceBind) on the
+// medium benchmark in the MergesPerIteration=1 regime — the
+// wall-clock before/after recorded in EXPERIMENTS.md.
+func BenchmarkEngineVsFullRescore(b *testing.B) {
+	p, _ := workload.ByName("honda")
+	g := workload.Generate(p)
+	s, err := cdfg.ListSchedule(g, p.RC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions(sharedTable)
+	opt.MergesPerIteration = 1
+	// Warm the SA table so both sides measure binding, not estimation.
+	if _, _, err := Bind(g, s, rb, p.RC, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Bind(g, s, rb, p.RC, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-rescore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := referenceBind(g, s, rb, p.RC, opt, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestWorkerCountInvariance binds the benchmark workloads at worker
+// counts 1..8 and requires byte-identical bindings and identical
+// scored/reused bookkeeping.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range []string{"pr", "wang"} {
+		p, _ := workload.ByName(name)
+		g := workload.Generate(p)
+		s, err := cdfg.ListSchedule(g, p.RC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := regbind.Bind(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base *binding.Result
+		var baseRep *Report
+		for workers := 1; workers <= 8; workers++ {
+			opt := DefaultOptions(sharedTable)
+			opt.Workers = workers
+			res, rep, err := Bind(g, s, rb, p.RC, opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if base == nil {
+				base, baseRep = res, rep
+				continue
+			}
+			if !reflect.DeepEqual(res.FUOf, base.FUOf) {
+				t.Fatalf("%s: binding at workers=%d diverges from workers=1", name, workers)
+			}
+			if rep.EdgesScored != baseRep.EdgesScored || rep.EdgesReused != baseRep.EdgesReused {
+				t.Fatalf("%s: edge bookkeeping at workers=%d diverges (%d/%d vs %d/%d)",
+					name, workers, rep.EdgesScored, rep.EdgesReused, baseRep.EdgesScored, baseRep.EdgesReused)
+			}
+		}
+	}
+}
+
+// TestReportSplitAndReuse checks the new Report fields on a benchmark:
+// reuse must actually happen (the engine's reason to exist), the
+// invalidation ratio must be in (0,1), per-iteration stats must sum to
+// the totals, and the weight memo must be far smaller than the number
+// of evaluations it served.
+func TestReportSplitAndReuse(t *testing.T) {
+	p, _ := workload.ByName("pr")
+	g := workload.Generate(p)
+	s, err := cdfg.ListSchedule(g, p.RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(sharedTable)
+	opt.MergesPerIteration = 1 // many rounds -> maximal reuse opportunity
+	_, rep, err := Bind(g, s, rb, p.RC, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EdgesReused == 0 {
+		t.Fatal("incremental engine reused no edges")
+	}
+	ratio := rep.InvalidationRatio()
+	if ratio <= 0 || ratio >= 1 {
+		t.Fatalf("invalidation ratio %v outside (0,1)", ratio)
+	}
+	if len(rep.Iters) != rep.Iterations {
+		t.Fatalf("%d iteration stats for %d iterations", len(rep.Iters), rep.Iterations)
+	}
+	sumScored, sumReused, sumMerges := 0, 0, 0
+	for _, it := range rep.Iters {
+		sumScored += it.EdgesScored
+		sumReused += it.EdgesReused
+		sumMerges += it.Merges
+	}
+	if sumScored != rep.EdgesScored || sumReused != rep.EdgesReused {
+		t.Fatalf("per-iteration stats (%d/%d) do not sum to totals (%d/%d)",
+			sumScored, sumReused, rep.EdgesScored, rep.EdgesReused)
+	}
+	if sumMerges == 0 {
+		t.Fatal("no merges recorded")
+	}
+	if rep.WeightShapes == 0 || rep.WeightShapes > rep.EdgesScored {
+		t.Fatalf("weight memo size %d vs %d scored edges", rep.WeightShapes, rep.EdgesScored)
+	}
+}

@@ -19,10 +19,12 @@ package flow
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/binding"
 	"repro/internal/cdfg"
+	"repro/internal/core"
 	"repro/internal/datapath"
 	"repro/internal/mapper"
 	"repro/internal/modsel"
@@ -102,6 +104,10 @@ type Config struct {
 	DelaySeed int64
 	// Power is the electrical/timing model.
 	Power power.Model
+	// BindJobs is the binding engine's scoring worker-pool size (0 =
+	// GOMAXPROCS, 1 = serial). Non-semantic: bindings are bit-identical
+	// at every setting, so it is excluded from stage cache keys.
+	BindJobs int
 }
 
 // DefaultConfig returns the configuration the reproduction's experiments
@@ -377,4 +383,37 @@ func (se *Session) StageStats() map[string]pipeline.Stats {
 // on Result.StageTrace.
 func (se *Session) TraceSpans() []pipeline.Span {
 	return se.trace.Spans()
+}
+
+// BindStat is one binding-engine report with its provenance: the
+// benchmark and the deterministic algorithm label (never the display
+// Binder name). cmd/hlpower serializes these for -bindstats.
+type BindStat struct {
+	Bench string `json:"bench"`
+	// Algo identifies the algorithm and its distinguishing parameters,
+	// e.g. "hlpower alpha=0.5".
+	Algo   string       `json:"algo"`
+	Report *core.Report `json:"report"`
+}
+
+// BindStats returns the engine reports of every HLPower binding the
+// session's stage cache holds, sorted by (bench, algo). Baseline
+// bindings carry no engine report and are omitted; cached bindings
+// report the statistics recorded when they were first computed.
+func (se *Session) BindStats() []BindStat {
+	var out []BindStat
+	for _, v := range se.stages.Snapshot(StageBind) {
+		ba, ok := v.(*bindArtifact)
+		if !ok || ba.rep == nil {
+			continue
+		}
+		out = append(out, BindStat{Bench: ba.bench, Algo: ba.algo, Report: ba.rep})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Algo < out[j].Algo
+	})
+	return out
 }

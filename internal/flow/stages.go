@@ -154,6 +154,13 @@ type regbindArtifact struct {
 type bindArtifact struct {
 	res      *binding.Result
 	bindTime time.Duration
+	// bench and algo record deterministic provenance for
+	// Session.BindStats (algo is the spec label, never the display-only
+	// Binder name).
+	bench, algo string
+	// rep is the engine report with per-iteration stats (HLPower only;
+	// nil for the baseline algorithms).
+	rep *core.Report
 	// fp is content-addressed: hash(upstream fp, binding content).
 	fp string
 }
@@ -190,6 +197,10 @@ type bindSpec struct {
 	// portOpt applies post-binding port re-assignment [2] inside the
 	// stage, so the cached artifact is the final, optimized binding.
 	portOpt bool
+	// workers is the engine's scoring worker-pool size (Config.BindJobs).
+	// Deliberately excluded from fp(): bindings are bit-identical at
+	// every worker count, so it must not split the cache.
+	workers int
 }
 
 // specForBinder resolves the mainline Binder configurations (flow.Run,
@@ -208,6 +219,7 @@ func specForBinder(b Binder, cfg Config) bindSpec {
 		betaMult:      def.BetaMult,
 		mergesPerIter: 1,
 		table:         cfg.Table,
+		workers:       cfg.BindJobs,
 	}
 	if cfg.BetaAdd > 0 {
 		spec.betaAdd = cfg.BetaAdd
@@ -223,6 +235,16 @@ func (sp bindSpec) fp() string {
 		Str(sp.algo).F64(sp.alpha).F64(sp.betaAdd).F64(sp.betaMult).
 		Int(sp.mergesPerIter).Str(tableFP(sp.table)).Bool(sp.portOpt).
 		Sum()
+}
+
+// label is the deterministic algorithm tag bind statistics are reported
+// under. Binder display names are free-form and excluded from cache
+// identity, so they cannot serve as stable provenance.
+func (sp bindSpec) label() string {
+	if sp.algo == "hlpower" {
+		return fmt.Sprintf("hlpower alpha=%g", sp.alpha)
+	}
+	return sp.algo
 }
 
 // resolveModSel returns the fully resolved module-selection options the
@@ -366,10 +388,11 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			Sum()
 	},
 	Scope: func(in bindIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
-	Run: func(_ context.Context, in bindIn) (*bindArtifact, error) {
+	Run: func(ctx context.Context, in bindIn) (*bindArtifact, error) {
 		g, s, rb := in.fe.g, in.fe.s, in.rba.rb
 		var res *binding.Result
 		var rt time.Duration
+		var engRep *core.Report
 		switch in.spec.algo {
 		case "hlpower":
 			opt := core.DefaultOptions(in.spec.table)
@@ -377,11 +400,13 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			opt.BetaAdd, opt.BetaMult = in.spec.betaAdd, in.spec.betaMult
 			opt.MergesPerIteration = in.spec.mergesPerIter
 			opt.Swap = in.rba.swap
+			opt.Workers = in.spec.workers
 			r, rep, err := core.Bind(g, s, rb, in.rc, opt)
 			if err != nil {
 				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 			}
-			res, rt = r, rep.Runtime
+			res, rt, engRep = r, rep.Runtime, rep
+			emitIterSpans(ctx, in.name, in.spec.label(), rep)
 		case "lopass":
 			r, rep, err := lopass.Bind(g, s, rb, in.rc, lopass.Options{Swap: in.rba.swap, Table: in.spec.table})
 			if err != nil {
@@ -403,9 +428,46 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			binding.OptimizePorts(g, rb, res)
 		}
 		fp := pipeline.NewHasher().Str(in.rba.fp).Str(resFP(res)).Sum()
-		return &bindArtifact{res: res, bindTime: rt, fp: fp}, nil
+		return &bindArtifact{
+			res: res, bindTime: rt,
+			bench: in.name, algo: in.spec.label(), rep: engRep,
+			fp: fp,
+		}, nil
 	},
 	Size: func(a *bindArtifact) int { return len(a.res.FUs) },
+}
+
+// StageBindIter is the sub-span name the bind stage records once per
+// engine merge round. These spans appear in traces only (they are not a
+// pipeline stage and carry no cache key of their own).
+const StageBindIter = "bind.iter"
+
+// emitIterSpans records one bind.iter span per engine merge round into
+// the traces of the executing stage call. Spans ride the compute path,
+// so a cached binding never re-emits them.
+func emitIterSpans(ctx context.Context, bench, algo string, rep *core.Report) {
+	for _, it := range rep.Iters {
+		ratio := 0.0
+		if total := it.EdgesScored + it.EdgesReused; total > 0 {
+			ratio = float64(it.EdgesScored) / float64(total)
+		}
+		pipeline.AddSpan(ctx, pipeline.Span{
+			Stage:      StageBindIter,
+			Key:        fmt.Sprintf("%s/%s#%d", bench, algo, it.Iter),
+			DurationNs: it.ScoreNs + it.SolveNs,
+			Attrs: map[string]float64{
+				"iter":         float64(it.Iter),
+				"u_nodes":      float64(it.UNodes),
+				"v_nodes":      float64(it.VNodes),
+				"edges_scored": float64(it.EdgesScored),
+				"edges_reused": float64(it.EdgesReused),
+				"merges":       float64(it.Merges),
+				"invalidation": ratio,
+				"score_ns":     float64(it.ScoreNs),
+				"solve_ns":     float64(it.SolveNs),
+			},
+		})
+	}
 }
 
 // stageDatapath selects module architectures (optional) and elaborates

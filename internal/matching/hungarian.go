@@ -23,7 +23,75 @@ type Edge struct {
 //
 // Weights must be finite; non-positive-weight edges are never selected.
 // Runs the O(n^3) Hungarian algorithm on a padded square matrix.
+//
+// Each call allocates fresh working matrices; iterative callers (the
+// binding engine solves one matching per merge round) should hold a
+// Solver and reuse its buffers across solves.
 func MaxWeight(nU, nV int, edges []Edge) (matchU []int, total float64) {
+	return NewSolver().MaxWeight(nU, nV, edges)
+}
+
+// Solver runs maximum-weight bipartite matchings with reusable working
+// storage: the padded square cost matrix, the real-edge mask, and the
+// Hungarian potential/augmentation arrays are grown once to the largest
+// problem seen and recycled across solves. A Solver is not safe for
+// concurrent use; results are identical to the package-level MaxWeight
+// for every solve.
+type Solver struct {
+	n        int       // current padded dimension
+	cost     []float64 // n*n row-major: negative weight for minimization
+	real     []bool    // n*n row-major: true where a real edge exists
+	u, v     []float64 // Hungarian potentials (1-based, n+1)
+	p, way   []int     // column assignment and augmenting-path links
+	minv     []float64
+	used     []bool
+	assigned []int // scratch for the row -> column result
+}
+
+// NewSolver returns an empty solver; buffers grow on first use.
+func NewSolver() *Solver {
+	return &Solver{}
+}
+
+// grow sizes (and clears) the working storage for an n x n problem.
+func (s *Solver) grow(n int) {
+	s.n = n
+	if cap(s.cost) < n*n {
+		s.cost = make([]float64, n*n)
+		s.real = make([]bool, n*n)
+	}
+	s.cost = s.cost[:n*n]
+	s.real = s.real[:n*n]
+	for i := range s.cost {
+		s.cost[i] = 0
+		s.real[i] = false
+	}
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+		s.v = make([]float64, n+1)
+		s.p = make([]int, n+1)
+		s.way = make([]int, n+1)
+		s.minv = make([]float64, n+1)
+		s.used = make([]bool, n+1)
+		s.assigned = make([]int, n)
+	}
+	s.u = s.u[:n+1]
+	s.v = s.v[:n+1]
+	s.p = s.p[:n+1]
+	s.way = s.way[:n+1]
+	s.minv = s.minv[:n+1]
+	s.used = s.used[:n+1]
+	s.assigned = s.assigned[:n]
+	for j := 0; j <= n; j++ {
+		s.u[j], s.v[j] = 0, 0
+		s.p[j], s.way[j] = 0, 0
+	}
+}
+
+// MaxWeight solves one matching with the solver's buffers. The returned
+// matchU slice is freshly allocated (safe to retain); everything else is
+// recycled on the next call.
+func (s *Solver) MaxWeight(nU, nV int, edges []Edge) (matchU []int, total float64) {
 	matchU = make([]int, nU)
 	for i := range matchU {
 		matchU[i] = -1
@@ -35,65 +103,56 @@ func MaxWeight(nU, nV int, edges []Edge) (matchU []int, total float64) {
 	if nV > n {
 		n = nV
 	}
-	// cost[i][j]: negative weight for minimization; 0 for dummy pairs so
+	s.grow(n)
+	// cost[i*n+j]: negative weight for minimization; 0 for dummy pairs so
 	// "unmatched" is free.
-	cost := make([][]float64, n)
-	for i := range cost {
-		cost[i] = make([]float64, n)
-	}
-	real := make([][]bool, n)
-	for i := range real {
-		real[i] = make([]bool, n)
-	}
 	for _, e := range edges {
 		if e.U < 0 || e.U >= nU || e.V < 0 || e.V >= nV {
 			panic("matching: edge endpoint out of range")
 		}
-		if e.W > 0 && -e.W < cost[e.U][e.V] {
-			cost[e.U][e.V] = -e.W
-			real[e.U][e.V] = true
+		if e.W > 0 && -e.W < s.cost[e.U*n+e.V] {
+			s.cost[e.U*n+e.V] = -e.W
+			s.real[e.U*n+e.V] = true
 		}
 	}
 
-	assignment := solveAssignment(cost)
+	s.solveAssignment()
 	for i := 0; i < nU; i++ {
-		j := assignment[i]
-		if j >= 0 && j < nV && real[i][j] {
+		j := s.assigned[i]
+		if j >= 0 && j < nV && s.real[i*n+j] {
 			matchU[i] = j
-			total += -cost[i][j]
+			total += -s.cost[i*n+j]
 		}
 	}
 	return matchU, total
 }
 
 // solveAssignment solves the square min-cost assignment problem with the
-// standard potentials-based Hungarian algorithm (O(n^3)). Returns for
-// each row its assigned column.
-func solveAssignment(a [][]float64) []int {
-	n := len(a)
+// standard potentials-based Hungarian algorithm (O(n^3)), leaving each
+// row's assigned column in s.assigned.
+func (s *Solver) solveAssignment() {
+	n := s.n
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1) // p[j]: row assigned to column j (1-based rows)
-	way := make([]int, n+1)
+	a, u, v, p, way := s.cost, s.u, s.v, s.p, s.way
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
+		minv, used := s.minv, s.used
 		for j := 0; j <= n; j++ {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
 			i0 := p[j0]
 			delta := inf
 			j1 := -1
+			row := a[(i0-1)*n:]
 			for j := 1; j <= n; j++ {
 				if used[j] {
 					continue
 				}
-				cur := a[i0-1][j-1] - u[i0] - v[j]
+				cur := row[j-1] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -122,11 +181,12 @@ func solveAssignment(a [][]float64) []int {
 			j0 = j1
 		}
 	}
-	res := make([]int, n)
+	for i := range s.assigned {
+		s.assigned[i] = 0
+	}
 	for j := 1; j <= n; j++ {
 		if p[j] > 0 {
-			res[p[j]-1] = j - 1
+			s.assigned[p[j]-1] = j - 1
 		}
 	}
-	return res
 }

@@ -265,3 +265,57 @@ func BenchmarkMaxWeight50x50(b *testing.B) {
 		MaxWeight(50, 50, edges)
 	}
 }
+
+// TestSolverReuseMatchesMaxWeight drives one Solver through a sequence
+// of random problems of varying (and shrinking) dimensions — the shape
+// of the binding engine's iteration loop — and requires every solve to
+// match a fresh package-level MaxWeight bit for bit.
+func TestSolverReuseMatchesMaxWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSolver()
+	for trial := 0; trial < 60; trial++ {
+		nU, nV := 1+rng.Intn(12), 1+rng.Intn(20)
+		var edges []Edge
+		for u := 0; u < nU; u++ {
+			for v := 0; v < nV; v++ {
+				if rng.Intn(3) != 0 {
+					// Mix duplicates and non-positive weights in: both are
+					// part of MaxWeight's contract.
+					w := rng.Float64()*10 - 1
+					edges = append(edges, Edge{u, v, w})
+					if rng.Intn(8) == 0 {
+						edges = append(edges, Edge{u, v, w / 2})
+					}
+				}
+			}
+		}
+		wantM, wantT := MaxWeight(nU, nV, edges)
+		gotM, gotT := s.MaxWeight(nU, nV, edges)
+		if gotT != wantT {
+			t.Fatalf("trial %d: total %v, want %v", trial, gotT, wantT)
+		}
+		for i := range wantM {
+			if gotM[i] != wantM[i] {
+				t.Fatalf("trial %d: matchU[%d] = %d, want %d", trial, i, gotM[i], wantM[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSolverReuse50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var edges []Edge
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			if rng.Intn(3) != 0 {
+				edges = append(edges, Edge{u, v, rng.Float64() * 100})
+			}
+		}
+	}
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MaxWeight(50, 50, edges)
+	}
+}

@@ -20,6 +20,9 @@ type Span struct {
 	// Size is the stage's artifact size metric (stage-defined: nodes,
 	// LUTs, transition count, ...). 0 when the stage defines none.
 	Size int `json:"size,omitempty"`
+	// Attrs carries stage-defined numeric detail (e.g. the bind stage's
+	// per-iteration scoring counters). Nil for plain stage spans.
+	Attrs map[string]float64 `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's wall-clock duration.
@@ -101,11 +104,16 @@ func (s Stage[In, Out]) Exec(ctx context.Context, c *Cache, in In, traces ...*Tr
 	var out Out
 	var err error
 	hit := false
+	// Run under a context carrying the call's traces so the stage body
+	// can emit sub-spans (AddSpan). They ride the compute path only: a
+	// cache hit never re-enters Run, so sub-spans are recorded exactly
+	// once per computed artifact.
+	rctx := WithTraces(ctx, traces...)
 	if c == nil || key == "" {
-		out, err = s.runSafe(ctx, in, key, sc)
+		out, err = s.runSafe(rctx, in, key, sc)
 	} else {
 		var v any
-		v, hit, err = c.Do(ctx, s.Name, key, func() (any, error) { return s.runSafe(ctx, in, key, sc) })
+		v, hit, err = c.Do(ctx, s.Name, key, func() (any, error) { return s.runSafe(rctx, in, key, sc) })
 		if err == nil {
 			out = v.(Out)
 		}

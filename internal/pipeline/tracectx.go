@@ -1,0 +1,30 @@
+package pipeline
+
+import "context"
+
+// tracesCtxKey carries a stage execution's traces through the context,
+// so the stage body can record sub-spans without threading trace
+// arguments through every layer.
+type tracesCtxKey struct{}
+
+// WithTraces returns a context carrying the traces for AddSpan. Exec
+// installs it around each compute, replacing any traces an outer stage
+// installed, so sub-spans always land in the traces of the stage
+// actually running.
+func WithTraces(ctx context.Context, traces ...*Trace) context.Context {
+	if len(traces) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, tracesCtxKey{}, traces)
+}
+
+// AddSpan records a span into every trace carried by the context; with
+// none attached it is a no-op. Stage bodies use it for finer-grained
+// observability than the one span Exec records — e.g. the bind stage's
+// per-merge-round spans.
+func AddSpan(ctx context.Context, sp Span) {
+	trs, _ := ctx.Value(tracesCtxKey{}).([]*Trace)
+	for _, tr := range trs {
+		tr.Add(sp)
+	}
+}

@@ -221,23 +221,39 @@ func (t *Table) PrecomputeCtx(ctx context.Context, maxMux, jobs int) error {
 			}
 		}
 	}
+	_, err := t.GetBatch(ctx, keys, jobs)
+	return err
+}
+
+// GetBatch returns the SA values for keys in order, computing missing
+// entries concurrently on up to jobs workers (jobs <= 0 selects
+// GOMAXPROCS). This is the binding engine's scoring-round prefetch: one
+// call resolves every distinct mux shape a round demands, overlapping
+// the expensive netgen -> mapper characterizations instead of paying
+// them serially edge by edge. Values are identical to sequential Get
+// calls for any worker count, mux sizes are clamped to >= 1 like GetE,
+// and concurrent misses on one key still share a single computation.
+// On failure the first error in key order (deterministic for any worker
+// count) is returned; completed entries remain cached.
+func (t *Table) GetBatch(ctx context.Context, keys []Key, jobs int) ([]float64, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if jobs > len(keys) {
 		jobs = len(keys)
 	}
+	vals := make([]float64, len(keys))
 	errs := make([]error, len(keys))
-	fill := func(i int) error {
+	fill := func(i int) {
 		if err := ctx.Err(); err != nil {
-			return err
+			errs[i] = err
+			return
 		}
-		_, err := t.GetE(ctx, keys[i].Kind, keys[i].KL, keys[i].KR)
-		return err
+		vals[i], errs[i] = t.GetE(ctx, keys[i].Kind, keys[i].KL, keys[i].KR)
 	}
 	if jobs <= 1 {
 		for i := range keys {
-			errs[i] = fill(i)
+			fill(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -251,7 +267,7 @@ func (t *Table) PrecomputeCtx(ctx context.Context, maxMux, jobs int) error {
 					if i >= len(keys) {
 						return
 					}
-					errs[i] = fill(i)
+					fill(i)
 				}
 			}()
 		}
@@ -259,10 +275,10 @@ func (t *Table) PrecomputeCtx(ctx context.Context, maxMux, jobs int) error {
 	}
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return vals, nil
 }
 
 // Save writes the table as a text file (one "kind kl kr sa" row per

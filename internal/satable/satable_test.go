@@ -1,6 +1,7 @@
 package satable
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -155,4 +156,46 @@ func BenchmarkTableHitVsCompute(b *testing.B) {
 			fresh.Get(netgen.FUMult, 4, 4)
 		}
 	})
+}
+
+// TestGetBatchMatchesSequentialGet checks the batch prefetch contract:
+// values identical to serial Gets at every worker count, duplicate and
+// unclamped keys included, with misses counted once per unique key.
+func TestGetBatchMatchesSequentialGet(t *testing.T) {
+	keys := []Key{
+		{Kind: netgen.FUAdd, KL: 1, KR: 2},
+		{Kind: netgen.FUMult, KL: 2, KR: 1},
+		{Kind: netgen.FUAdd, KL: 2, KR: 2},
+		{Kind: netgen.FUAdd, KL: 1, KR: 2},  // duplicate
+		{Kind: netgen.FUAdd, KL: 0, KR: -1}, // clamps to (1,1)
+	}
+	ref := New(4, EstimatorGlitch)
+	want := make([]float64, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Get(k.Kind, k.KL, k.KR)
+	}
+	for _, jobs := range []int{1, 4} {
+		tb := New(4, EstimatorGlitch)
+		got, err := tb.GetBatch(context.Background(), keys, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range keys {
+			if got[i] != want[i] {
+				t.Fatalf("jobs=%d: keys[%d] = %v, want %v", jobs, i, got[i], want[i])
+			}
+		}
+		if tb.Misses() != 4 { // 4 unique keys after clamping/dedup
+			t.Fatalf("jobs=%d: misses = %d, want 4", jobs, tb.Misses())
+		}
+	}
+}
+
+func TestGetBatchCancellation(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tb.GetBatch(ctx, []Key{{Kind: netgen.FUAdd, KL: 1, KR: 1}}, 2); err == nil {
+		t.Fatal("cancelled batch should fail")
+	}
 }
