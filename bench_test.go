@@ -13,9 +13,13 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/logic"
 	"repro/internal/lopass"
+	"repro/internal/mapper"
+	"repro/internal/netgen"
 	"repro/internal/regbind"
 	"repro/internal/satable"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -213,6 +217,60 @@ func BenchmarkBind(b *testing.B) {
 			}
 			b.ReportMetric(float64(scored), "edges-scored/op")
 			b.ReportMetric(float64(reused), "edges-reused/op")
+		})
+	}
+}
+
+// BenchmarkSim measures the simulation stage across mapped netlist
+// sizes: the scalar reference engine vs the word-parallel 64-lane
+// engine the flow runs (small/medium = combinational array
+// multipliers, large = a latched pipelined multiplier). cycles/sec is
+// the throughput metric; transitions/op records the (engine-identical)
+// workload so runs are comparable. CI runs this once as a smoke test.
+func BenchmarkSim(b *testing.B) {
+	const vectors = 256
+	for _, tc := range []struct {
+		size string
+		net  *logic.Network
+	}{
+		{"small", netgen.MultiplierNetwork(6)},
+		{"medium", netgen.MultiplierNetwork(8)},
+		{"large", netgen.PipelinedMultiplierNetwork(12, 2)},
+	} {
+		tc := tc
+		res, err := mapper.Map(tc.net, mapper.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vec := sim.RandomVectors(len(res.Mapped.Inputs), vectors, 1)
+		report := func(b *testing.B, c sim.Counts) {
+			b.ReportMetric(float64(int64(b.N)*vectors)/b.Elapsed().Seconds(), "cycles/sec")
+			b.ReportMetric(float64(c.Total()), "transitions/op")
+		}
+		b.Run(tc.size+"/scalar", func(b *testing.B) {
+			s, err := sim.NewWithDelays(res.Mapped, sim.DelayHeterogeneous, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var c sim.Counts
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				c = s.RunVectors(vec)
+			}
+			report(b, c)
+		})
+		b.Run(tc.size+"/word", func(b *testing.B) {
+			w, err := sim.NewWordWithDelays(res.Mapped, sim.DelayHeterogeneous, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var c sim.Counts
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c = w.RunVectors(vec, 0)
+			}
+			report(b, c)
 		})
 	}
 }

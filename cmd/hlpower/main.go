@@ -14,9 +14,12 @@
 //
 // Common flags: -width, -vectors, -alpha, -benchset (comma-separated
 // benchmark subset), -loadsatable FILE, -j N (parallel workers for the
-// sweep and the binding engine's edge scoring; every run is
-// independently seeded and bindings are bit-identical at every worker
-// count, so the output is identical for any -j), -trace FILE (write
+// sweep, the binding engine's edge scoring, and the word-parallel
+// simulator's lane groups; every run is independently seeded and both
+// bindings and transition counts are bit-identical at every worker
+// count, so the output is identical for any -j), -simjobs N (override
+// the simulator's worker count independently of -j; -1, the default,
+// follows -j), -trace FILE (write
 // pipeline stage spans as JSON to FILE, or "-" for stdout, and print a
 // per-stage cache summary to stderr), -bindstats FILE (write the
 // binding engine's per-run reports — edges scored vs reused,
@@ -68,6 +71,7 @@ func main() {
 		loadTable = flag.String("loadsatable", "", "load a precomputed SA table from FILE")
 		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
+		simJobs   = flag.Int("simjobs", -1, "simulation lane-group workers (0 = GOMAXPROCS, -1 = follow -j)")
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
 		bindStats = flag.String("bindstats", "", "write the binding engine's per-run statistics as JSON to FILE (\"-\" = stdout)")
@@ -138,6 +142,10 @@ func main() {
 	}
 
 	cfg.BindJobs = *jobs
+	cfg.SimJobs = *jobs
+	if *simJobs >= 0 {
+		cfg.SimJobs = *simJobs
+	}
 	se := flow.NewSession(cfg)
 	se.Jobs = *jobs
 	if *benchset != "" {

@@ -108,6 +108,11 @@ type Config struct {
 	// GOMAXPROCS, 1 = serial). Non-semantic: bindings are bit-identical
 	// at every setting, so it is excluded from stage cache keys.
 	BindJobs int
+	// SimJobs is the word-parallel simulator's lane-group worker-pool
+	// size (0 = GOMAXPROCS, 1 = serial). Non-semantic: Counts and
+	// NodeTransitions are bit-identical at every setting, so it is
+	// excluded from stage cache keys.
+	SimJobs int
 }
 
 // DefaultConfig returns the configuration the reproduction's experiments

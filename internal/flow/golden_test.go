@@ -3,6 +3,7 @@ package flow
 import (
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -48,4 +49,17 @@ func TestGoldenPr(t *testing.T) {
 	}
 	check("LOPASS", lo, wantLo)
 	check("HLPower", hi, wantHi)
+
+	// Transition counts (and therefore the power report, a pure function
+	// of them) are pinned too: the measurement flow runs the word-
+	// parallel engine, and these are the numbers the scalar reference
+	// produced before the switch — the engines must stay bit-identical.
+	wantLoCounts := sim.Counts{Gate: 1018, GateFunctional: 474, Latch: 113, Cycles: 10}
+	wantHiCounts := sim.Counts{Gate: 1021, GateFunctional: 509, Latch: 102, Cycles: 10}
+	if lo.Counts != wantLoCounts {
+		t.Errorf("LOPASS counts %+v, want %+v", lo.Counts, wantLoCounts)
+	}
+	if hi.Counts != wantHiCounts {
+		t.Errorf("HLPower counts %+v, want %+v", hi.Counts, wantHiCounts)
+	}
 }

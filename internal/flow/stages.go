@@ -304,6 +304,9 @@ type simIn struct {
 	delaySeed  int64
 	vectors    int
 	vectorSeed int64
+	// simJobs is the word engine's worker count. Non-semantic (counts
+	// are bit-identical at every setting), so simKey excludes it.
+	simJobs int
 }
 
 type powerIn struct {
@@ -532,13 +535,18 @@ var stageSim = pipeline.Stage[simIn, sim.Counts]{
 	Key:   simKey,
 	Scope: func(in simIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
 	Run: func(ctx context.Context, in simIn) (sim.Counts, error) {
-		sr, err := sim.NewWithDelays(in.ma.m.Mapped, in.delay, in.delaySeed)
+		// The word-parallel engine is bit-identical to the scalar
+		// Simulator in every count (see internal/sim/word.go and its
+		// equivalence tests), so the measurement flow runs it; the
+		// scalar engine remains the reference path for VCD dumps and
+		// oracle tests. RunRandomCtx checks ctx inside the run, so a
+		// sweep under -timeout or Ctrl-C never waits out a long
+		// vector run.
+		sr, err := sim.NewWordWithDelays(in.ma.m.Mapped, in.delay, in.delaySeed)
 		if err != nil {
 			return sim.Counts{}, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 		}
-		// RunRandomCtx checks ctx at every vector boundary, so a sweep
-		// under -timeout or Ctrl-C never waits out a long vector run.
-		return sr.RunRandomCtx(ctx, in.vectors, in.vectorSeed)
+		return sr.RunRandomCtx(ctx, in.vectors, in.vectorSeed, in.simJobs)
 	},
 	Size: func(c sim.Counts) int { return int(c.Gate + c.Latch) },
 }
@@ -580,6 +588,7 @@ func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sche
 		name: name, binder: binderName, ma: ma,
 		delay: cfg.Delay, delaySeed: cfg.DelaySeed,
 		vectors: cfg.Vectors, vectorSeed: cfg.VectorSeed,
+		simJobs: cfg.SimJobs,
 	}
 	counts, err := stageSim.Exec(ctx, cache, sin, trs...)
 	if err != nil {

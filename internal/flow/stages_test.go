@@ -23,7 +23,11 @@ import (
 
 // runScheduledMonolithic is the pre-refactor single-function pipeline,
 // kept verbatim as the behavioural reference: the staged pipeline must
-// produce identical Results (TestStagedMatchesMonolithic).
+// produce identical Results (TestStagedMatchesMonolithic). It
+// deliberately runs the scalar sim.Simulator while the staged sim
+// stage runs the word-parallel engine, so the equivalence sweep is
+// also the full-flow proof that the two engines yield identical counts
+// and power on every benchmark.
 func runScheduledMonolithic(g *cdfg.Graph, name string, s *cdfg.Schedule, rc cdfg.ResourceConstraint, b Binder, cfg Config) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("flow: %s: %w", name, err)
@@ -148,6 +152,57 @@ func TestStagedMatchesMonolithic(t *testing.T) {
 					p.Name, b.Name, project(staged), project(mono))
 			}
 		}
+	}
+}
+
+// TestSimJobsInvariance runs the same benchmark in fresh sessions at
+// several SimJobs settings and requires identical Counts and power:
+// the worker count is a pure throughput knob, never a semantic one.
+// It also pins SimJobs out of the sim cache key — a Derive'd session
+// differing only in SimJobs must serve sim from cache.
+func TestSimJobsInvariance(t *testing.T) {
+	cfg := testConfig()
+	cfg.Vectors = 100
+	cfg = cfg.Normalize()
+	pr, _ := workload.ByName("pr")
+
+	var ref *Result
+	for _, jobs := range []int{1, 3, 8} {
+		c := cfg
+		c.SimJobs = jobs
+		se := NewSession(c)
+		se.Benchmarks = []workload.Profile{pr}
+		r, err := se.Run(bgc, pr, BinderHLPower05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if r.Counts != ref.Counts {
+			t.Errorf("SimJobs=%d: counts %+v, want %+v", jobs, r.Counts, ref.Counts)
+		}
+		if r.Power != ref.Power {
+			t.Errorf("SimJobs=%d: power %+v, want %+v", jobs, r.Power, ref.Power)
+		}
+	}
+
+	base := NewSession(cfg)
+	base.Benchmarks = []workload.Profile{pr}
+	if _, err := base.Run(bgc, pr, BinderHLPower05); err != nil {
+		t.Fatal(err)
+	}
+	mut := cfg
+	mut.SimJobs = 7
+	se := base.Derive(mut)
+	before := se.StageStats()
+	if _, err := se.Run(bgc, pr, BinderHLPower05); err != nil {
+		t.Fatal(err)
+	}
+	d := statsDelta(before, se.StageStats())
+	if got := d[StageSim]; got != (pipeline.Stats{Hits: 1}) {
+		t.Errorf("SimJobs change: sim stage delta %+v, want a pure cache hit", got)
 	}
 }
 

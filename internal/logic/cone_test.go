@@ -1,0 +1,58 @@
+package logic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// TestLatchCones covers the cone/dependency analysis on a two-stage
+// structure: in -> g0 -> L0 -> g1 -> L1, plus a latch fed directly by
+// another latch's Q (no gates in its cone).
+func TestLatchCones(t *testing.T) {
+	net := NewNetwork("cones")
+	in := net.AddInput("in")
+	q0 := net.AddLatch("q0", false)
+	q1 := net.AddLatch("q1", false)
+	q2 := net.AddLatch("q2", false)
+	buf := bitvec.FromFunc(1, func(m uint) bool { return m == 1 })
+	g0 := net.AddGate("g0", buf, in)
+	g1 := net.AddGate("g1", buf, q0)
+	net.ConnectLatch(q0, g0)
+	net.ConnectLatch(q1, g1)
+	net.ConnectLatch(q2, q1)
+	net.MarkOutput("out", q2)
+
+	c := net.LatchCones()
+	if want := [][]int{{g0}, {g1}, nil}; !reflect.DeepEqual(c.Gates, want) {
+		t.Errorf("Gates = %v, want %v", c.Gates, want)
+	}
+	if want := [][]int{nil, {0}, {1}}; !reflect.DeepEqual(c.Deps, want) {
+		t.Errorf("Deps = %v, want %v", c.Deps, want)
+	}
+}
+
+// TestLatchConesSharedGate: one gate feeding two latch D pins shows up
+// in both cones, and a self-loop (q -> q) reports the self dependency.
+func TestLatchConesSharedGate(t *testing.T) {
+	net := NewNetwork("shared")
+	in := net.AddInput("in")
+	qa := net.AddLatch("qa", false)
+	qb := net.AddLatch("qb", false)
+	qc := net.AddLatch("qc", false)
+	and := bitvec.FromFunc(2, func(m uint) bool { return m == 3 })
+	g := net.AddGate("g", and, in, qc)
+	net.ConnectLatch(qa, g)
+	net.ConnectLatch(qb, g)
+	net.ConnectLatch(qc, qc)
+	net.MarkOutput("out", g)
+
+	c := net.LatchCones()
+	if want := [][]int{{g}, {g}, nil}; !reflect.DeepEqual(c.Gates, want) {
+		t.Errorf("Gates = %v, want %v", c.Gates, want)
+	}
+	if want := [][]int{{2}, {2}, {2}}; !reflect.DeepEqual(c.Deps, want) {
+		t.Errorf("Deps = %v, want %v", c.Deps, want)
+	}
+}

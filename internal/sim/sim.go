@@ -9,7 +9,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/logic"
 )
@@ -55,7 +54,10 @@ const (
 	DelayHeterogeneous
 )
 
-// Simulator simulates one network. Not safe for concurrent use.
+// Simulator simulates one network, one bool per signal per event — the
+// reference engine. VCD dumping and the oracle tests run here; the
+// measurement flow runs the bit-identical WordSimulator (word.go),
+// which packs 64 cycles per machine word. Not safe for concurrent use.
 type Simulator struct {
 	net     *logic.Network
 	fanouts [][]int
@@ -68,8 +70,13 @@ type Simulator struct {
 
 	counts Counts
 
-	// scratch
-	startVal []bool
+	// startVal holds, for every gate in dirty, its value at the start of
+	// the current cycle, recorded lazily at the gate's first transition.
+	// Only transitioned gates can end a cycle away from their start
+	// value, so settleCounts walks dirty instead of scanning all nodes.
+	startVal  []bool
+	dirty     []int
+	dirtySeen []uint64
 
 	// Event queue: gate delays are bounded by maxDelay, so at any
 	// simulated time t every pending event lies in (t, t+maxDelay] and a
@@ -117,35 +124,42 @@ func NewWithDelays(net *logic.Network, model DelayModel, seed int64) (*Simulator
 	s := &Simulator{
 		net:             net,
 		fanouts:         net.Fanouts(),
-		delays:          make([]int, net.NumNodes()),
 		NodeTransitions: make([]int64, net.NumNodes()),
 		startVal:        make([]bool, net.NumNodes()),
 	}
-	for id := range s.delays {
-		s.delays[id] = 1
+	s.delays, s.maxDelay = assignDelays(net, model, seed)
+	s.ring = make([][]event, s.maxDelay+1)
+	n := net.NumNodes()
+	s.futureVal = make([]bool, n)
+	s.futureSeen = make([]uint64, n)
+	s.evalSeen = make([]uint64, n)
+	s.dirtySeen = make([]uint64, n)
+	s.dVals = make([]bool, len(net.Latches))
+	s.Reset()
+	return s, nil
+}
+
+// assignDelays computes the per-node propagation delays of a delay model
+// and their maximum. Shared by the scalar and word engines so the two
+// can never drift on timing.
+func assignDelays(net *logic.Network, model DelayModel, seed int64) (delays []int, maxDelay int) {
+	delays = make([]int, net.NumNodes())
+	maxDelay = 1
+	for id := range delays {
+		delays[id] = 1
 		if model == DelayHeterogeneous {
 			// Deterministic per-node jitter (splitmix-style hash).
 			h := uint64(id)*0x9E3779B97F4A7C15 + uint64(seed)*0xBF58476D1CE4E5B9
 			h ^= h >> 31
 			h *= 0x94D049BB133111EB
 			h ^= h >> 27
-			s.delays[id] = 1 + int(h%3)
+			delays[id] = 1 + int(h%3)
 		}
-		if s.delays[id] > s.maxDelay {
-			s.maxDelay = s.delays[id]
+		if delays[id] > maxDelay {
+			maxDelay = delays[id]
 		}
 	}
-	if s.maxDelay < 1 {
-		s.maxDelay = 1
-	}
-	s.ring = make([][]event, s.maxDelay+1)
-	n := net.NumNodes()
-	s.futureVal = make([]bool, n)
-	s.futureSeen = make([]uint64, n)
-	s.evalSeen = make([]uint64, n)
-	s.dVals = make([]bool, len(net.Latches))
-	s.Reset()
-	return s, nil
+	return delays, maxDelay
 }
 
 // Reset restores the power-on state, clears counters, and detaches any
@@ -162,6 +176,7 @@ func (s *Simulator) Reset() {
 		s.ring[i] = s.ring[i][:0]
 	}
 	s.npending = 0
+	s.dirty = s.dirty[:0]
 }
 
 // Counts returns the accumulated transition counts.
@@ -179,7 +194,7 @@ func (s *Simulator) Step(inputs []bool) {
 	if len(inputs) != len(s.net.Inputs) {
 		panic("sim: input vector length mismatch")
 	}
-	copy(s.startVal, s.val)
+	s.dirty = s.dirty[:0]
 	s.stepGen++
 
 	// Time 0: latch outputs and primary inputs change together. Latch
@@ -230,6 +245,13 @@ func (s *Simulator) Step(inputs []bool) {
 			if s.val[e.node] == e.v {
 				continue
 			}
+			// First transition this cycle: record the cycle-start value
+			// settleCounts compares against (events touch gates only).
+			if s.dirtySeen[e.node] != s.stepGen {
+				s.dirtySeen[e.node] = s.stepGen
+				s.startVal[e.node] = s.val[e.node]
+				s.dirty = append(s.dirty, e.node)
+			}
 			s.val[e.node] = e.v
 			s.counts.Gate++
 			s.NodeTransitions[e.node]++
@@ -279,8 +301,10 @@ func (s *Simulator) evalFanouts(changed []int, t int) {
 
 func (s *Simulator) settleCounts() {
 	// Functional transitions: settled value differs from cycle start.
-	for _, nd := range s.net.Nodes {
-		if nd.Kind == logic.KindGate && s.val[nd.ID] != s.startVal[nd.ID] {
+	// Only gates that transitioned this cycle (the dirty set) can
+	// differ, so the scan is O(changed gates), not O(NumNodes).
+	for _, g := range s.dirty {
+		if s.val[g] != s.startVal[g] {
 			s.counts.GateFunctional++
 		}
 	}
@@ -302,16 +326,12 @@ func (s *Simulator) RunRandom(n int, seed int64) Counts {
 // so far. This is the simulation stage's cancellation point — a sweep
 // under -timeout or Ctrl-C never waits for a long vector run to finish.
 func (s *Simulator) RunRandomCtx(ctx context.Context, n int, seed int64) (Counts, error) {
-	rng := rand.New(rand.NewSource(seed))
-	in := make([]bool, len(s.net.Inputs))
+	vs := newVectorSource(len(s.net.Inputs), seed)
 	for c := 0; c < n; c++ {
 		if err := ctx.Err(); err != nil {
 			return s.counts, err
 		}
-		for i := range in {
-			in[i] = rng.Intn(2) == 0
-		}
-		s.Step(in)
+		s.Step(vs.next())
 	}
 	return s.counts, nil
 }
@@ -322,20 +342,4 @@ func (s *Simulator) RunVectors(vectors [][]bool) Counts {
 		s.Step(v)
 	}
 	return s.counts
-}
-
-// RandomVectors generates n reproducible input vectors for a network,
-// shared between designs under comparison (the paper reuses one .vwf
-// for LOPASS and HLPower solutions).
-func RandomVectors(numInputs, n int, seed int64) [][]bool {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([][]bool, n)
-	for c := range out {
-		v := make([]bool, numInputs)
-		for i := range v {
-			v[i] = rng.Intn(2) == 0
-		}
-		out[c] = v
-	}
-	return out
 }

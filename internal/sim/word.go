@@ -1,0 +1,689 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+)
+
+// WordSimulator is the word-parallel counterpart of Simulator: it packs
+// 64 independent clock cycles into the bit lanes of one uint64 per
+// signal and propagates events word-wise, producing Counts and
+// NodeTransitions bit-identical to the scalar engine at any worker
+// count.
+//
+// The engine exploits a structural property of transport-delay
+// simulation over an acyclic network: each cycle settles to the
+// zero-delay functional evaluation of its inputs and latch state
+// (asserted by TestStepMatchesZeroDelayEval). The only cross-cycle
+// dependency is therefore the latch trajectory, which a cheap
+// sequential pre-pass tracks by evaluating just the latch D-input cone
+// per cycle (nothing for combinational networks); each cycle's full
+// start state is then derived word-parallel inside the workers by one
+// levelized evaluation of the one-cycle-shifted stimulus, after which
+// the expensive glitch-counting event simulations of the cycles are
+// mutually independent and run 64 to a word, lane groups fanned across
+// a worker pool.
+//
+// Per-lane equivalence with the scalar engine holds because lanes never
+// mix under bitwise gate evaluation, the shared event times are a
+// superset of each lane's own change times (an event in a lane whose
+// inputs did not change carries that lane's current value and applies
+// as a no-op), and transitions are counted per lane with
+// popcount(new XOR old) masked to the group's active lanes.
+//
+// A WordSimulator holds no mutable simulation state between runs; each
+// Run* call is self-contained. It is not safe for concurrent use (the
+// run accumulates into shared counters), but a single run parallelizes
+// internally.
+type WordSimulator struct {
+	net      *logic.Network
+	fanouts  [][]int
+	delays   []int
+	maxDelay int
+	plans    []gatePlan
+	gateIDs  []int
+	// Latch-trajectory plan. When the latch dependency graph (latch A
+	// depends on latch B if B's Q is in A's D-input cone) is acyclic —
+	// every pipeline — the trajectory is computed word-parallel rank by
+	// rank: ranked is true, latchRanks[r] lists the latch indices of
+	// rank r, and rankGates[r] the cone gates first needed at rank r
+	// (ascending ID, topological). Otherwise coneOps holds the
+	// levelized per-cycle cone program the sequential fallback
+	// evaluates. Combinational networks need neither.
+	ranked     bool
+	latchRanks [][]int
+	rankGates  [][]int
+	coneOps    []coneOp
+	// constIDs/constVals list the constant sources once; their node
+	// values never change.
+	constIDs  []int
+	constVals []bool
+
+	// NodeTransitions holds the per-node transition tallies of the most
+	// recent run, indexed by node ID — same contract as
+	// Simulator.NodeTransitions.
+	NodeTransitions []int64
+
+	counts Counts
+}
+
+// coneOp is one levelized gate evaluation of the latch-cone program.
+// For gates of up to 6 inputs the truth table is the single word tt;
+// wider gates fall back to the full table.
+type coneOp struct {
+	id     int
+	fanins []int
+	tt     uint64
+	big    *bitvec.TruthTable
+}
+
+// gatePlan is the word-level evaluation plan of one gate: the minterm
+// expansion of its truth table over fanin words. minterms enumerates
+// the smaller polarity (the function's on-set, or its off-set with
+// invert) so evaluation cost is at most 2^(k-1) terms.
+type gatePlan struct {
+	isGate   bool
+	fanins   []int
+	minterms []uint16
+	invert   bool
+}
+
+func newGatePlan(nd *logic.Node) gatePlan {
+	p := gatePlan{isGate: true, fanins: nd.Fanins}
+	p.minterms, p.invert = nd.Func.CompactCover()
+	return p
+}
+
+// eval computes the gate's 64-lane output word from the fanin words.
+func (p *gatePlan) eval(val []uint64) uint64 {
+	var out uint64
+	for _, m := range p.minterms {
+		term := ^uint64(0)
+		for i, f := range p.fanins {
+			w := val[f]
+			if m>>uint(i)&1 == 0 {
+				w = ^w
+			}
+			term &= w
+		}
+		out |= term
+	}
+	if p.invert {
+		out = ^out
+	}
+	return out
+}
+
+// NewWord creates a unit-delay word-parallel simulator.
+func NewWord(net *logic.Network) (*WordSimulator, error) {
+	return NewWordWithDelays(net, DelayUnit, 0)
+}
+
+// NewWordWithDelays creates a word-parallel simulator under the given
+// delay model; (model, seed) select the same deterministic delay
+// assignment as the scalar NewWithDelays.
+func NewWordWithDelays(net *logic.Network, model DelayModel, seed int64) (*WordSimulator, error) {
+	if err := net.Check(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	w := &WordSimulator{
+		net:             net,
+		fanouts:         net.Fanouts(),
+		NodeTransitions: make([]int64, net.NumNodes()),
+		plans:           make([]gatePlan, net.NumNodes()),
+	}
+	w.delays, w.maxDelay = assignDelays(net, model, seed)
+	for _, nd := range net.Nodes {
+		switch nd.Kind {
+		case logic.KindGate:
+			w.plans[nd.ID] = newGatePlan(nd)
+			w.gateIDs = append(w.gateIDs, nd.ID)
+		case logic.KindConst:
+			w.constIDs = append(w.constIDs, nd.ID)
+			w.constVals = append(w.constVals, nd.ConstVal)
+		}
+	}
+	w.buildTrajectoryPlan()
+	return w, nil
+}
+
+// buildTrajectoryPlan analyzes the latch D-input cones — the only part
+// of the network that stands between one cycle's latch state and the
+// next. If the latch dependency graph is acyclic (pipelines always
+// are), latches are assigned longest-path ranks and each cone gate the
+// minimum rank that needs it, enabling the word-parallel ranked
+// trajectory of the pre-pass. Feedback (an FSM-style latch reachable
+// from its own Q) falls back to a levelized per-cycle cone program.
+// Combinational networks need no plan at all.
+func (w *WordSimulator) buildTrajectoryPlan() {
+	numL := len(w.net.Latches)
+	if numL == 0 {
+		return
+	}
+	cones := w.net.LatchCones()
+
+	// Longest-path latch ranks; a dependency cycle aborts to the
+	// sequential fallback.
+	const unranked, inProgress = -1, -2
+	rank := make([]int, numL)
+	for i := range rank {
+		rank[i] = unranked
+	}
+	acyclic := true
+	var rankOf func(i int) int
+	rankOf = func(i int) int {
+		if rank[i] == inProgress {
+			acyclic = false
+			return 0
+		}
+		if rank[i] >= 0 {
+			return rank[i]
+		}
+		rank[i] = inProgress
+		r := 0
+		for _, j := range cones.Deps[i] {
+			if rj := rankOf(j) + 1; rj > r {
+				r = rj
+			}
+			if !acyclic {
+				return 0
+			}
+		}
+		rank[i] = r
+		return r
+	}
+	maxRank := 0
+	for i := 0; i < numL && acyclic; i++ {
+		if r := rankOf(i); r > maxRank {
+			maxRank = r
+		}
+	}
+
+	// gateRank[id] is the minimum rank whose cones need gate id, or
+	// unranked for gates outside every cone.
+	gateRank := make([]int, w.net.NumNodes())
+	for id := range gateRank {
+		gateRank[id] = unranked
+	}
+	for i := 0; i < numL; i++ {
+		r := 0
+		if acyclic {
+			r = rank[i]
+		}
+		for _, id := range cones.Gates[i] {
+			if gateRank[id] == unranked || r < gateRank[id] {
+				gateRank[id] = r
+			}
+		}
+	}
+
+	if !acyclic {
+		// Sequential fallback: the levelized cone program evaluated
+		// once per cycle. Gates of up to 6 inputs inline their truth
+		// table into a single word.
+		for _, nd := range w.net.Nodes {
+			if nd.Kind != logic.KindGate || gateRank[nd.ID] == unranked {
+				continue
+			}
+			op := coneOp{id: nd.ID, fanins: nd.Fanins}
+			if nd.Func.NumVars() <= 6 {
+				for m := 0; m < nd.Func.Size(); m++ {
+					if nd.Func.Get(uint(m)) {
+						op.tt |= 1 << uint(m)
+					}
+				}
+			} else {
+				op.big = nd.Func
+			}
+			w.coneOps = append(w.coneOps, op)
+		}
+		return
+	}
+
+	w.ranked = true
+	w.latchRanks = make([][]int, maxRank+1)
+	for i := 0; i < numL; i++ {
+		w.latchRanks[rank[i]] = append(w.latchRanks[rank[i]], i)
+	}
+	// A gate is evaluated at the minimum rank whose cones need it; its
+	// fanins always have an equal or lower rank, so evaluating rank
+	// buckets in order, ascending IDs within each, is topological.
+	w.rankGates = make([][]int, maxRank+1)
+	for _, nd := range w.net.Nodes {
+		if nd.Kind != logic.KindGate || gateRank[nd.ID] == unranked {
+			continue
+		}
+		w.rankGates[gateRank[nd.ID]] = append(w.rankGates[gateRank[nd.ID]], nd.ID)
+	}
+}
+
+// Counts returns the transition counts of the most recent run.
+func (w *WordSimulator) Counts() Counts { return w.counts }
+
+// laneGroup is the pre-pass product for one block of up to 64
+// consecutive cycles: everything a lane-group event simulation needs,
+// with cycle base+L in bit lane L. Only stimulus words are stored —
+// per-node start words are derived inside the worker (see simGroup),
+// so the sequential pre-pass never touches the full node array.
+type laneGroup struct {
+	base  int // index of the first cycle in the group
+	lanes int // active lanes (1..64; the tail group may be partial)
+	// inputs and latchQ hold the cycle's primary-input vector and the
+	// latch outputs captured at its clock edge, indexed like
+	// Network.Inputs / Network.Latches.
+	inputs []uint64
+	latchQ []uint64
+	// startInputs and startLatch hold the same stimulus shifted one
+	// cycle back (lane L carries cycle base+L-1; cycle -1 is the
+	// power-on state: inputs low, latches at init). Zero-delay
+	// evaluation of this shifted stimulus yields each lane's start
+	// state — the previous cycle's settled values.
+	startInputs []uint64
+	startLatch  []uint64
+}
+
+// mask returns the active-lane mask transition counting applies.
+// Inactive tail lanes still simulate (as harmless all-zero cycles) but
+// never count.
+func (g *laneGroup) mask() uint64 {
+	if g.lanes >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(g.lanes) - 1
+}
+
+// prepass runs the sequential cycle-independence pre-pass. The only
+// true cross-cycle dependency is the latch trajectory, and the only
+// logic between one cycle's state and the next is the latch D-input
+// cone, so the sequential sweep evaluates just the cone program per
+// cycle (nothing at all for combinational networks) while packing the
+// stimulus words — both in-cycle (inputs, latchQ) and shifted one
+// cycle back (startInputs, startLatch). Everything else, including
+// each cycle's start-state derivation, runs lane-parallel in the
+// workers.
+func (w *WordSimulator) prepass(ctx context.Context, vectors [][]bool) ([]laneGroup, error) {
+	numIn := len(w.net.Inputs)
+	numL := len(w.net.Latches)
+	groups := make([]laneGroup, (len(vectors)+63)/64)
+	// inPrev/stPrev describe cycle c-1 — the cycle whose settled values
+	// are the start state of cycle c. Cycle -1 is the power-on state of
+	// Simulator.Reset: inputs low, latches at their init values.
+	inPrev := make([]bool, numIn)
+	stPrev := w.net.InitialLatchState()
+	stCur := make([]bool, numL)
+	seqCone := numL > 0 && !w.ranked
+	var coneVal []bool
+	if seqCone {
+		coneVal = make([]bool, w.net.NumNodes())
+		for i, id := range w.constIDs {
+			coneVal[id] = w.constVals[i]
+		}
+	}
+	for c, in := range vectors {
+		if len(in) != numIn {
+			panic("sim: input vector length mismatch")
+		}
+		g := &groups[c/64]
+		if c&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			g.base = c
+			g.inputs = make([]uint64, numIn)
+			g.startInputs = make([]uint64, numIn)
+			g.latchQ = make([]uint64, numL)
+			g.startLatch = make([]uint64, numL)
+		}
+		bit := uint64(1) << uint(c&63)
+		g.lanes++
+		for i := range in {
+			if inPrev[i] {
+				g.startInputs[i] |= bit
+			}
+			if in[i] {
+				g.inputs[i] |= bit
+			}
+		}
+		if seqCone {
+			// st_c is the D slice of cycle c-1's settled state — the
+			// two-phase capture of Step, reached through the cone
+			// program alone.
+			for i, id := range w.net.Inputs {
+				coneVal[id] = inPrev[i]
+			}
+			for i, q := range w.net.Latches {
+				coneVal[q] = stPrev[i]
+			}
+			for _, op := range w.coneOps {
+				var assign uint
+				for i, f := range op.fanins {
+					if coneVal[f] {
+						assign |= 1 << uint(i)
+					}
+				}
+				if op.big != nil {
+					coneVal[op.id] = op.big.Eval(assign)
+				} else {
+					coneVal[op.id] = op.tt>>assign&1 == 1
+				}
+			}
+			for i, q := range w.net.Latches {
+				stCur[i] = coneVal[w.net.Node(q).LatchInput]
+				if stPrev[i] {
+					g.startLatch[i] |= bit
+				}
+				if stCur[i] {
+					g.latchQ[i] |= bit
+				}
+			}
+			stPrev, stCur = stCur, stPrev
+		}
+		copy(inPrev, in)
+	}
+	if numL > 0 && w.ranked {
+		if err := w.rankedTrajectory(ctx, groups); err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+// rankedTrajectory computes the latch trajectory word-parallel for an
+// acyclic latch dependency graph. Rank-0 latch cones read only primary
+// inputs, so their D words fall out of one levelized word evaluation
+// over the shifted input stimulus; each latch's captured-Q word is its
+// D word, and shifting it one lane (with cross-group carry, lane 0 of
+// group 0 seeded from the init value) yields the st_{c-1} word the
+// next rank's cones read. Every cycle of a rank's trajectory is thus
+// computed 64 at a time — the pre-pass does no per-cycle logic
+// evaluation at all.
+func (w *WordSimulator) rankedTrajectory(ctx context.Context, groups []laneGroup) error {
+	numNodes := w.net.NumNodes()
+	init := w.net.InitialLatchState()
+	vals := make([][]uint64, len(groups))
+	for gi := range groups {
+		v := make([]uint64, numNodes)
+		for i, id := range w.constIDs {
+			if w.constVals[i] {
+				v[id] = ^uint64(0)
+			}
+		}
+		for i, id := range w.net.Inputs {
+			v[id] = groups[gi].startInputs[i]
+		}
+		vals[gi] = v
+	}
+	for r, gates := range w.rankGates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for gi := range groups {
+			v := vals[gi]
+			for _, id := range gates {
+				v[id] = w.plans[id].eval(v)
+			}
+		}
+		for _, li := range w.latchRanks[r] {
+			q := w.net.Latches[li]
+			d := w.net.Node(q).LatchInput
+			var carry uint64
+			if init[li] {
+				carry = 1
+			}
+			for gi := range groups {
+				g := &groups[gi]
+				t := vals[gi][d]
+				g.latchQ[li] = t
+				g.startLatch[li] = t<<1 | carry
+				carry = t >> 63
+				vals[gi][q] = g.startLatch[li]
+			}
+		}
+	}
+	return nil
+}
+
+// wordEvent is one scheduled 64-lane gate-output change.
+type wordEvent struct {
+	node int
+	w    uint64
+}
+
+// wordScratch is the per-worker reusable event-simulation state — the
+// word-level mirror of the scalar Simulator's scratch fields.
+type wordScratch struct {
+	// start holds the group's derived start-state words. Constant nodes
+	// are preset once at creation; input, latch, and gate slots are
+	// overwritten per group.
+	start      []uint64
+	val        []uint64
+	futureVal  []uint64
+	futureSeen []uint64
+	evalSeen   []uint64
+	stepGen    uint64
+	evalGen    uint64
+	ring       [][]wordEvent
+	npending   int
+	changed    []int
+}
+
+func (w *WordSimulator) newScratch() *wordScratch {
+	n := w.net.NumNodes()
+	sc := &wordScratch{
+		start:      make([]uint64, n),
+		val:        make([]uint64, n),
+		futureVal:  make([]uint64, n),
+		futureSeen: make([]uint64, n),
+		evalSeen:   make([]uint64, n),
+		ring:       make([][]wordEvent, w.maxDelay+1),
+	}
+	for i, id := range w.constIDs {
+		if w.constVals[i] {
+			sc.start[id] = ^uint64(0)
+		}
+	}
+	return sc
+}
+
+// simGroup event-simulates one lane group to settlement, accumulating
+// per-node tallies into trans and returning the group's counts.
+func (w *WordSimulator) simGroup(g *laneGroup, sc *wordScratch, trans []int64) Counts {
+	var c Counts
+	mask := g.mask()
+
+	// Derive the group's start state word-parallel: one levelized eval
+	// over the shifted stimulus gives each lane the settled values of
+	// its previous cycle — 64 cycles of start state for the price of
+	// one sweep. Ascending gateIDs are topological; consts are preset
+	// in the scratch.
+	start := sc.start
+	for i, id := range w.net.Inputs {
+		start[id] = g.startInputs[i]
+	}
+	for i, q := range w.net.Latches {
+		start[q] = g.startLatch[i]
+	}
+	for _, id := range w.gateIDs {
+		start[id] = w.plans[id].eval(start)
+	}
+	copy(sc.val, start)
+	sc.stepGen++
+	sc.changed = sc.changed[:0]
+
+	// Time 0: latch outputs and primary inputs change together.
+	for i, q := range w.net.Latches {
+		nv := g.latchQ[i]
+		if diff := sc.val[q] ^ nv; diff != 0 {
+			sc.val[q] = nv
+			n := int64(bits.OnesCount64(diff & mask))
+			c.Latch += n
+			trans[q] += n
+			sc.changed = append(sc.changed, q)
+		}
+	}
+	for i, id := range w.net.Inputs {
+		if nv := g.inputs[i]; sc.val[id] != nv {
+			sc.val[id] = nv
+			sc.changed = append(sc.changed, id)
+		}
+	}
+
+	// Word-wise transport-delay event loop, lockstep time steps over
+	// the same delay ring as the scalar engine.
+	w.evalFanoutsWord(sc, 0)
+	for t := 0; sc.npending > 0; {
+		t++
+		slot := t % len(sc.ring)
+		events := sc.ring[slot]
+		if len(events) == 0 {
+			continue
+		}
+		sc.ring[slot] = events[:0]
+		sc.npending -= len(events)
+		sc.changed = sc.changed[:0]
+		for _, e := range events {
+			diff := sc.val[e.node] ^ e.w
+			if diff == 0 {
+				continue
+			}
+			sc.val[e.node] = e.w
+			n := int64(bits.OnesCount64(diff & mask))
+			c.Gate += n
+			trans[e.node] += n
+			sc.changed = append(sc.changed, e.node)
+		}
+		w.evalFanoutsWord(sc, t)
+	}
+
+	// Functional transitions: settled word differs from start word.
+	for _, id := range w.gateIDs {
+		if diff := sc.val[id] ^ start[id]; diff != 0 {
+			c.GateFunctional += int64(bits.OnesCount64(diff & mask))
+		}
+	}
+	c.Cycles = int64(g.lanes)
+	return c
+}
+
+// evalFanoutsWord re-evaluates every gate fed by a changed node and
+// schedules word-level output changes at t + delay, mirroring the
+// scalar evalFanouts (evalSeen dedup, futureVal-aware comparison).
+func (w *WordSimulator) evalFanoutsWord(sc *wordScratch, t int) {
+	sc.evalGen++
+	for _, id := range sc.changed {
+		for _, gid := range w.fanouts[id] {
+			p := &w.plans[gid]
+			if !p.isGate || sc.evalSeen[gid] == sc.evalGen {
+				continue
+			}
+			sc.evalSeen[gid] = sc.evalGen
+			nv := p.eval(sc.val)
+			cur := sc.val[gid]
+			if sc.futureSeen[gid] == sc.stepGen {
+				cur = sc.futureVal[gid]
+			}
+			if nv != cur {
+				sc.futureVal[gid] = nv
+				sc.futureSeen[gid] = sc.stepGen
+				slot := (t + w.delays[gid]) % len(sc.ring)
+				sc.ring[slot] = append(sc.ring[slot], wordEvent{gid, nv})
+				sc.npending++
+			}
+		}
+	}
+}
+
+// RunVectors applies the given vectors with the given worker count
+// (0 = GOMAXPROCS) and returns the transition counts.
+func (w *WordSimulator) RunVectors(vectors [][]bool, workers int) Counts {
+	c, _ := w.RunVectorsCtx(context.Background(), vectors, workers)
+	return c
+}
+
+// RunVectorsCtx is RunVectors with cooperative cancellation: the
+// pre-pass checks ctx at every lane-group boundary and each worker
+// checks it before starting a group. On cancellation the counts
+// accumulated from completed groups are returned alongside ctx's error
+// (a coarser partial than the scalar engine's per-vector boundary —
+// callers treat errored counts as incomplete either way).
+//
+// Aggregation is deterministic at every worker count: group results are
+// collected into fixed slots by group index and summed in that order,
+// and per-worker NodeTransitions accumulators are folded in worker
+// order, so Counts and NodeTransitions are byte-identical however the
+// groups were scheduled.
+func (w *WordSimulator) RunVectorsCtx(ctx context.Context, vectors [][]bool, workers int) (Counts, error) {
+	w.counts = Counts{}
+	for i := range w.NodeTransitions {
+		w.NodeTransitions[i] = 0
+	}
+	if len(vectors) == 0 {
+		return w.counts, ctx.Err()
+	}
+	groups, err := w.prepass(ctx, vectors)
+	if err != nil {
+		return w.counts, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	perGroup := make([]Counts, len(groups))
+	perWorker := make([][]int64, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		trans := make([]int64, w.net.NumNodes())
+		perWorker[wk] = trans
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := w.newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) || ctx.Err() != nil {
+					return
+				}
+				perGroup[i] = w.simGroup(&groups[i], sc, trans)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, c := range perGroup {
+		w.counts.Gate += c.Gate
+		w.counts.GateFunctional += c.GateFunctional
+		w.counts.Latch += c.Latch
+		w.counts.Cycles += c.Cycles
+	}
+	for _, trans := range perWorker {
+		for id, n := range trans {
+			w.NodeTransitions[id] += n
+		}
+	}
+	return w.counts, ctx.Err()
+}
+
+// RunRandom applies n uniformly random input vectors from the given
+// seed — the same stimulus sequence as Simulator.RunRandom — and
+// returns the transition counts.
+func (w *WordSimulator) RunRandom(n int, seed int64, workers int) Counts {
+	c, _ := w.RunRandomCtx(context.Background(), n, seed, workers)
+	return c
+}
+
+// RunRandomCtx is RunRandom with cooperative cancellation (see
+// RunVectorsCtx for the cancellation and determinism contracts).
+func (w *WordSimulator) RunRandomCtx(ctx context.Context, n int, seed int64, workers int) (Counts, error) {
+	return w.RunVectorsCtx(ctx, RandomVectors(len(w.net.Inputs), n, seed), workers)
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+	"repro/internal/mapper"
+	"repro/internal/netgen"
+)
+
+// randomNetwork builds a random DAG of 1..4-input gates with random
+// truth tables, optionally latched (latch D inputs wired to arbitrary
+// nodes, including forward references), for scalar-vs-word property
+// testing.
+func randomNetwork(rng *rand.Rand, inputs, latches, gates int) *logic.Network {
+	net := logic.NewNetwork("rand")
+	for i := 0; i < inputs; i++ {
+		net.AddInput(fmt.Sprintf("i%d", i))
+	}
+	var qs []int
+	for i := 0; i < latches; i++ {
+		qs = append(qs, net.AddLatch(fmt.Sprintf("q%d", i), rng.Intn(2) == 0))
+	}
+	net.AddConst("c0", rng.Intn(2) == 0)
+	for i := 0; i < gates; i++ {
+		k := 1 + rng.Intn(4)
+		fanins := make([]int, k)
+		for j := range fanins {
+			fanins[j] = rng.Intn(net.NumNodes())
+		}
+		tt := bitvec.FromFunc(k, func(uint) bool { return rng.Intn(2) == 0 })
+		net.AddGate(fmt.Sprintf("g%d", i), tt, fanins...)
+	}
+	for _, q := range qs {
+		net.ConnectLatch(q, rng.Intn(net.NumNodes()))
+	}
+	net.MarkOutput("out", net.NumNodes()-1)
+	return net
+}
+
+// requireSameRun asserts the word engine reproduces the scalar engine's
+// Counts and NodeTransitions exactly on the given stimulus, at every
+// worker count in 1..8.
+func requireSameRun(t *testing.T, net *logic.Network, model DelayModel, delaySeed int64, vectors [][]bool, label string) {
+	t.Helper()
+	sc, err := NewWithDelays(net, model, delaySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.RunVectors(vectors)
+	for workers := 1; workers <= 8; workers++ {
+		w, err := NewWordWithDelays(net, model, delaySeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := w.RunVectors(vectors, workers)
+		if got != want {
+			t.Fatalf("%s workers=%d: word counts %+v, scalar %+v", label, workers, got, want)
+		}
+		for id := range sc.NodeTransitions {
+			if w.NodeTransitions[id] != sc.NodeTransitions[id] {
+				t.Fatalf("%s workers=%d: node %d transitions %d, scalar %d",
+					label, workers, id, w.NodeTransitions[id], sc.NodeTransitions[id])
+			}
+		}
+	}
+}
+
+// TestWordMatchesScalarRandomNetworks is the core equivalence property:
+// random combinational and latched networks, both delay models, Counts
+// and NodeTransitions identical to the scalar engine at workers 1..8.
+func TestWordMatchesScalarRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		latches := 0
+		if trial%2 == 1 {
+			latches = 2 + rng.Intn(5)
+		}
+		net := randomNetwork(rng, 3+rng.Intn(6), latches, 20+rng.Intn(60))
+		vectors := RandomVectors(len(net.Inputs), 100, int64(trial))
+		for _, model := range []DelayModel{DelayUnit, DelayHeterogeneous} {
+			requireSameRun(t, net, model, 5, vectors,
+				fmt.Sprintf("trial=%d latches=%d model=%d", trial, latches, model))
+		}
+	}
+}
+
+// TestWordMatchesScalarMapped covers the flow's actual workload shape:
+// 4-LUT technology-mapped netlists, combinational (array multiplier)
+// and sequential (pipelined multiplier), both delay models.
+func TestWordMatchesScalarMapped(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		net  *logic.Network
+	}{
+		{"mult6", netgen.MultiplierNetwork(6)},
+		{"pipemult6", netgen.PipelinedMultiplierNetwork(6, 2)},
+	} {
+		res, err := mapper.Map(tc.net, mapper.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vectors := RandomVectors(len(res.Mapped.Inputs), 200, 17)
+		for _, model := range []DelayModel{DelayUnit, DelayHeterogeneous} {
+			requireSameRun(t, res.Mapped, model, 7, vectors,
+				fmt.Sprintf("%s model=%d", tc.name, model))
+		}
+	}
+}
+
+// TestWordTailGroups exercises partial lane groups: vector counts
+// around the 64-lane boundary must mask inactive tail lanes out of
+// every count.
+func TestWordTailGroups(t *testing.T) {
+	net := netgen.PipelinedMultiplierNetwork(4, 2)
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		vectors := RandomVectors(len(net.Inputs), n, 3)
+		requireSameRun(t, net, DelayHeterogeneous, 11, vectors, fmt.Sprintf("n=%d", n))
+	}
+}
+
+// TestWordRunRandomSharesStimulus asserts the scalar and word engines
+// draw the identical random vector sequence for a seed (the shared
+// generator contract).
+func TestWordRunRandomSharesStimulus(t *testing.T) {
+	net := netgen.MultiplierNetwork(5)
+	sc, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWord(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.RunRandom(150, 23)
+	got := w.RunRandom(150, 23, 4)
+	if got != want {
+		t.Fatalf("RunRandom diverged: word %+v, scalar %+v", got, want)
+	}
+}
+
+// TestWordRerunResets asserts back-to-back runs on one WordSimulator
+// start from clean counters and the power-on state.
+func TestWordRerunResets(t *testing.T) {
+	net := netgen.PipelinedMultiplierNetwork(4, 2)
+	w, err := NewWordWithDelays(net, DelayHeterogeneous, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.RunRandom(100, 9, 2)
+	b := w.RunRandom(100, 9, 2)
+	if a != b {
+		t.Fatalf("rerun diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestWordCancellation asserts a cancelled context stops the run and
+// surfaces the context error.
+func TestWordCancellation(t *testing.T) {
+	net := netgen.MultiplierNetwork(6)
+	w, err := NewWord(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.RunRandomCtx(ctx, 500, 1, 4); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}
