@@ -13,10 +13,12 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/glitch"
 	"repro/internal/logic"
 	"repro/internal/lopass"
 	"repro/internal/mapper"
 	"repro/internal/netgen"
+	"repro/internal/prob"
 	"repro/internal/regbind"
 	"repro/internal/satable"
 	"repro/internal/sim"
@@ -271,6 +273,50 @@ func BenchmarkSim(b *testing.B) {
 				c = w.RunVectors(vec, 0)
 			}
 			report(b, c)
+		})
+	}
+}
+
+// BenchmarkEstimate measures the analytical switching-activity
+// estimator across mapped netlist sizes — the computation behind every
+// SA-table miss (satable §5.2.2 dynamic path). The glitch arm is the
+// paper's unit-delay Chou–Roy waveform propagation; the zerodelay arm
+// is the glitch-blind prob.EstimateNetwork ablation on the same
+// netlist. sa/op reports the (implementation-invariant) estimate so a
+// numerical regression shows up alongside a speed one. CI runs this
+// once as a smoke test.
+func BenchmarkEstimate(b *testing.B) {
+	src := prob.DefaultSources()
+	for _, tc := range []struct {
+		size string
+		net  *logic.Network
+	}{
+		{"small", netgen.PartialDatapathNetwork(netgen.FUAdd, 4, 4, 8)},
+		{"medium", netgen.MultiplierNetwork(8)},
+		{"large", netgen.PartialDatapathNetwork(netgen.FUMult, 8, 8, 8)},
+	} {
+		tc := tc
+		res, err := mapper.Map(tc.net, mapper.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.size+"/glitch", func(b *testing.B) {
+			b.ReportAllocs()
+			var sa float64
+			for i := 0; i < b.N; i++ {
+				e := glitch.EstimateNetwork(res.Mapped, src)
+				sa = e.TotalActivity(res.Mapped)
+			}
+			b.ReportMetric(sa, "sa/op")
+		})
+		b.Run(tc.size+"/zerodelay", func(b *testing.B) {
+			b.ReportAllocs()
+			var sa float64
+			for i := 0; i < b.N; i++ {
+				e := prob.EstimateNetwork(res.Mapped, prob.MethodChouRoy, src)
+				sa = e.TotalActivity(res.Mapped)
+			}
+			b.ReportMetric(sa, "sa/op")
 		})
 	}
 }

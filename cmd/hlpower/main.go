@@ -19,7 +19,8 @@
 // bindings and transition counts are bit-identical at every worker
 // count, so the output is identical for any -j), -simjobs N (override
 // the simulator's worker count independently of -j; -1, the default,
-// follows -j), -trace FILE (write
+// follows -j), -simwide N (64-cycle lane groups per simulation event
+// pass; a throughput knob with bit-identical output), -trace FILE (write
 // pipeline stage spans as JSON to FILE, or "-" for stdout, and print a
 // per-stage cache summary to stderr), -bindstats FILE (write the
 // binding engine's per-run reports — edges scored vs reused,
@@ -72,6 +73,7 @@ func main() {
 		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
 		simJobs   = flag.Int("simjobs", -1, "simulation lane-group workers (0 = GOMAXPROCS, -1 = follow -j)")
+		simWide   = flag.Int("simwide", 0, "64-cycle lane groups per simulation event pass (0 = engine default; results identical at every width)")
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
 		bindStats = flag.String("bindstats", "", "write the binding engine's per-run statistics as JSON to FILE (\"-\" = stdout)")
@@ -146,6 +148,7 @@ func main() {
 	if *simJobs >= 0 {
 		cfg.SimJobs = *simJobs
 	}
+	cfg.SimWide = *simWide
 	se := flow.NewSession(cfg)
 	se.Jobs = *jobs
 	if *benchset != "" {

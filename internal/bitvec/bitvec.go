@@ -131,6 +131,23 @@ func (t *TruthTable) Set(minterm uint, v bool) {
 	}
 }
 
+// AppendOnSet appends the function's on-set minterms to dst in
+// ascending order and returns the extended slice. Minterms fit uint16
+// because MaxVars = 16. The word-level scan (trailing-zeros over the
+// backing words) visits on-set bits only, so enumerating a sparse
+// on-set costs O(ones), not O(2^n) — the probability engine's
+// characterization pass is built on this.
+func (t *TruthTable) AppendOnSet(dst []uint16) []uint16 {
+	for wi, w := range t.words {
+		base := uint(wi) << 6
+		for w != 0 {
+			dst = append(dst, uint16(base+uint(bits.TrailingZeros64(w))))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // CompactCover returns the smaller of the function's on-set and
 // off-set as a minterm list, with inverted reporting which one it is
 // (inverted = the off-set, so the function is the cover's complement).

@@ -113,6 +113,11 @@ type Config struct {
 	// NodeTransitions are bit-identical at every setting, so it is
 	// excluded from stage cache keys.
 	SimJobs int
+	// SimWide is the number of 64-cycle lane groups the simulator
+	// event-processes per pass (0 = sim.DefaultWide, clamped to
+	// [1, sim.MaxWide]). Non-semantic: results are bit-identical at
+	// every width, so it is excluded from stage cache keys.
+	SimWide int
 }
 
 // DefaultConfig returns the configuration the reproduction's experiments

@@ -209,7 +209,7 @@ type bindSpec struct {
 // core.DefaultOptions.
 func specForBinder(b Binder, cfg Config) bindSpec {
 	if !b.UseHLPower {
-		return bindSpec{algo: "lopass", table: cfg.BaselineTable}
+		return bindSpec{algo: "lopass", table: cfg.BaselineTable, workers: cfg.BindJobs}
 	}
 	def := core.DefaultOptions(cfg.Table)
 	spec := bindSpec{
@@ -304,9 +304,11 @@ type simIn struct {
 	delaySeed  int64
 	vectors    int
 	vectorSeed int64
-	// simJobs is the word engine's worker count. Non-semantic (counts
-	// are bit-identical at every setting), so simKey excludes it.
+	// simJobs is the word engine's worker count and simWide its
+	// lane-group width per event pass. Both non-semantic (counts are
+	// bit-identical at every setting), so simKey excludes them.
 	simJobs int
+	simWide int
 }
 
 type powerIn struct {
@@ -411,7 +413,7 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			res, rt, engRep = r, rep.Runtime, rep
 			emitIterSpans(ctx, in.name, in.spec.label(), rep)
 		case "lopass":
-			r, rep, err := lopass.Bind(g, s, rb, in.rc, lopass.Options{Swap: in.rba.swap, Table: in.spec.table})
+			r, rep, err := lopass.Bind(g, s, rb, in.rc, lopass.Options{Swap: in.rba.swap, Table: in.spec.table, Jobs: in.spec.workers})
 			if err != nil {
 				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 			}
@@ -546,6 +548,9 @@ var stageSim = pipeline.Stage[simIn, sim.Counts]{
 		if err != nil {
 			return sim.Counts{}, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 		}
+		if in.simWide != 0 {
+			sr.SetWide(in.simWide)
+		}
 		return sr.RunRandomCtx(ctx, in.vectors, in.vectorSeed, in.simJobs)
 	},
 	Size: func(c sim.Counts) int { return int(c.Gate + c.Latch) },
@@ -588,7 +593,7 @@ func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sche
 		name: name, binder: binderName, ma: ma,
 		delay: cfg.Delay, delaySeed: cfg.DelaySeed,
 		vectors: cfg.Vectors, vectorSeed: cfg.VectorSeed,
-		simJobs: cfg.SimJobs,
+		simJobs: cfg.SimJobs, simWide: cfg.SimWide,
 	}
 	counts, err := stageSim.Exec(ctx, cache, sin, trs...)
 	if err != nil {

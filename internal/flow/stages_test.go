@@ -206,6 +206,57 @@ func TestSimJobsInvariance(t *testing.T) {
 	}
 }
 
+// TestSimWideInvariance is the width analog of TestSimJobsInvariance:
+// the simulator's lane-group width is a pure throughput knob, so fresh
+// sessions at several SimWide settings must produce identical Counts
+// and power, and a Derive'd session differing only in SimWide must
+// serve sim from cache.
+func TestSimWideInvariance(t *testing.T) {
+	cfg := testConfig()
+	cfg.Vectors = 100
+	cfg = cfg.Normalize()
+	pr, _ := workload.ByName("pr")
+
+	var ref *Result
+	for _, wide := range []int{1, 2, 8} {
+		c := cfg
+		c.SimWide = wide
+		se := NewSession(c)
+		se.Benchmarks = []workload.Profile{pr}
+		r, err := se.Run(bgc, pr, BinderHLPower05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if r.Counts != ref.Counts {
+			t.Errorf("SimWide=%d: counts %+v, want %+v", wide, r.Counts, ref.Counts)
+		}
+		if r.Power != ref.Power {
+			t.Errorf("SimWide=%d: power %+v, want %+v", wide, r.Power, ref.Power)
+		}
+	}
+
+	base := NewSession(cfg)
+	base.Benchmarks = []workload.Profile{pr}
+	if _, err := base.Run(bgc, pr, BinderHLPower05); err != nil {
+		t.Fatal(err)
+	}
+	mut := cfg
+	mut.SimWide = 2
+	se := base.Derive(mut)
+	before := se.StageStats()
+	if _, err := se.Run(bgc, pr, BinderHLPower05); err != nil {
+		t.Fatal(err)
+	}
+	d := statsDelta(before, se.StageStats())
+	if got := d[StageSim]; got != (pipeline.Stats{Hits: 1}) {
+		t.Errorf("SimWide change: sim stage delta %+v, want a pure cache hit", got)
+	}
+}
+
 // TestGenerationRunsOncePerBenchmark is the regression test for the
 // duplicated-front-end bug: before the stage cache, every binder of a
 // benchmark regenerated and rescheduled its CDFG (and recomputed the

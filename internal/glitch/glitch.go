@@ -9,7 +9,9 @@
 package glitch
 
 import (
-	"sort"
+	"encoding/binary"
+	"math"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/logic"
@@ -81,56 +83,185 @@ func (w Waveform) GlitchActivity() float64 {
 	return w.Total() - w.Functional()
 }
 
+// maxMemoEntries bounds an Estimator's propagation memo. The memo is a
+// cross-call cache keyed by full waveform content, so a long-lived
+// pooled estimator characterizing many unrelated networks could grow
+// without bound; past the cap it is simply dropped and rebuilt.
+const maxMemoEntries = 1 << 16
+
+// srcWave is one cached source waveform (see Estimator.sourceWave).
+type srcWave struct {
+	p, s float64
+	w    Waveform
+}
+
+// Estimator carries the reusable scratch and memoization state for
+// repeated waveform propagation. A fresh zero-cost instance comes from
+// NewEstimator; one estimator is NOT safe for concurrent use (the
+// package-level Propagate/EstimateNetwork functions draw from a pool
+// and are).
+//
+// Waveforms returned by an estimator share their Comps slices with its
+// internal memo — callers must treat them as read-only, which every
+// consumer in this repository already does.
+type Estimator struct {
+	p, s  []float64 // settled fanin probabilities / per-step activities
+	pos   []int     // k-way merge cursor per fanin
+	ins   []Waveform
+	kbuf  []byte
+	sc    *prob.Scratch
+	memo  map[string]Waveform
+	srcs  []srcWave
+	waves []Waveform // reusable node-indexed output buffer
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{sc: prob.NewScratch(), memo: make(map[string]Waveform)}
+}
+
+// estPool backs the package-level entry points.
+var estPool = sync.Pool{New: func() any { return NewEstimator() }}
+
+// growVecs sizes the per-fanin scratch for n inputs.
+func (e *Estimator) growVecs(n int) {
+	if cap(e.p) < n {
+		e.p = make([]float64, n)
+		e.s = make([]float64, n)
+		e.pos = make([]int, n)
+	} else {
+		e.p, e.s, e.pos = e.p[:n], e.s[:n], e.pos[:n]
+	}
+}
+
+// waveKey renders (function identity, fanin waveforms) into the
+// estimator's key buffer. Float bit patterns keep the key exact: a memo
+// hit returns precisely what recomputation would.
+func (e *Estimator) waveKey(id uint64, ins []Waveform) []byte {
+	b := e.kbuf[:0]
+	b = binary.LittleEndian.AppendUint64(b, id)
+	for _, w := range ins {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(w.P))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(w.Comps)))
+		for _, c := range w.Comps {
+			b = binary.LittleEndian.AppendUint64(b, uint64(c.Time))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.S))
+		}
+	}
+	e.kbuf = b
+	return b
+}
+
 // Propagate computes the output waveform of a unit-delay gate or LUT
 // with local function f whose fanins carry the given waveforms. For each
 // time step t at which at least one input may switch, the output may
 // switch at t+1 with the Chou–Roy activity computed from the inputs'
 // component activities at t. The settled output probability comes from
 // the settled input probabilities.
-func Propagate(f *bitvec.TruthTable, ins []Waveform) Waveform {
-	n := f.NumVars()
-	if len(ins) != n {
+//
+// The returned waveform may share storage with the estimator's memo;
+// treat Comps as read-only.
+func (e *Estimator) Propagate(f *bitvec.TruthTable, ins []Waveform) Waveform {
+	return e.propagate(prob.Characterize(f), ins)
+}
+
+func (e *Estimator) propagate(c *prob.Char, ins []Waveform) Waveform {
+	if len(ins) != c.NumVars() {
 		panic("glitch: fanin waveform count mismatch")
 	}
-	p := make([]float64, n)
-	for i, w := range ins {
-		p[i] = w.P
+	key := e.waveKey(c.ID(), ins)
+	if w, ok := e.memo[string(key)]; ok {
+		return w
 	}
-	out := Waveform{P: prob.SignalProb(f, p)}
+	w := e.compute(c, ins)
+	if len(e.memo) >= maxMemoEntries {
+		e.memo = make(map[string]Waveform)
+	}
+	e.memo[string(key)] = w
+	return w
+}
 
-	// Gather the distinct input transition times.
-	var times []int
-	seen := make(map[int]bool)
-	for _, w := range ins {
-		for _, c := range w.Comps {
-			if !seen[c.Time] {
-				seen[c.Time] = true
-				times = append(times, c.Time)
-			}
-		}
+// compute is the uncached propagation: a k-way pointer merge over the
+// already-sorted fanin component lists replaces the historical
+// map-collect + sort + per-time rescan. The merge visits the same
+// ascending distinct times and gathers the same per-input activities
+// (first component at each time wins), so the emitted components are
+// bit-identical to the old code's.
+func (e *Estimator) compute(c *prob.Char, ins []Waveform) Waveform {
+	n := len(ins)
+	e.growVecs(n)
+	total := 0
+	for i, w := range ins {
+		e.p[i] = w.P
+		e.pos[i] = 0
+		total += len(w.Comps)
 	}
-	if len(times) == 0 {
+	py := c.SignalProb(e.p, e.sc)
+	out := Waveform{P: py}
+	if total == 0 {
 		return out
 	}
-	sort.Ints(times)
-
-	s := make([]float64, n)
-	for _, t := range times {
+	var comps []Component
+	for {
+		// Next distinct transition time = min over fanin cursors.
+		t, any := 0, false
 		for i, w := range ins {
-			s[i] = 0
-			for _, c := range w.Comps {
-				if c.Time == t {
-					s[i] = c.S
-					break
+			if e.pos[i] < len(w.Comps) {
+				if ct := w.Comps[e.pos[i]].Time; !any || ct < t {
+					t, any = ct, true
 				}
 			}
 		}
-		a := prob.ChouRoyActivity(f, p, s)
+		if !any {
+			break
+		}
+		// Gather per-input activity at t: the first component at t
+		// supplies S (matching the historical first-match scan), and
+		// the cursor advances past any duplicates.
+		for i, w := range ins {
+			e.s[i] = 0
+			j := e.pos[i]
+			if j < len(w.Comps) && w.Comps[j].Time == t {
+				e.s[i] = w.Comps[j].S
+				for j < len(w.Comps) && w.Comps[j].Time == t {
+					j++
+				}
+				e.pos[i] = j
+			}
+		}
+		// P(y) depends only on settled probabilities — one evaluation
+		// serves every time step.
+		a := c.ChouRoyFromProb(py, e.p, e.s, e.sc)
 		if a > 0 {
-			out.Comps = append(out.Comps, Component{Time: t + 1, S: a})
+			comps = append(comps, Component{Time: t + 1, S: a})
 		}
 	}
+	out.Comps = comps
 	return out
+}
+
+// sourceWave returns the (cached) waveform of a combinational source.
+// A network presents at most a couple of distinct (p, s) source pairs,
+// so a tiny linear cache removes the per-source allocation.
+func (e *Estimator) sourceWave(p, s float64) Waveform {
+	for _, sw := range e.srcs {
+		if sw.p == p && sw.s == s {
+			return sw.w
+		}
+	}
+	w := SourceWaveform(p, s)
+	e.srcs = append(e.srcs, srcWave{p: p, s: s, w: w})
+	return w
+}
+
+// Propagate is the package-level convenience wrapper over a pooled
+// Estimator; see Estimator.Propagate. The returned waveform's Comps
+// must be treated as read-only.
+func Propagate(f *bitvec.TruthTable, ins []Waveform) Waveform {
+	e := estPool.Get().(*Estimator)
+	w := e.Propagate(f, ins)
+	estPool.Put(e)
+	return w
 }
 
 // Estimate holds a waveform per network node.
@@ -138,28 +269,60 @@ type Estimate struct {
 	Waves []Waveform
 }
 
-// EstimateNetwork propagates waveforms through every gate of the network
-// under the unit-delay model. Sources follow src (paper: P = s = 0.5).
-func EstimateNetwork(net *logic.Network, src prob.SourceValues) Estimate {
-	e := Estimate{Waves: make([]Waveform, net.NumNodes())}
-	for _, id := range net.TopoOrder() {
+// EstimateNetwork propagates waveforms through every gate of the
+// network under the unit-delay model, reusing the estimator's buffers:
+// warm calls allocate nothing. The returned estimate shares the
+// estimator's node-indexed buffer and is valid until the next
+// EstimateNetwork call on the same estimator. Sources follow src
+// (paper: P = s = 0.5).
+func (e *Estimator) EstimateNetwork(net *logic.Network, src prob.SourceValues) Estimate {
+	nn := net.NumNodes()
+	if cap(e.waves) < nn {
+		e.waves = make([]Waveform, nn)
+	} else {
+		e.waves = e.waves[:nn]
+		for i := range e.waves {
+			e.waves[i] = Waveform{}
+		}
+	}
+	waves := e.waves
+	// Ascending node IDs are topological (Network.TopoOrder is the
+	// identity permutation); iterating directly keeps the warm path
+	// allocation-free.
+	for id := 0; id < nn; id++ {
 		nd := net.Node(id)
 		switch nd.Kind {
 		case logic.KindInput:
-			e.Waves[id] = SourceWaveform(src.InputP, src.InputS)
+			waves[id] = e.sourceWave(src.InputP, src.InputS)
 		case logic.KindLatchOut:
-			e.Waves[id] = SourceWaveform(src.LatchP, src.LatchS)
+			waves[id] = e.sourceWave(src.LatchP, src.LatchS)
 		case logic.KindConst:
-			e.Waves[id] = ConstWaveform(nd.ConstVal)
+			waves[id] = ConstWaveform(nd.ConstVal)
 		case logic.KindGate:
-			ins := make([]Waveform, len(nd.Fanins))
-			for i, fid := range nd.Fanins {
-				ins[i] = e.Waves[fid]
+			n := len(nd.Fanins)
+			if cap(e.ins) < n {
+				e.ins = make([]Waveform, n)
 			}
-			e.Waves[id] = Propagate(nd.Func, ins)
+			ins := e.ins[:n]
+			for i, fid := range nd.Fanins {
+				ins[i] = waves[fid]
+			}
+			waves[id] = e.propagate(prob.Characterize(nd.Func), ins)
 		}
 	}
-	return e
+	return Estimate{Waves: waves}
+}
+
+// EstimateNetwork is the package-level wrapper: it runs a pooled
+// estimator and detaches the per-node slice so the result outlives the
+// estimator's reuse. Waveform Comps remain read-only shared storage.
+func EstimateNetwork(net *logic.Network, src prob.SourceValues) Estimate {
+	e := estPool.Get().(*Estimator)
+	res := e.EstimateNetwork(net, src)
+	waves := make([]Waveform, len(res.Waves))
+	copy(waves, res.Waves)
+	estPool.Put(e)
+	return Estimate{Waves: waves}
 }
 
 // TotalActivity sums effective switching activity over gate nodes

@@ -1,0 +1,160 @@
+package glitch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/netgen"
+	"repro/internal/prob"
+)
+
+// refPropagate is the pre-rewrite propagation verbatim: collect distinct
+// times into a map, sort them, rescan every fanin component list per
+// time step. It is the bit-identity oracle for the k-way merge (the
+// prob estimators it calls are themselves oracle-checked in that
+// package's TestCharMatchesScalarReference).
+func refPropagate(f *bitvec.TruthTable, ins []Waveform) Waveform {
+	n := f.NumVars()
+	if len(ins) != n {
+		panic("glitch: fanin waveform count mismatch")
+	}
+	p := make([]float64, n)
+	for i, w := range ins {
+		p[i] = w.P
+	}
+	out := Waveform{P: prob.SignalProb(f, p)}
+
+	var times []int
+	seen := make(map[int]bool)
+	for _, w := range ins {
+		for _, c := range w.Comps {
+			if !seen[c.Time] {
+				seen[c.Time] = true
+				times = append(times, c.Time)
+			}
+		}
+	}
+	if len(times) == 0 {
+		return out
+	}
+	sort.Ints(times)
+
+	s := make([]float64, n)
+	for _, t := range times {
+		for i, w := range ins {
+			s[i] = 0
+			for _, c := range w.Comps {
+				if c.Time == t {
+					s[i] = c.S
+					break
+				}
+			}
+		}
+		a := prob.ChouRoyActivity(f, p, s)
+		if a > 0 {
+			out.Comps = append(out.Comps, Component{Time: t + 1, S: a})
+		}
+	}
+	return out
+}
+
+func randomTable(rng *rand.Rand, n int) *bitvec.TruthTable {
+	tt := bitvec.New(n)
+	for m := 0; m < 1<<n; m++ {
+		if rng.Intn(2) == 0 {
+			tt.Set(uint(m), true)
+		}
+	}
+	return tt
+}
+
+// randomWaveform draws a waveform with up to four components at
+// non-decreasing times — repeats included, so the first-component-wins
+// duplicate handling is exercised — plus occasional degenerate P.
+func randomWaveform(rng *rand.Rand) Waveform {
+	w := Waveform{P: rng.Float64()}
+	if rng.Intn(6) == 0 {
+		w.P = float64(rng.Intn(2))
+	}
+	t := 0
+	for j := rng.Intn(5); j > 0; j-- {
+		t += rng.Intn(3) // step 0 duplicates the previous time
+		w.Comps = append(w.Comps, Component{Time: t, S: rng.Float64()})
+	}
+	return w
+}
+
+// TestPropagateMatchesScalarReference: for random functions and random
+// fanin waveforms, the merged propagation must emit exactly the scalar
+// rescan's components — same times, bit-identical activities — through
+// both the package-level wrapper and a reused Estimator, cold and from
+// the memo.
+func TestPropagateMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	est := NewEstimator()
+	check := func(trial int, label string, got, want Waveform) {
+		t.Helper()
+		if got.P != want.P {
+			t.Fatalf("trial %d %s: P %v != scalar %v", trial, label, got.P, want.P)
+		}
+		if len(got.Comps) != len(want.Comps) {
+			t.Fatalf("trial %d %s: %d components, scalar has %d", trial, label, len(got.Comps), len(want.Comps))
+		}
+		for k := range want.Comps {
+			if got.Comps[k] != want.Comps[k] {
+				t.Fatalf("trial %d %s: comp %d = %+v, scalar %+v", trial, label, k, got.Comps[k], want.Comps[k])
+			}
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		tt := randomTable(rng, n)
+		ins := make([]Waveform, n)
+		for i := range ins {
+			ins[i] = randomWaveform(rng)
+		}
+		want := refPropagate(tt, ins)
+		check(trial, "cold", est.Propagate(tt, ins), want)
+		check(trial, "memo", est.Propagate(tt, ins), want)
+		check(trial, "pooled", Propagate(tt, ins), want)
+	}
+}
+
+// TestEstimateNetworkWarmPathAllocationFree pins the rewrite's headline
+// property: once an Estimator has seen a network, re-estimating it
+// allocates nothing — every waveform comes from the memo, every buffer
+// is reused.
+func TestEstimateNetworkWarmPathAllocationFree(t *testing.T) {
+	e := NewEstimator()
+	net := netgen.MultiplierNetwork(6)
+	src := prob.DefaultSources()
+	e.EstimateNetwork(net, src) // populate memo, caches, buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		e.EstimateNetwork(net, src)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm EstimateNetwork allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestEstimatorReuseAcrossNetworks checks that one estimator instance
+// (as pooled by the package-level wrappers) gives the same answers as
+// fresh per-network estimation.
+func TestEstimatorReuseAcrossNetworks(t *testing.T) {
+	a := netgen.AdderNetwork(6)
+	m := netgen.MultiplierNetwork(4)
+	src := prob.DefaultSources()
+	wantA := EstimateNetwork(a, src).TotalActivity(a)
+	wantM := EstimateNetwork(m, src).TotalActivity(m)
+	e := NewEstimator()
+	for round := 0; round < 3; round++ {
+		if got := e.EstimateNetwork(a, src).TotalActivity(a); got != wantA {
+			t.Fatalf("round %d: adder activity %v != %v", round, got, wantA)
+		}
+		if got := e.EstimateNetwork(m, src).TotalActivity(m); got != wantM {
+			t.Fatalf("round %d: multiplier activity %v != %v", round, got, wantM)
+		}
+	}
+}

@@ -19,7 +19,9 @@
 package lopass
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/binding"
@@ -45,6 +47,10 @@ type Options struct {
 	// objective than the original system had; useful as a strong
 	// ablation baseline).
 	Table *satable.Table
+	// Jobs is the worker count for batched SA-table characterization of
+	// a step's distinct mux shapes (0 = GOMAXPROCS). Non-semantic: the
+	// binding is identical at every setting.
+	Jobs int
 }
 
 // Report carries run statistics.
@@ -110,6 +116,52 @@ func Bind(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, rc cdfg.Resource
 		if len(ops) == 0 {
 			continue
 		}
+		// With a table, resolve the step's distinct mux shapes in one
+		// batched characterization first: SA-table misses are expensive
+		// (netgen -> mapper -> estimator), and GetBatch overlaps them
+		// across workers instead of paying them serially edge by edge.
+		var shapeCost map[satable.Key]float64
+		if opt.Table != nil {
+			shapes := make(map[satable.Key]bool)
+			for _, op := range ops {
+				class := g.Nodes[op].Kind.FUClass()
+				l, r := res.PortArgs(g, op)
+				for _, u := range units {
+					if u.fu.Kind != class || u.busyUntil >= t {
+						continue
+					}
+					kl, kr := len(u.left), len(u.right)
+					if !u.left[l] {
+						kl++
+					}
+					if !u.right[r] {
+						kr++
+					}
+					shapes[satable.Key{Kind: class, KL: kl, KR: kr}] = true
+				}
+			}
+			keys := make([]satable.Key, 0, len(shapes))
+			for k := range shapes {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].Kind != keys[j].Kind {
+					return keys[i].Kind < keys[j].Kind
+				}
+				if keys[i].KL != keys[j].KL {
+					return keys[i].KL < keys[j].KL
+				}
+				return keys[i].KR < keys[j].KR
+			})
+			vals, err := opt.Table.GetBatch(context.Background(), keys, opt.Jobs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lopass: step %d: %w", t, err)
+			}
+			shapeCost = make(map[satable.Key]float64, len(keys))
+			for i, k := range keys {
+				shapeCost[k] = vals[i]
+			}
+		}
 		// Min-weight assignment == max-weight with W = C - cost.
 		const base = 100000.0
 		var edges []matching.Edge
@@ -131,7 +183,7 @@ func Bind(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, rc cdfg.Resource
 				if opt.Table != nil {
 					// Estimated power of the resulting configuration
 					// (zero-delay SA of FU + input muxes).
-					cost = opt.Table.Get(class, kl, kr)
+					cost = shapeCost[satable.Key{Kind: class, KL: kl, KR: kr}]
 				} else {
 					cost = float64(kl - len(u.left) + kr - len(u.right))
 				}

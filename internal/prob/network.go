@@ -1,6 +1,12 @@
 package prob
 
-import "repro/internal/logic"
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/logic"
+)
 
 // Method selects the activity propagation model for network estimation.
 type Method int
@@ -48,15 +54,59 @@ func (e Estimate) TotalActivity(net *logic.Network) float64 {
 	return total
 }
 
+// appendEvalKey renders a (function, p, s) evaluation site as a memo
+// key: the characterization identity followed by the raw bit patterns
+// of the fanin vectors. Bit patterns rather than values keep the key
+// exact — two sites share a key only when a fresh evaluation would be
+// bit-identical.
+func appendEvalKey(b []byte, id uint64, method Method, p, s []float64) []byte {
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = append(b, byte(method))
+	for _, v := range p {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, v := range s {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// maxNetMemoEntries bounds the pooled network-evaluation memo: past the
+// cap it is dropped and rebuilt rather than growing without bound
+// across a long session.
+const maxNetMemoEntries = 1 << 16
+
+// netScratch is the pooled working state of EstimateNetwork. The memo
+// persists across calls — its keys are exact (characterization identity
+// plus float bit patterns), so a hit returns precisely what a fresh
+// evaluation would, on any network.
+type netScratch struct {
+	sc     *Scratch
+	p, s   []float64
+	keyBuf []byte
+	memo   map[string][2]float64
+}
+
+var netPool = sync.Pool{New: func() any {
+	return &netScratch{sc: NewScratch(), memo: make(map[string][2]float64)}
+}}
+
 // EstimateNetwork propagates signal probabilities and switching
 // activities through the combinational network in topological order.
 // This is the zero-delay (glitch-free) estimate; the glitch package
 // provides the timed variant.
+//
+// Evaluation runs against interned truth-table characterizations with
+// per-call reusable scratch, and (char, p, s) sites are memoized within
+// the call: bit-sliced datapaths instantiate the same LUT shape with
+// the same fanin statistics across every slice, so most gates hit the
+// memo instead of re-summing the on-set.
 func EstimateNetwork(net *logic.Network, method Method, src SourceValues) Estimate {
 	e := Estimate{
 		P: make([]float64, net.NumNodes()),
 		S: make([]float64, net.NumNodes()),
 	}
+	ns := netPool.Get().(*netScratch)
 	for _, id := range net.TopoOrder() {
 		nd := net.Node(id)
 		switch nd.Kind {
@@ -71,19 +121,37 @@ func EstimateNetwork(net *logic.Network, method Method, src SourceValues) Estima
 			e.S[id] = 0
 		case logic.KindGate:
 			n := len(nd.Fanins)
-			p := make([]float64, n)
-			s := make([]float64, n)
+			if cap(ns.p) < n {
+				ns.p = make([]float64, n)
+				ns.s = make([]float64, n)
+			} else {
+				ns.p, ns.s = ns.p[:n], ns.s[:n]
+			}
+			p, s := ns.p, ns.s
 			for i, f := range nd.Fanins {
 				p[i], s[i] = e.P[f], e.S[f]
 			}
-			e.P[id] = SignalProb(nd.Func, p)
+			c := Characterize(nd.Func)
+			ns.keyBuf = appendEvalKey(ns.keyBuf[:0], c.id, method, p, s)
+			if v, ok := ns.memo[string(ns.keyBuf)]; ok {
+				e.P[id], e.S[id] = v[0], v[1]
+				continue
+			}
+			py := c.SignalProb(p, ns.sc)
+			var sy float64
 			switch method {
 			case MethodNajm:
-				e.S[id] = NajmActivity(nd.Func, p, s)
+				sy = c.NajmActivity(p, s, ns.sc)
 			default:
-				e.S[id] = ChouRoyActivity(nd.Func, p, s)
+				sy = c.ChouRoyFromProb(py, p, s, ns.sc)
 			}
+			e.P[id], e.S[id] = py, sy
+			if len(ns.memo) >= maxNetMemoEntries {
+				ns.memo = make(map[string][2]float64)
+			}
+			ns.memo[string(ns.keyBuf)] = [2]float64{py, sy}
 		}
 	}
+	netPool.Put(ns)
 	return e
 }

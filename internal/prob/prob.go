@@ -20,50 +20,42 @@ import (
 // SignalProb returns P(f = 1) given independent input probabilities p,
 // by exact enumeration of the on-set.
 func SignalProb(f *bitvec.TruthTable, p []float64) float64 {
-	n := f.NumVars()
-	if len(p) != n {
-		panic("prob: probability vector length mismatch")
-	}
-	total := 0.0
-	for m := 0; m < 1<<n; m++ {
-		if !f.Get(uint(m)) {
-			continue
-		}
-		prod := 1.0
-		for i := 0; i < n; i++ {
-			if uint(m)&(1<<uint(i)) != 0 {
-				prod *= p[i]
-			} else {
-				prod *= 1 - p[i]
-			}
-		}
-		total += prod
-	}
-	return total
+	sc := scratchPool.Get().(*Scratch)
+	v := Characterize(f).SignalProb(p, sc)
+	scratchPool.Put(sc)
+	return v
 }
 
 // NajmActivity returns the transition density of f under Najm's model
 // (paper Eq. 1): s(y) = sum_i P(df/dx_i) * s(x_i). It ignores
 // simultaneous switching and so overestimates activity for wide gates.
 func NajmActivity(f *bitvec.TruthTable, p, s []float64) float64 {
-	n := f.NumVars()
-	if len(p) != n || len(s) != n {
-		panic("prob: vector length mismatch")
+	sc := scratchPool.Get().(*Scratch)
+	v := Characterize(f).NajmActivity(p, s, sc)
+	scratchPool.Put(sc)
+	return v
+}
+
+// clamp01 forces a propagated probability back into [0,1]. SignalProb
+// sums products of independent marginals, so rounding can overshoot the
+// unit interval by an ulp or two.
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
 	}
-	total := 0.0
-	for i := 0; i < n; i++ {
-		if s[i] == 0 {
-			continue
-		}
-		total += SignalProb(f.BooleanDiff(i), p) * s[i]
+	if p > 1 {
+		return 1
 	}
-	return total
+	return p
 }
 
 // clampActivity limits s so the pairwise joint distribution stays valid:
 // s/2 <= min(p, 1-p). Estimated activities occasionally violate this by
-// rounding; clamping keeps PairProb a true probability.
+// rounding; clamping keeps PairProb a true probability. p is clamped
+// into [0,1] first — a propagated probability of 1+ε would otherwise
+// make the limit negative and the resulting joint invalid.
 func clampActivity(p, s float64) float64 {
+	p = clamp01(p)
 	limit := 2 * minf(p, 1-p)
 	if s > limit {
 		return limit
@@ -85,67 +77,29 @@ func minf(a, b float64) float64 {
 // each input i is a two-state process with marginal p[i] and transition
 // probability s[i] per unit period, independent across inputs.
 func PairProb(f *bitvec.TruthTable, p, s []float64) float64 {
-	n := f.NumVars()
-	if len(p) != n || len(s) != n {
-		panic("prob: vector length mismatch")
-	}
-	// Per-input joint over (x(t), x(t+T)): J[a][b].
-	type joint [2][2]float64
-	js := make([]joint, n)
-	for i := 0; i < n; i++ {
-		si := clampActivity(p[i], s[i])
-		half := si / 2
-		js[i] = joint{
-			{1 - p[i] - half, half},
-			{half, p[i] - half},
-		}
-	}
-	// Collect the on-set once; the sum runs over on-set pairs.
-	var onset []uint
-	for m := 0; m < 1<<n; m++ {
-		if f.Get(uint(m)) {
-			onset = append(onset, uint(m))
-		}
-	}
-	total := 0.0
-	for _, u := range onset {
-		for _, v := range onset {
-			prod := 1.0
-			for i := 0; i < n; i++ {
-				a := (u >> uint(i)) & 1
-				b := (v >> uint(i)) & 1
-				prod *= js[i][a][b]
-				if prod == 0 {
-					break
-				}
-			}
-			total += prod
-		}
-	}
-	return total
+	sc := scratchPool.Get().(*Scratch)
+	v := Characterize(f).PairProb(p, s, sc)
+	scratchPool.Put(sc)
+	return v
 }
 
 // ChouRoyActivity returns the normalized switching activity of f under
 // the Chou–Roy simultaneous-switching model (paper Eq. 2):
 // s(y) = 2 (P(y) − P(y(t) y(t+T))).
 func ChouRoyActivity(f *bitvec.TruthTable, p, s []float64) float64 {
-	py := SignalProb(f, p)
-	pp := PairProb(f, p, s)
-	a := 2 * (py - pp)
-	if a < 0 {
-		return 0
-	}
-	if a > 1 {
-		return 1
-	}
-	return a
+	sc := scratchPool.Get().(*Scratch)
+	v := Characterize(f).ChouRoyActivity(p, s, sc)
+	scratchPool.Put(sc)
+	return v
 }
 
 // WeightedAverage combines independent estimates of the same probability
 // with the given nonnegative weights, in the spirit of the
 // Krishnamurthy–Tollis improved-probability technique: estimates derived
 // from larger (more encompassing) supports receive larger weights.
-// Zero total weight yields the plain mean.
+// Negative weights panic — mixed signs can cancel the denominator to
+// near zero and launch the result far outside [0,1]. Zero total weight
+// yields the plain mean.
 func WeightedAverage(estimates, weights []float64) float64 {
 	if len(estimates) == 0 {
 		return 0
@@ -155,6 +109,9 @@ func WeightedAverage(estimates, weights []float64) float64 {
 	}
 	num, den := 0.0, 0.0
 	for i, e := range estimates {
+		if weights[i] < 0 {
+			panic("prob: negative weight")
+		}
 		num += e * weights[i]
 		den += weights[i]
 	}

@@ -282,8 +282,15 @@ func (t *Table) GetBatch(ctx context.Context, keys []Key, jobs int) ([]float64, 
 }
 
 // Save writes the table as a text file (one "kind kl kr sa" row per
-// entry), the storage format the paper describes.
+// entry), the storage format the paper describes. An out-of-range
+// estimator is a save error: writing est=estimator(N) would produce a
+// file Load itself rejects.
 func (t *Table) Save(w io.Writer) error {
+	switch t.Est {
+	case EstimatorGlitch, EstimatorNajm, EstimatorZeroDelay:
+	default:
+		return fmt.Errorf("satable: cannot save table with invalid estimator %s", t.Est)
+	}
 	snap := t.cache.Snapshot(saClass)
 	keys := make([]Key, 0, len(snap))
 	vals := make(map[Key]float64, len(snap))
@@ -362,6 +369,7 @@ func Load(r io.Reader) (*Table, error) {
 	}
 	t := New(width, est)
 	lineNo := 1
+	seen := make(map[string]int)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -385,7 +393,12 @@ func Load(r io.Reader) (*Table, error) {
 		if math.IsNaN(sa) || math.IsInf(sa, 0) || sa < 0 {
 			return nil, fmt.Errorf("satable: line %d: SA value %g is not a finite non-negative number", lineNo, sa)
 		}
-		t.cache.Put(saClass, keyString(Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr}), sa)
+		ks := keyString(Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr})
+		if prev, dup := seen[ks]; dup {
+			return nil, fmt.Errorf("satable: line %d: duplicate entry (%s %d %d) shadows line %d", lineNo, kind, kl, kr, prev)
+		}
+		seen[ks] = lineNo
+		t.cache.Put(saClass, ks, sa)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)

@@ -94,6 +94,58 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveLoadRoundTripAllEstimators round-trips a populated table
+// through Save/Load for every valid estimator, and requires Save to
+// refuse an out-of-range one — writing est=estimator(N) would produce
+// a file Load itself rejects.
+func TestSaveLoadRoundTripAllEstimators(t *testing.T) {
+	for _, est := range []Estimator{EstimatorGlitch, EstimatorNajm, EstimatorZeroDelay} {
+		tb := New(4, est)
+		tb.Get(netgen.FUAdd, 1, 2)
+		var sb strings.Builder
+		if err := tb.Save(&sb); err != nil {
+			t.Fatalf("est=%v: %v", est, err)
+		}
+		back, err := Load(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("est=%v: %v", est, err)
+		}
+		if back.Est != est || back.Width != 4 {
+			t.Fatalf("est=%v: header lost: width=%d est=%v", est, back.Width, back.Est)
+		}
+		if back.Len() != tb.Len() {
+			t.Fatalf("est=%v: entry count %d != %d", est, back.Len(), tb.Len())
+		}
+	}
+
+	bad := New(4, Estimator(42))
+	var sb strings.Builder
+	if err := bad.Save(&sb); err == nil {
+		t.Fatal("Save accepted an out-of-range estimator")
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("Save wrote %q before rejecting the estimator", sb.String())
+	}
+}
+
+// TestLoadRejectsDuplicateRows is the regression test for silent
+// last-row-wins shadowing: a duplicate (kind, kl, kr) row must be a
+// line-numbered load error, not a quiet overwrite.
+func TestLoadRejectsDuplicateRows(t *testing.T) {
+	in := "# hlpower-satable width=8 est=glitch\n" +
+		"add 1 1 0.5\n" +
+		"add 2 2 0.75\n" +
+		"add 1 1 0.9\n"
+	_, err := Load(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("duplicate row accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 4") || !strings.Contains(msg, "line 2") {
+		t.Fatalf("error %q does not name both the duplicate and the shadowed line", msg)
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("")); err == nil {
 		t.Fatal("empty input accepted")

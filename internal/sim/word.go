@@ -14,9 +14,10 @@ import (
 
 // WordSimulator is the word-parallel counterpart of Simulator: it packs
 // 64 independent clock cycles into the bit lanes of one uint64 per
-// signal and propagates events word-wise, producing Counts and
+// signal and propagates events word-wise — and, with SetWide, N such
+// words (N×64 cycles) per event pass — producing Counts and
 // NodeTransitions bit-identical to the scalar engine at any worker
-// count.
+// count and any width.
 //
 // The engine exploits a structural property of transport-delay
 // simulation over an acyclic network: each cycle settles to the
@@ -65,6 +66,9 @@ type WordSimulator struct {
 	// values never change.
 	constIDs  []int
 	constVals []bool
+	// wide is the number of 64-cycle lane groups event-simulated per
+	// block (see SetWide).
+	wide int
 
 	// NodeTransitions holds the per-node transition tallies of the most
 	// recent run, indexed by node ID — same contract as
@@ -121,6 +125,68 @@ func (p *gatePlan) eval(val []uint64) uint64 {
 	return out
 }
 
+// MaxWide bounds the lane-group width of one event pass: up to
+// MaxWide×64 cycles share each cone traversal. The cap keeps the
+// per-event payload a small fixed array.
+const MaxWide = 8
+
+// DefaultWide is the width new simulators start with — wide enough to
+// amortize fan-out walks and ring bookkeeping, narrow enough that the
+// strided node state stays cache-resident for typical netlists.
+const DefaultWide = 4
+
+// SetWide sets the number of 64-cycle lane groups simulated per event
+// pass (clamped to [1, MaxWide]). Width is a throughput knob only:
+// counts and NodeTransitions are bit-identical at every setting,
+// because blocks only union the groups' event times — an event in a
+// group whose inputs did not change applies as a no-op and masked
+// popcount counting charges it nothing.
+func (w *WordSimulator) SetWide(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWide {
+		n = MaxWide
+	}
+	w.wide = n
+}
+
+// evalInto computes the gate's output words for wdt lane groups at
+// once, reading fanin f's group-j word at val[f*wdt+j] and writing the
+// wdt output words to out (which may alias val: the result is staged in
+// a register array). One pass over the minterm expansion serves all
+// wdt groups.
+func (p *gatePlan) evalInto(val []uint64, wdt int, out []uint64) {
+	var acc [MaxWide]uint64
+	for _, m := range p.minterms {
+		var term [MaxWide]uint64
+		for j := 0; j < wdt; j++ {
+			term[j] = ^uint64(0)
+		}
+		for i, f := range p.fanins {
+			fw := val[f*wdt : f*wdt+wdt]
+			if m>>uint(i)&1 == 0 {
+				for j := 0; j < wdt; j++ {
+					term[j] &= ^fw[j]
+				}
+			} else {
+				for j := 0; j < wdt; j++ {
+					term[j] &= fw[j]
+				}
+			}
+		}
+		for j := 0; j < wdt; j++ {
+			acc[j] |= term[j]
+		}
+	}
+	if p.invert {
+		for j := 0; j < wdt; j++ {
+			acc[j] = ^acc[j]
+		}
+	}
+	copy(out, acc[:wdt])
+}
+
 // NewWord creates a unit-delay word-parallel simulator.
 func NewWord(net *logic.Network) (*WordSimulator, error) {
 	return NewWordWithDelays(net, DelayUnit, 0)
@@ -138,6 +204,7 @@ func NewWordWithDelays(net *logic.Network, model DelayModel, seed int64) (*WordS
 		fanouts:         net.Fanouts(),
 		NodeTransitions: make([]int64, net.NumNodes()),
 		plans:           make([]gatePlan, net.NumNodes()),
+		wide:            DefaultWide,
 	}
 	w.delays, w.maxDelay = assignDelays(net, model, seed)
 	for _, nd := range net.Nodes {
@@ -450,18 +517,22 @@ func (w *WordSimulator) rankedTrajectory(ctx context.Context, groups []laneGroup
 	return nil
 }
 
-// wordEvent is one scheduled 64-lane gate-output change.
+// wordEvent is one scheduled gate-output change: the node and its new
+// value words for every lane group of the block (only the first wdt
+// entries are meaningful).
 type wordEvent struct {
 	node int
-	w    uint64
+	w    [MaxWide]uint64
 }
 
 // wordScratch is the per-worker reusable event-simulation state — the
-// word-level mirror of the scalar Simulator's scratch fields.
+// word-level mirror of the scalar Simulator's scratch fields. Per-node
+// value arrays are strided: node i's group-j word lives at [i*wdt+j].
 type wordScratch struct {
-	// start holds the group's derived start-state words. Constant nodes
+	wdt int
+	// start holds the block's derived start-state words. Constant nodes
 	// are preset once at creation; input, latch, and gate slots are
-	// overwritten per group.
+	// overwritten per block.
 	start      []uint64
 	val        []uint64
 	futureVal  []uint64
@@ -474,44 +545,70 @@ type wordScratch struct {
 	changed    []int
 }
 
-func (w *WordSimulator) newScratch() *wordScratch {
+func (w *WordSimulator) newScratch(wdt int) *wordScratch {
 	n := w.net.NumNodes()
 	sc := &wordScratch{
-		start:      make([]uint64, n),
-		val:        make([]uint64, n),
-		futureVal:  make([]uint64, n),
+		wdt:        wdt,
+		start:      make([]uint64, n*wdt),
+		val:        make([]uint64, n*wdt),
+		futureVal:  make([]uint64, n*wdt),
 		futureSeen: make([]uint64, n),
 		evalSeen:   make([]uint64, n),
 		ring:       make([][]wordEvent, w.maxDelay+1),
 	}
 	for i, id := range w.constIDs {
 		if w.constVals[i] {
-			sc.start[id] = ^uint64(0)
+			for j := 0; j < wdt; j++ {
+				sc.start[id*wdt+j] = ^uint64(0)
+			}
 		}
 	}
 	return sc
 }
 
-// simGroup event-simulates one lane group to settlement, accumulating
-// per-node tallies into trans and returning the group's counts.
-func (w *WordSimulator) simGroup(g *laneGroup, sc *wordScratch, trans []int64) Counts {
+// simBlock event-simulates one block of up to wdt lane groups to
+// settlement, accumulating per-node tallies into trans and returning
+// the block's counts. Missing tail groups ride along as inactive words
+// (zero stimulus, zero count mask), so a partial final block needs no
+// special casing past the mask.
+//
+// Per-lane equivalence with the one-group engine: each group's words
+// evolve exactly as they would alone, because blocking only unions the
+// groups' event times — an evaluation triggered by another group's
+// change recomputes this group's pending value unchanged, and applying
+// it is a no-op that masked popcount counting charges nothing.
+func (w *WordSimulator) simBlock(groups []laneGroup, sc *wordScratch, trans []int64) Counts {
 	var c Counts
-	mask := g.mask()
+	wdt := sc.wdt
+	var masks [MaxWide]uint64
+	for j := range groups {
+		masks[j] = groups[j].mask()
+	}
 
-	// Derive the group's start state word-parallel: one levelized eval
+	// Derive the block's start state word-parallel: one levelized eval
 	// over the shifted stimulus gives each lane the settled values of
-	// its previous cycle — 64 cycles of start state for the price of
-	// one sweep. Ascending gateIDs are topological; consts are preset
-	// in the scratch.
+	// its previous cycle — wdt×64 cycles of start state for the price
+	// of one sweep. Ascending gateIDs are topological; consts are
+	// preset in the scratch.
 	start := sc.start
 	for i, id := range w.net.Inputs {
-		start[id] = g.startInputs[i]
+		for j := 0; j < wdt; j++ {
+			start[id*wdt+j] = 0
+		}
+		for j := range groups {
+			start[id*wdt+j] = groups[j].startInputs[i]
+		}
 	}
 	for i, q := range w.net.Latches {
-		start[q] = g.startLatch[i]
+		for j := 0; j < wdt; j++ {
+			start[q*wdt+j] = 0
+		}
+		for j := range groups {
+			start[q*wdt+j] = groups[j].startLatch[i]
+		}
 	}
 	for _, id := range w.gateIDs {
-		start[id] = w.plans[id].eval(start)
+		w.plans[id].evalInto(start, wdt, start[id*wdt:id*wdt+wdt])
 	}
 	copy(sc.val, start)
 	sc.stepGen++
@@ -519,18 +616,30 @@ func (w *WordSimulator) simGroup(g *laneGroup, sc *wordScratch, trans []int64) C
 
 	// Time 0: latch outputs and primary inputs change together.
 	for i, q := range w.net.Latches {
-		nv := g.latchQ[i]
-		if diff := sc.val[q] ^ nv; diff != 0 {
-			sc.val[q] = nv
-			n := int64(bits.OnesCount64(diff & mask))
-			c.Latch += n
-			trans[q] += n
+		any := false
+		for j := range groups {
+			nv := groups[j].latchQ[i]
+			if diff := sc.val[q*wdt+j] ^ nv; diff != 0 {
+				sc.val[q*wdt+j] = nv
+				n := int64(bits.OnesCount64(diff & masks[j]))
+				c.Latch += n
+				trans[q] += n
+				any = true
+			}
+		}
+		if any {
 			sc.changed = append(sc.changed, q)
 		}
 	}
 	for i, id := range w.net.Inputs {
-		if nv := g.inputs[i]; sc.val[id] != nv {
-			sc.val[id] = nv
+		any := false
+		for j := range groups {
+			if nv := groups[j].inputs[i]; sc.val[id*wdt+j] != nv {
+				sc.val[id*wdt+j] = nv
+				any = true
+			}
+		}
+		if any {
 			sc.changed = append(sc.changed, id)
 		}
 	}
@@ -549,34 +658,47 @@ func (w *WordSimulator) simGroup(g *laneGroup, sc *wordScratch, trans []int64) C
 		sc.npending -= len(events)
 		sc.changed = sc.changed[:0]
 		for _, e := range events {
-			diff := sc.val[e.node] ^ e.w
-			if diff == 0 {
-				continue
+			any := false
+			for j := 0; j < wdt; j++ {
+				diff := sc.val[e.node*wdt+j] ^ e.w[j]
+				if diff == 0 {
+					continue
+				}
+				sc.val[e.node*wdt+j] = e.w[j]
+				n := int64(bits.OnesCount64(diff & masks[j]))
+				c.Gate += n
+				trans[e.node] += n
+				any = true
 			}
-			sc.val[e.node] = e.w
-			n := int64(bits.OnesCount64(diff & mask))
-			c.Gate += n
-			trans[e.node] += n
-			sc.changed = append(sc.changed, e.node)
+			if any {
+				sc.changed = append(sc.changed, e.node)
+			}
 		}
 		w.evalFanoutsWord(sc, t)
 	}
 
 	// Functional transitions: settled word differs from start word.
 	for _, id := range w.gateIDs {
-		if diff := sc.val[id] ^ start[id]; diff != 0 {
-			c.GateFunctional += int64(bits.OnesCount64(diff & mask))
+		for j := 0; j < wdt; j++ {
+			if diff := sc.val[id*wdt+j] ^ start[id*wdt+j]; diff != 0 {
+				c.GateFunctional += int64(bits.OnesCount64(diff & masks[j]))
+			}
 		}
 	}
-	c.Cycles = int64(g.lanes)
+	for j := range groups {
+		c.Cycles += int64(groups[j].lanes)
+	}
 	return c
 }
 
 // evalFanoutsWord re-evaluates every gate fed by a changed node and
 // schedules word-level output changes at t + delay, mirroring the
-// scalar evalFanouts (evalSeen dedup, futureVal-aware comparison).
+// scalar evalFanouts (evalSeen dedup, futureVal-aware comparison). A
+// change in any of the block's words schedules the full wdt-word event;
+// words whose pending value is unchanged apply as no-ops.
 func (w *WordSimulator) evalFanoutsWord(sc *wordScratch, t int) {
 	sc.evalGen++
+	wdt := sc.wdt
 	for _, id := range sc.changed {
 		for _, gid := range w.fanouts[id] {
 			p := &w.plans[gid]
@@ -584,16 +706,24 @@ func (w *WordSimulator) evalFanoutsWord(sc *wordScratch, t int) {
 				continue
 			}
 			sc.evalSeen[gid] = sc.evalGen
-			nv := p.eval(sc.val)
-			cur := sc.val[gid]
+			var nv [MaxWide]uint64
+			p.evalInto(sc.val, wdt, nv[:wdt])
+			cur := sc.val[gid*wdt : gid*wdt+wdt]
 			if sc.futureSeen[gid] == sc.stepGen {
-				cur = sc.futureVal[gid]
+				cur = sc.futureVal[gid*wdt : gid*wdt+wdt]
 			}
-			if nv != cur {
-				sc.futureVal[gid] = nv
+			differs := false
+			for j := 0; j < wdt; j++ {
+				if nv[j] != cur[j] {
+					differs = true
+					break
+				}
+			}
+			if differs {
+				copy(sc.futureVal[gid*wdt:gid*wdt+wdt], nv[:wdt])
 				sc.futureSeen[gid] = sc.stepGen
 				slot := (t + w.delays[gid]) % len(sc.ring)
-				sc.ring[slot] = append(sc.ring[slot], wordEvent{gid, nv})
+				sc.ring[slot] = append(sc.ring[slot], wordEvent{node: gid, w: nv})
 				sc.npending++
 			}
 		}
@@ -631,14 +761,16 @@ func (w *WordSimulator) RunVectorsCtx(ctx context.Context, vectors [][]bool, wor
 	if err != nil {
 		return w.counts, err
 	}
+	wdt := w.wide
+	blocks := (len(groups) + wdt - 1) / wdt
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > blocks {
+		workers = blocks
 	}
 
-	perGroup := make([]Counts, len(groups))
+	perBlock := make([]Counts, blocks)
 	perWorker := make([][]int64, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -648,19 +780,24 @@ func (w *WordSimulator) RunVectorsCtx(ctx context.Context, vectors [][]bool, wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := w.newScratch()
+			sc := w.newScratch(wdt)
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(groups) || ctx.Err() != nil {
+				if i >= blocks || ctx.Err() != nil {
 					return
 				}
-				perGroup[i] = w.simGroup(&groups[i], sc, trans)
+				lo := i * wdt
+				hi := lo + wdt
+				if hi > len(groups) {
+					hi = len(groups)
+				}
+				perBlock[i] = w.simBlock(groups[lo:hi], sc, trans)
 			}
 		}()
 	}
 	wg.Wait()
 
-	for _, c := range perGroup {
+	for _, c := range perBlock {
 		w.counts.Gate += c.Gate
 		w.counts.GateFunctional += c.GateFunctional
 		w.counts.Latch += c.Latch

@@ -127,6 +127,47 @@ func TestWordTailGroups(t *testing.T) {
 	}
 }
 
+// TestWordWideMatchesScalar sweeps the lane-group width: every setting
+// must reproduce the scalar engine's Counts and NodeTransitions exactly,
+// including blocks with partial and missing tail groups (vector counts
+// straddling the width×64 boundary).
+func TestWordWideMatchesScalar(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *logic.Network
+	}{
+		{"pipemult4", netgen.PipelinedMultiplierNetwork(4, 2)},
+		{"mult5", netgen.MultiplierNetwork(5)},
+	}
+	for _, tc := range nets {
+		for _, n := range []int{1, 64, 100, 257, 520} {
+			sc, err := NewWithDelays(tc.net, DelayHeterogeneous, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vectors := RandomVectors(len(tc.net.Inputs), n, 3)
+			want := sc.RunVectors(vectors)
+			for _, wide := range []int{1, 2, 3, 4, 8} {
+				w, err := NewWordWithDelays(tc.net, DelayHeterogeneous, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.SetWide(wide)
+				got := w.RunVectors(vectors, 2)
+				if got != want {
+					t.Fatalf("%s n=%d wide=%d: word counts %+v, scalar %+v", tc.name, n, wide, got, want)
+				}
+				for id := range sc.NodeTransitions {
+					if w.NodeTransitions[id] != sc.NodeTransitions[id] {
+						t.Fatalf("%s n=%d wide=%d: node %d transitions %d, scalar %d",
+							tc.name, n, wide, id, w.NodeTransitions[id], sc.NodeTransitions[id])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestWordRunRandomSharesStimulus asserts the scalar and word engines
 // draw the identical random vector sequence for a seed (the shared
 // generator contract).
