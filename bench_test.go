@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/binding"
 	"repro/internal/cdfg"
 	"repro/internal/core"
@@ -274,6 +275,40 @@ func BenchmarkSim(b *testing.B) {
 			}
 			report(b, c)
 		})
+	}
+}
+
+// BenchmarkMap measures the cut-based technology mapper across target
+// architectures: the K=4 CycloneII fabric vs the K=6 Stratix-like one
+// on the same netlists. Wider LUTs enumerate more cuts per node (more
+// work) but emit fewer, shallower LUTs; luts/op and depth/op record the
+// cover so a quality regression shows up alongside a speed one. CI runs
+// this once as a smoke test.
+func BenchmarkMap(b *testing.B) {
+	for _, tc := range []struct {
+		size string
+		net  *logic.Network
+	}{
+		{"medium", netgen.MultiplierNetwork(8)},
+		{"large", netgen.PipelinedMultiplierNetwork(12, 2)},
+	} {
+		for _, target := range []arch.Target{arch.CycloneII(), arch.StratixLike6LUT()} {
+			tc, target := tc, target
+			b.Run(fmt.Sprintf("%s/%s", tc.size, target.Name), func(b *testing.B) {
+				opt := mapper.OptionsForArch(target)
+				b.ReportAllocs()
+				var res *mapper.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = mapper.Map(tc.net, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.LUTs), "luts/op")
+				b.ReportMetric(float64(res.Depth), "depth/op")
+			})
+		}
 	}
 }
 

@@ -10,9 +10,14 @@
 //	hlpower -ablation             run the binder/estimator ablation study
 //	hlpower -bench NAME           run one benchmark through both binders
 //	hlpower -alphasweep LIST      sweep HLPower's alpha over LIST (e.g. 0,0.25,0.5,0.75,1)
+//	hlpower -archsweep            compare target architectures (K=4 vs K=6 vs ASIC projection)
 //	hlpower -satable FILE         precompute and save the SA table
 //
-// Common flags: -width, -vectors, -alpha, -benchset (comma-separated
+// Common flags: -arch k4|k6|asic (target architecture: Cyclone-II-like
+// 4-LUTs, Stratix-like 6-LUTs, or the K=4 fabric with Kuon & Rose's
+// FPGA→ASIC gap factors applied to the final report; SA tables loaded
+// with -loadsatable must have been characterized under the same arch),
+// -width, -vectors, -alpha, -benchset (comma-separated
 // benchmark subset), -loadsatable FILE, -j N (parallel workers for the
 // sweep, the binding engine's edge scoring, and the word-parallel
 // simulator's lane groups; every run is independently seeded and both
@@ -51,6 +56,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/flow"
 	"repro/internal/pipeline"
 	"repro/internal/satable"
@@ -65,6 +71,8 @@ func main() {
 		validate  = flag.Bool("validate", false, "validate headline result shapes against the paper")
 		ablation  = flag.Bool("ablation", false, "run the ablation study (binder/estimator variants, module selection)")
 		bench     = flag.String("bench", "", "run a single benchmark through LOPASS and HLPower")
+		archName  = flag.String("arch", "k4", "target architecture: k4 (Cyclone-II-like 4-LUT), k6 (Stratix-like 6-LUT), asic (K=4 with FPGA->ASIC projection)")
+		archSweep = flag.Bool("archsweep", false, "run the cross-architecture comparison (K=4 vs K=6 vs ASIC projection) over the benchmark set")
 		width     = flag.Int("width", 8, "datapath bit width")
 		vectors   = flag.Int("vectors", 1000, "random simulation vectors")
 		benchset  = flag.String("benchset", "", "comma-separated benchmark subset (default: all)")
@@ -101,12 +109,17 @@ func main() {
 		ctx = pipeline.WithInjector(ctx, fi)
 	}
 
+	target, ok := arch.ByName(*archName)
+	if !ok {
+		usageErr(fmt.Errorf("unknown -arch %q (want k4, k6, or asic)", *archName))
+	}
 	cfg := flow.DefaultConfig()
 	cfg.Width = *width
 	cfg.Vectors = *vectors
-	// Normalize replaces the default width-8 SA tables when -width
-	// changed them out from under us.
-	cfg = cfg.Normalize()
+	// WithArch retargets the mapper K, power model, and SA tables to
+	// -arch, and (via Normalize) replaces the default width-8 SA tables
+	// when -width changed them out from under us.
+	cfg = cfg.WithArch(target)
 	if *loadTable != "" {
 		f, err := os.Open(*loadTable)
 		if err != nil {
@@ -121,11 +134,16 @@ func main() {
 		if t.Width != *width {
 			usageErr(fmt.Errorf("SA table width %d does not match -width %d", t.Width, *width))
 		}
+		if err := t.CheckArch(cfg.Arch); err != nil {
+			// A table characterized under another fabric must never
+			// silently weight this one's bindings.
+			usageErr(fmt.Errorf("%s: %w", *loadTable, err))
+		}
 		cfg.Table = t
 	}
 
 	if *saveTable != "" {
-		fmt.Fprintf(os.Stderr, "precomputing SA table (width %d, mux sizes 1..%d)...\n", *width, *maxMux)
+		fmt.Fprintf(os.Stderr, "precomputing SA table (arch %s, width %d, mux sizes 1..%d)...\n", cfg.Arch.Name, *width, *maxMux)
 		if err := cfg.Table.PrecomputeCtx(ctx, *maxMux, *jobs); err != nil {
 			fatal(err)
 		}
@@ -190,6 +208,11 @@ func main() {
 		}
 		fmt.Println("=== Alpha sweep ===")
 		if err := flow.AlphaSweep(ctx, os.Stdout, se, alphas); err != nil {
+			fatal(err)
+		}
+	case *archSweep:
+		fmt.Println("=== Architecture sweep ===")
+		if err := flow.ArchSweep(ctx, os.Stdout, se, arch.Presets()); err != nil {
 			fatal(err)
 		}
 	case *validate:

@@ -1,0 +1,126 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, tgt := range Presets() {
+		if err := tgt.Validate(); err != nil {
+			t.Errorf("%s: %v", tgt.Name, err)
+		}
+	}
+	if k := CycloneII().K; k != 4 {
+		t.Errorf("CycloneII K = %d, want 4", k)
+	}
+	if k := StratixLike6LUT().K; k != 6 {
+		t.Errorf("StratixLike6LUT K = %d, want 6", k)
+	}
+}
+
+// TestCycloneIIConstants pins the default target to the constants every
+// golden result was recorded under — bit-identity of the default arch is
+// the refactor's compatibility bar.
+func TestCycloneIIConstants(t *testing.T) {
+	c := CycloneII()
+	if c.Vdd != 1.2 || c.CLut != 4.5e-12 || c.CReg != 3.0e-12 ||
+		c.LUTDelayNs != 0.9 || c.ClockOverheadNs != 3.0 || c.Projection != nil {
+		t.Errorf("CycloneII constants drifted: %+v", c)
+	}
+}
+
+func TestLogicProjectionFactors(t *testing.T) {
+	p := LogicProjection()
+	if p.AreaDiv != 35 || p.PowerDiv != 14 || p.FreqMult != 3.4 {
+		t.Errorf("logic projection %+v, want 35/14/3.4", p)
+	}
+	if got := p.Area(70); got != 2 {
+		t.Errorf("Area(70) = %g, want 2", got)
+	}
+	if got := p.Power(28); got != 2 {
+		t.Errorf("Power(28) = %g, want 2", got)
+	}
+	if got := p.PeriodNs(6.8); got != 2 {
+		t.Errorf("PeriodNs(6.8) = %g, want 2", got)
+	}
+}
+
+func TestFingerprintsDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, tgt := range Presets() {
+		fp := tgt.Fingerprint()
+		if strings.ContainsAny(fp, " \t\n") {
+			t.Errorf("%s: fingerprint %q contains whitespace", tgt.Name, fp)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("targets %s and %s share fingerprint %q", prev, tgt.Name, fp)
+		}
+		seen[fp] = tgt.Name
+	}
+	// The name is display-only: renaming must not change identity.
+	a, b := CycloneII(), CycloneII()
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("display name leaked into the fingerprint")
+	}
+}
+
+func TestParseFingerprintRoundTrip(t *testing.T) {
+	for _, tgt := range Presets() {
+		fp := tgt.Fingerprint()
+		parsed, err := ParseFingerprint(fp)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		if got := parsed.Fingerprint(); got != fp {
+			t.Errorf("%s: round trip %q != %q", tgt.Name, got, fp)
+		}
+	}
+	for _, bad := range []string{
+		"", "garbage", "K4", "K4;vdd=1.2", "Kx;vdd=1;clut=1;creg=1;lutns=1;clkns=1;proj=none",
+		"K4;vdd=1.2;clut=4.5e-12;creg=3e-12;lutns=0.9;clkns=3;proj=35:14",
+		"K9;vdd=1.2;clut=4.5e-12;creg=3e-12;lutns=0.9;clkns=3;proj=none",
+		"K4;vdd=-1;clut=4.5e-12;creg=3e-12;lutns=0.9;clkns=3;proj=none",
+	} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, wantK := range map[string]int{"k4": 4, "K6": 6, " asic ": 4} {
+		tgt, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if tgt.K != wantK {
+			t.Errorf("ByName(%q).K = %d, want %d", name, tgt.K, wantK)
+		}
+	}
+	if tgt, _ := ByName("asic"); tgt.Projection == nil {
+		t.Error("ByName(asic) carries no projection")
+	}
+	if _, ok := ByName("k9"); ok {
+		t.Error("ByName accepted an unknown architecture")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Target){
+		"K too small": func(t *Target) { t.K = 1 },
+		"K too large": func(t *Target) { t.K = 7 },
+		"zero Vdd":    func(t *Target) { t.Vdd = 0 },
+		"neg CLut":    func(t *Target) { t.CLut = -1 },
+		"zero delay":  func(t *Target) { t.LUTDelayNs = 0 },
+		"bad proj":    func(t *Target) { t.Projection = &Projection{AreaDiv: 35, PowerDiv: 0, FreqMult: 3.4} },
+	}
+	for name, mutate := range cases {
+		tgt := CycloneII()
+		mutate(&tgt)
+		if err := tgt.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, tgt)
+		}
+	}
+}

@@ -85,8 +85,8 @@ func ablationSpec(variant string, cfg Config, zeroTable, najmTable *satable.Tabl
 // benchmark-major in suite order, then variant order.
 func AblationData(ctx context.Context, se *Session) ([]AblationRow, error) {
 	cfg := se.Cfg
-	zeroTable := satable.New(cfg.Width, satable.EstimatorZeroDelay)
-	najmTable := satable.New(cfg.Width, satable.EstimatorNajm)
+	zeroTable := satable.NewForArch(cfg.Width, satable.EstimatorZeroDelay, cfg.Arch)
+	najmTable := satable.NewForArch(cfg.Width, satable.EstimatorNajm, cfg.Arch)
 	perBench := make([][]AblationRow, len(se.Benchmarks))
 	err := firstError(runItems(ctx, len(se.Benchmarks), se.Jobs, true, func(ctx context.Context, bi int) error {
 		p := se.Benchmarks[bi]

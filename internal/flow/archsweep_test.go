@@ -1,0 +1,122 @@
+package flow
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestArchSweepSharesFrontEndAndProjects drives the cross-architecture
+// sweep over a small benchmark set and checks its two core contracts:
+// the fabric-blind front end (schedule, regbind) is computed once per
+// benchmark and shared across every target, and the ASIC rows relate to
+// the K=4 rows by exactly the Kuon & Rose gap factors — the projected
+// fabric runs the identical mapping and simulation, so power divides by
+// precisely PowerDiv and the period by FreqMult.
+func TestArchSweepSharesFrontEndAndProjects(t *testing.T) {
+	se := smallSession()
+	se.Jobs = 4
+	targets := arch.Presets()
+	rows, err := ArchSweepData(bgc, se, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBench := len(se.Benchmarks)
+	if len(rows) != nBench*len(targets) {
+		t.Fatalf("got %d rows, want %d", len(rows), nBench*len(targets))
+	}
+
+	stats := se.StageStats()
+	if st := stats[StageSchedule]; st.Misses != nBench {
+		t.Errorf("schedule computed %d times, want once per benchmark (%d): archs must share the front end", st.Misses, nBench)
+	}
+	if st := stats[StageRegbind]; st.Misses != nBench {
+		t.Errorf("regbind computed %d times, want %d", st.Misses, nBench)
+	}
+	// Every (benchmark, binder, arch) triple must get its own mapped
+	// implementation, simulation, and power analysis — arch fingerprints
+	// key the whole back end, so no demand may alias across targets even
+	// when (as for k4 vs k4-asic) the mapped netlist would be identical.
+	nRuns := nBench * 2 * len(targets)
+	for _, stage := range []string{StageMap, StageSim, StagePower} {
+		if st := stats[stage]; st.Misses != nRuns {
+			t.Errorf("%s computed %d times, want %d (distinct per arch)", stage, st.Misses, nRuns)
+		}
+	}
+
+	byArch := make(map[string]map[string]ArchSweepRow)
+	for _, r := range rows {
+		if byArch[r.Arch] == nil {
+			byArch[r.Arch] = make(map[string]ArchSweepRow)
+		}
+		byArch[r.Arch][r.Bench] = r
+	}
+	proj := arch.LogicProjection()
+	for _, p := range se.Benchmarks {
+		k4, asic := byArch["k4"][p.Name], byArch["k4-asic"][p.Name]
+		if !asic.Projected || k4.Projected {
+			t.Fatalf("%s: projection flags wrong: k4=%v asic=%v", p.Name, k4.Projected, asic.Projected)
+		}
+		if got, want := asic.PowerH, k4.PowerH/proj.PowerDiv; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: projected power %g, want %g (÷%g)", p.Name, got, want, proj.PowerDiv)
+		}
+		if got, want := asic.ClockNsH, k4.ClockNsH/proj.FreqMult; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: projected period %g, want %g (÷%g)", p.Name, got, want, proj.FreqMult)
+		}
+		if got, want := asic.AreaH, float64(k4.LUTsH)/proj.AreaDiv; math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: projected area %g, want %g (÷%g)", p.Name, got, want, proj.AreaDiv)
+		}
+		// The ratio metric is projection-invariant.
+		if math.Abs(asic.PowerPct-k4.PowerPct) > 1e-9 {
+			t.Errorf("%s: projection changed the HLPower reduction: %g vs %g", p.Name, asic.PowerPct, k4.PowerPct)
+		}
+		k6 := byArch["k6"][p.Name]
+		if k6.K != 6 || k6.DepthH <= 0 {
+			t.Fatalf("%s: malformed k6 row %+v", p.Name, k6)
+		}
+		// Wider LUTs absorb more logic per level: never more LUTs or
+		// deeper covers than K=4 under the same depth-oriented mapping.
+		if k6.LUTsH > k4.LUTsH {
+			t.Errorf("%s: K=6 uses more LUTs than K=4 (%d > %d)", p.Name, k6.LUTsH, k4.LUTsH)
+		}
+		if k6.DepthH > k4.DepthH {
+			t.Errorf("%s: K=6 mapped deeper than K=4 (%d > %d)", p.Name, k6.DepthH, k4.DepthH)
+		}
+	}
+}
+
+// TestArchSweepRenders checks the printed table carries one line per
+// (benchmark, target) plus the header.
+func TestArchSweepRenders(t *testing.T) {
+	se := smallSession()
+	se.Jobs = 4
+	var buf bytes.Buffer
+	if err := ArchSweep(bgc, &buf, se, []arch.Target{arch.CycloneII(), arch.ASICProjected(arch.CycloneII())}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + len(se.Benchmarks)*2; len(lines) != want {
+		t.Fatalf("rendered %d lines, want %d:\n%s", len(lines), want, buf.String())
+	}
+	if !strings.Contains(lines[0], "Arch") || !strings.Contains(lines[0], "PowerH(mW)") {
+		t.Errorf("header missing columns: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "k4") {
+			t.Errorf("row missing arch label: %q", l)
+		}
+	}
+}
+
+// TestArchSweepRejectsInvalidTarget covers the validation path.
+func TestArchSweepRejectsInvalidTarget(t *testing.T) {
+	se := smallSession()
+	bad := arch.CycloneII()
+	bad.K = 9
+	if _, err := ArchSweepData(bgc, se, []arch.Target{bad}); err == nil {
+		t.Fatal("sweep accepted an invalid target")
+	}
+}

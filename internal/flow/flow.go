@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/binding"
 	"repro/internal/cdfg"
 	"repro/internal/core"
@@ -56,6 +57,16 @@ var (
 
 // Config holds the shared experimental parameters.
 type Config struct {
+	// Arch is the target-architecture descriptor: the LUT input count
+	// the mapper covers with, the power model's constants, and an
+	// optional FPGA→ASIC projection applied to the final report. The
+	// arch owns the LUT input count — Normalize forces MapOpt.K to
+	// Arch.K — and its fingerprint participates in the bind, map, sim,
+	// and power stage cache keys (schedule/regbind are fabric-blind and
+	// shared across archs). Retarget with WithArch, which keeps Power
+	// and the SA tables consistent; a zero Arch normalizes to the
+	// default CycloneII.
+	Arch arch.Target
 	// Width is the datapath bit width.
 	Width int
 	// Vectors is the number of random input vectors (paper: 1000).
@@ -136,6 +147,7 @@ func DefaultConfig() Config {
 	mapOpt := mapper.DefaultOptions()
 	mapOpt.Mode = mapper.ModeDepth
 	return Config{
+		Arch:          arch.CycloneII(),
 		Width:         8,
 		Vectors:       1000,
 		VectorSeed:    2009,
@@ -151,21 +163,43 @@ func DefaultConfig() Config {
 	}
 }
 
-// Normalize returns the config with its SA-table invariants restored:
-// a nil or width-mismatched Table/BaselineTable is replaced with a
-// correctly sized one. This is the safety net for callers that adjust
-// Width after DefaultConfig (or build a Config by hand) and would
-// otherwise silently bind against tables characterized at the wrong
-// width. NewSession and the package-level Run entry points normalize
+// Normalize returns the config with its architecture and SA-table
+// invariants restored: a zero Arch becomes the default CycloneII, the
+// mapper's LUT input count follows the arch (the arch owns K), a
+// zero-valued Power model is filled from the arch (a caller-tuned
+// Power is preserved), and a nil, width-mismatched, or arch-mismatched
+// Table/BaselineTable is replaced with a correctly characterized one.
+// This is the safety net for callers that adjust Width or Arch after
+// DefaultConfig (or build a Config by hand) and would otherwise
+// silently bind against tables characterized for the wrong fabric.
+// NewSession and the package-level Run entry points normalize
 // automatically; direct stage users should call it themselves.
 func (c Config) Normalize() Config {
-	if c.Table == nil || c.Table.Width != c.Width {
-		c.Table = satable.New(c.Width, satable.EstimatorGlitch)
+	if c.Arch.K == 0 {
+		c.Arch = arch.CycloneII()
 	}
-	if c.BaselineTable == nil || c.BaselineTable.Width != c.Width {
-		c.BaselineTable = satable.New(c.Width, satable.EstimatorZeroDelay)
+	c.MapOpt.K = c.Arch.K
+	if c.Power == (power.Model{}) {
+		c.Power = power.FromArch(c.Arch)
+	}
+	if c.Table == nil || c.Table.Width != c.Width || c.Table.CheckArch(c.Arch) != nil {
+		c.Table = satable.NewForArch(c.Width, satable.EstimatorGlitch, c.Arch)
+	}
+	if c.BaselineTable == nil || c.BaselineTable.Width != c.Width || c.BaselineTable.CheckArch(c.Arch) != nil {
+		c.BaselineTable = satable.NewForArch(c.Width, satable.EstimatorZeroDelay, c.Arch)
 	}
 	return c
+}
+
+// WithArch returns the config retargeted to t and normalized: the
+// mapper's K, the power model, and the SA tables all follow the new
+// descriptor. Unlike Normalize alone, WithArch rebuilds the Power model
+// unconditionally — retargeting means adopting the new fabric's
+// constants, not keeping the old ones.
+func (c Config) WithArch(t arch.Target) Config {
+	c.Arch = t
+	c.Power = power.FromArch(t)
+	return c.Normalize()
 }
 
 // Result is the full measurement record of one (benchmark, binder) run.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/binding"
 	"repro/internal/cdfg"
 	"repro/internal/core"
@@ -82,17 +83,18 @@ func contentFP(g *cdfg.Graph, s *cdfg.Schedule) string {
 }
 
 // tableFP fingerprints an SA table by the values that determine its
-// contents (width, estimator, embedded mapper options). Table entries
-// are deterministic in these, so equal fingerprints mean interchangeable
-// tables — the contract that lets sessions share binds across
-// identically configured table instances. (A table loaded from disk is
-// assumed to hold its estimator's values, the same assumption satable
-// itself documents.)
+// contents (width, estimator, target architecture, embedded mapper
+// options). Table entries are deterministic in these, so equal
+// fingerprints mean interchangeable tables — the contract that lets
+// sessions share binds across identically configured table instances.
+// (A table loaded from disk is assumed to hold its estimator's values,
+// the same assumption satable itself documents; the arch stamp in its
+// snapshot header backs the arch component.)
 func tableFP(t *satable.Table) string {
 	if t == nil {
 		return "none"
 	}
-	h := pipeline.NewHasher().Int(t.Width).Int(int(t.Est))
+	h := pipeline.NewHasher().Int(t.Width).Int(int(t.Est)).Str(t.Arch.Fingerprint())
 	return mapOptFPInto(h, t.MapOpt).Sum()
 }
 
@@ -294,6 +296,13 @@ type mapIn struct {
 	dp     *dpArtifact
 	preOpt bool
 	mapOpt mapper.Options
+	// archFP is the target architecture's fingerprint. The mapper
+	// itself reads only mapOpt (whose K the arch already owns), but the
+	// full fingerprint keys the artifact so every fabric gets its own
+	// mapped implementation — the contract that map, sim, and power
+	// never share across archs, while schedule/regbind/datapath (which
+	// are fabric-blind) still do.
+	archFP string
 }
 
 type simIn struct {
@@ -318,6 +327,10 @@ type powerIn struct {
 	counts sim.Counts
 	simKey string
 	model  power.Model
+	// proj, when non-nil, applies the arch's FPGA→ASIC gap factors to
+	// the analyzed report inside the stage, so the cached artifact is
+	// the final (projected) report.
+	proj *arch.Projection
 }
 
 // simKey derives the simulate stage's cache key; the power stage chains
@@ -333,6 +346,15 @@ func powerFP(m power.Model) string {
 	return pipeline.NewHasher().
 		F64(m.Vdd).F64(m.CLut).F64(m.CReg).F64(m.LUTDelayNs).F64(m.ClockOverheadNs).
 		Sum()
+}
+
+// projFP fingerprints an optional FPGA→ASIC projection (nil = native
+// FPGA report).
+func projFP(p *arch.Projection) string {
+	if p == nil {
+		return "none"
+	}
+	return pipeline.NewHasher().F64(p.AreaDiv).F64(p.PowerDiv).F64(p.FreqMult).Sum()
 }
 
 // ---------------------------------------------------------------------
@@ -506,11 +528,11 @@ var stageDatapath = pipeline.Stage[datapathIn, *dpArtifact]{
 }
 
 // stageMap optionally pre-optimizes the netlist and runs the
-// glitch-aware 4-LUT technology mapper.
+// glitch-aware K-LUT technology mapper for the configured architecture.
 var stageMap = pipeline.Stage[mapIn, *mapArtifact]{
 	Name: StageMap,
 	Key: func(in mapIn) string {
-		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt)
+		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt).Str(in.archFP)
 		return mapOptFPInto(h, in.mapOpt).Sum()
 	},
 	Scope: func(in mapIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
@@ -523,7 +545,7 @@ var stageMap = pipeline.Stage[mapIn, *mapArtifact]{
 		if err != nil {
 			return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 		}
-		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt).Str("map")
+		h := pipeline.NewHasher().Str(in.dp.fp).Bool(in.preOpt).Str(in.archFP).Str("map")
 		fp := mapOptFPInto(h, in.mapOpt).Sum()
 		return &mapArtifact{m: m, fp: fp}, nil
 	},
@@ -556,15 +578,21 @@ var stageSim = pipeline.Stage[simIn, sim.Counts]{
 	Size: func(c sim.Counts) int { return int(c.Gate + c.Latch) },
 }
 
-// stagePower produces the PowerPlay-equivalent report.
+// stagePower produces the PowerPlay-equivalent report, applying the
+// architecture's FPGA→ASIC projection (if any) so the cached report is
+// final.
 var stagePower = pipeline.Stage[powerIn, power.Report]{
 	Name: StagePower,
 	Key: func(in powerIn) string {
-		return pipeline.NewHasher().Str(in.simKey).Str(powerFP(in.model)).Sum()
+		return pipeline.NewHasher().Str(in.simKey).Str(powerFP(in.model)).Str(projFP(in.proj)).Sum()
 	},
 	Scope: func(in powerIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
 	Run: func(_ context.Context, in powerIn) (power.Report, error) {
-		return in.model.Analyze(in.ma.m.Mapped, in.counts), nil
+		rep := in.model.Analyze(in.ma.m.Mapped, in.counts)
+		if in.proj != nil {
+			rep = power.Project(*in.proj, rep)
+		}
+		return rep, nil
 	},
 }
 
@@ -585,6 +613,7 @@ func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sche
 	ma, err := stageMap.Exec(ctx, cache, mapIn{
 		name: name, binder: binderName, dp: dp,
 		preOpt: cfg.PreOptimize, mapOpt: cfg.MapOpt,
+		archFP: cfg.Arch.Fingerprint(),
 	}, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err
@@ -602,6 +631,7 @@ func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sche
 	rep, err := stagePower.Exec(ctx, cache, powerIn{
 		name: name, binder: binderName,
 		ma: ma, counts: counts, simKey: simKey(sin), model: cfg.Power,
+		proj: cfg.Arch.Projection,
 	}, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/binding"
 	"repro/internal/cdfg"
 	"repro/internal/core"
@@ -407,6 +408,29 @@ func TestCacheKeySensitivity(t *testing.T) {
 			mutate: func(c *Config) { c.Table = satable.New(c.Width, satable.EstimatorNajm) },
 			miss:   []string{StageBind},
 			hit:    []string{StageSchedule, StageRegbind},
+		},
+		{
+			// A new K changes the SA table identity (bind) and the
+			// mapper target; the fabric-blind front end is shared.
+			// Datapath is content-addressed (K=6 binds may or may not
+			// coincide) and deliberately unasserted.
+			name:   "Arch",
+			mutate: func(c *Config) { *c = c.WithArch(arch.StratixLike6LUT()) },
+			miss:   []string{StageBind, StageMap, StageSim, StagePower},
+			hit:    []string{StageSchedule, StageRegbind},
+		},
+		{
+			// The ASIC projection keeps K=4, so the SA values — and
+			// hence the binding content — are identical: datapath is a
+			// content-addressed HIT while bind (table identity) and the
+			// whole measurement back end (arch fingerprint in the map
+			// key, projection in the power key) recompute. This is the
+			// acceptance property: map/sim/power keys distinct per arch
+			// even when the mapped netlist would be identical.
+			name:   "ArchProjection",
+			mutate: func(c *Config) { *c = c.WithArch(arch.ASICProjected(arch.CycloneII())) },
+			miss:   []string{StageBind, StageMap, StageSim, StagePower},
+			hit:    []string{StageSchedule, StageRegbind, StageDatapath},
 		},
 	}
 

@@ -40,20 +40,26 @@ func TestMapRandomNetworksFormallyEquivalent(t *testing.T) {
 			net.MarkOutput("o"+string(rune('0'+o)), pool[len(pool)-1-rng.Intn(4)])
 		}
 
-		for _, mode := range []Mode{ModePower, ModeDepth, ModeArea} {
-			opt := DefaultOptions()
-			opt.Mode = mode
-			res, err := Map(net, opt)
-			if err != nil {
-				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
-			}
-			eq, err := verify.Equivalent(net, res.Mapped, verify.Options{})
-			if err != nil {
-				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
-			}
-			if !eq.Equivalent {
-				t.Fatalf("seed %d mode %v: cover differs at %s (counterexample %v)",
-					seed, mode, eq.FailedOutput, eq.Counterexample)
+		for _, k := range []int{4, 6} {
+			for _, mode := range []Mode{ModePower, ModeDepth, ModeArea} {
+				opt := DefaultOptions()
+				opt.K = k
+				opt.Mode = mode
+				res, err := Map(net, opt)
+				if err != nil {
+					t.Fatalf("seed %d K=%d mode %v: %v", seed, k, mode, err)
+				}
+				if s := res.Mapped.Stats(); s.MaxFanin > k {
+					t.Fatalf("seed %d K=%d mode %v: max fanin %d", seed, k, mode, s.MaxFanin)
+				}
+				eq, err := verify.Equivalent(net, res.Mapped, verify.Options{})
+				if err != nil {
+					t.Fatalf("seed %d K=%d mode %v: %v", seed, k, mode, err)
+				}
+				if !eq.Equivalent {
+					t.Fatalf("seed %d K=%d mode %v: cover differs at %s (counterexample %v)",
+						seed, k, mode, eq.FailedOutput, eq.Counterexample)
+				}
 			}
 		}
 

@@ -11,11 +11,36 @@ package mapper
 import (
 	"fmt"
 
+	"repro/internal/arch"
 	"repro/internal/cuts"
 	"repro/internal/glitch"
 	"repro/internal/logic"
 	"repro/internal/prob"
 )
+
+// MinK and MaxK bound the supported LUT input counts, re-exported from
+// the architecture package. The upper bound is an estimator contract,
+// not a tuning choice: a K-input LUT computes a K-variable function,
+// and prob.Char's packed joint-code tables plus the mapper's
+// truth-table handling assume at most 6 variables — beyond that the
+// validated fast paths silently degrade.
+const (
+	MinK = arch.MinK
+	MaxK = arch.MaxK
+)
+
+// KRangeError reports a LUT input count outside [MinK, MaxK]. Map
+// returns it (wrapped conventions apply: match with errors.As) instead
+// of silently mis-mapping under an unsupported K.
+type KRangeError struct {
+	// K is the rejected LUT input count.
+	K int
+}
+
+func (e *KRangeError) Error() string {
+	return fmt.Sprintf("mapper: K=%d outside supported LUT range [%d,%d] (prob.Char joint codes and truth-table handling assume <= %d inputs)",
+		e.K, MinK, MaxK, MaxK)
+}
 
 // Mode selects the mapping objective.
 type Mode int
@@ -62,6 +87,14 @@ func DefaultOptions() Options {
 	return Options{K: 4, Keep: 8, Mode: ModePower, Sources: prob.DefaultSources()}
 }
 
+// OptionsForArch returns DefaultOptions retargeted to the descriptor's
+// LUT input count.
+func OptionsForArch(t arch.Target) Options {
+	o := DefaultOptions()
+	o.K = t.K
+	return o
+}
+
 // Result is a completed mapping.
 type Result struct {
 	// Mapped is the LUT-level network (every gate is one LUT).
@@ -89,8 +122,8 @@ type nodeState struct {
 
 // Map covers the combinational logic of net with K-input LUTs.
 func Map(net *logic.Network, opt Options) (*Result, error) {
-	if opt.K < 2 {
-		return nil, fmt.Errorf("mapper: K must be >= 2, got %d", opt.K)
+	if opt.K < MinK || opt.K > MaxK {
+		return nil, &KRangeError{K: opt.K}
 	}
 	if opt.Keep < 1 {
 		return nil, fmt.Errorf("mapper: Keep must be >= 1, got %d", opt.Keep)

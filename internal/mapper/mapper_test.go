@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestMapPowerModeLowersSA(t *testing.T) {
 
 func TestMapRespectsK(t *testing.T) {
 	net := netgen.MultiplierNetwork(6)
-	for _, k := range []int{3, 4, 5} {
+	for _, k := range []int{3, 4, 5, 6} {
 		opt := DefaultOptions()
 		opt.K = k
 		res, err := Map(net, opt)
@@ -214,12 +215,21 @@ func name(base string, i int) string {
 
 func TestMapRejectsBadOptions(t *testing.T) {
 	net := netgen.AdderNetwork(2)
-	opt := DefaultOptions()
-	opt.K = 1
-	if _, err := Map(net, opt); err == nil {
-		t.Fatal("K=1 should be rejected")
+	// K outside [MinK, MaxK] yields the structured KRangeError so callers
+	// (flag parsing, arch validation) can surface the supported range.
+	for _, k := range []int{1, 7} {
+		opt := DefaultOptions()
+		opt.K = k
+		_, err := Map(net, opt)
+		if err == nil {
+			t.Fatalf("K=%d should be rejected", k)
+		}
+		var kerr *KRangeError
+		if !errors.As(err, &kerr) || kerr.K != k {
+			t.Fatalf("K=%d: want *KRangeError carrying K, got %v", k, err)
+		}
 	}
-	opt = DefaultOptions()
+	opt := DefaultOptions()
 	opt.Keep = 0
 	if _, err := Map(net, opt); err == nil {
 		t.Fatal("Keep=0 should be rejected")

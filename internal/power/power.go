@@ -15,6 +15,7 @@
 package power
 
 import (
+	"repro/internal/arch"
 	"repro/internal/logic"
 	"repro/internal/sim"
 )
@@ -36,13 +37,23 @@ type Model struct {
 
 // CycloneII returns constants calibrated for the Altera Cyclone II
 // (90 nm, 4-input LUTs, 1.2 V) — the paper's testbed architecture.
+// Identical to FromArch(arch.CycloneII()); kept as the historical
+// constructor.
 func CycloneII() Model {
+	return FromArch(arch.CycloneII())
+}
+
+// FromArch builds the power model from a target-architecture
+// descriptor. The descriptor's Projection block is not consumed here —
+// Analyze always reports the FPGA-fabric numbers; apply the projection
+// afterwards with Project.
+func FromArch(t arch.Target) Model {
 	return Model{
-		Vdd:             1.2,
-		CLut:            4.5e-12,
-		CReg:            3.0e-12,
-		LUTDelayNs:      0.9,
-		ClockOverheadNs: 3.0,
+		Vdd:             t.Vdd,
+		CLut:            t.CLut,
+		CReg:            t.CReg,
+		LUTDelayNs:      t.LUTDelayNs,
+		ClockOverheadNs: t.ClockOverheadNs,
 	}
 }
 
@@ -107,4 +118,19 @@ func (m Model) Analyze(mapped *logic.Network, counts sim.Counts) Report {
 		TotalTogglesPerCycle: counts.TogglesPerCycle(),
 		GlitchShare:          glitchShare,
 	}
+}
+
+// Project applies FPGA→ASIC gap factors to an FPGA-fabric report:
+// dynamic power divides by PowerDiv (Kuon & Rose compare dynamic power
+// with both implementations at the same frequency, so the measured
+// toggle basis is unchanged) and the clock period divides by FreqMult
+// (the separately achievable speedup). The per-cycle and per-signal
+// activity metrics (AvgToggleRateMHz, TotalTogglesPerCycle,
+// GlitchShare) describe the logic's switching behaviour at the
+// comparison frequency and pass through untouched. Area has no Report
+// field; project LUT counts with Projection.Area directly.
+func Project(p arch.Projection, r Report) Report {
+	r.DynamicPowerMW = p.Power(r.DynamicPowerMW)
+	r.ClockPeriodNs = p.PeriodNs(r.ClockPeriodNs)
+	return r
 }

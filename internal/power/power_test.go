@@ -4,10 +4,53 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/mapper"
 	"repro/internal/netgen"
 	"repro/internal/sim"
 )
+
+// TestFromArchMatchesCycloneII pins the descriptor-built model to the
+// historical constants: the default arch must be bit-identical.
+func TestFromArchMatchesCycloneII(t *testing.T) {
+	want := Model{
+		Vdd:             1.2,
+		CLut:            4.5e-12,
+		CReg:            3.0e-12,
+		LUTDelayNs:      0.9,
+		ClockOverheadNs: 3.0,
+	}
+	if got := FromArch(arch.CycloneII()); got != want {
+		t.Errorf("FromArch(CycloneII) = %+v, want %+v", got, want)
+	}
+	if got := CycloneII(); got != want {
+		t.Errorf("CycloneII() = %+v, want %+v", got, want)
+	}
+}
+
+// TestProjectAppliesGapFactors checks the FPGA→ASIC rescale: power ÷14
+// (iso-frequency), period ÷3.4, activity metrics untouched.
+func TestProjectAppliesGapFactors(t *testing.T) {
+	in := Report{
+		DynamicPowerMW:       14,
+		ClockPeriodNs:        6.8,
+		AvgToggleRateMHz:     5,
+		TotalTogglesPerCycle: 123,
+		GlitchShare:          0.25,
+	}
+	out := Project(arch.LogicProjection(), in)
+	if math.Abs(out.DynamicPowerMW-1) > 1e-12 {
+		t.Errorf("projected power %g, want 1", out.DynamicPowerMW)
+	}
+	if math.Abs(out.ClockPeriodNs-2) > 1e-12 {
+		t.Errorf("projected period %g, want 2", out.ClockPeriodNs)
+	}
+	if out.AvgToggleRateMHz != in.AvgToggleRateMHz ||
+		out.TotalTogglesPerCycle != in.TotalTogglesPerCycle ||
+		out.GlitchShare != in.GlitchShare {
+		t.Errorf("projection touched activity metrics: %+v", out)
+	}
+}
 
 func TestClockPeriodScalesWithDepth(t *testing.T) {
 	m := CycloneII()

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/arch"
 	"repro/internal/mapper"
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
@@ -96,20 +97,47 @@ type Table struct {
 	Width int
 	// Est selects the SA model.
 	Est Estimator
+	// Arch is the target architecture the entries were characterized
+	// under: its K drives the embedded mapper and its fingerprint stamps
+	// Save/Load snapshots, so a table characterized for one fabric can
+	// never silently serve another (see CheckArch).
+	Arch arch.Target
 	// MapOpt configures the embedded technology mapper.
 	MapOpt mapper.Options
 
 	cache *pipeline.Cache
 }
 
-// New returns an empty table for the given datapath width.
+// New returns an empty table for the given datapath width, characterized
+// under the default Cyclone II architecture.
 func New(width int, est Estimator) *Table {
+	return NewForArch(width, est, arch.CycloneII())
+}
+
+// NewForArch returns an empty table characterized under the given
+// target architecture: the embedded mapper covers with the target's
+// LUT input count.
+func NewForArch(width int, est Estimator, t arch.Target) *Table {
 	return &Table{
 		Width:  width,
 		Est:    est,
-		MapOpt: mapper.DefaultOptions(),
+		Arch:   t,
+		MapOpt: mapper.OptionsForArch(t),
 		cache:  pipeline.NewCache(),
 	}
+}
+
+// CheckArch reports an error when the table was characterized under a
+// different architecture than want, naming both fingerprints. Callers
+// adopting a loaded (or shared) table must check before binding with
+// it: SA values are arch-specific, and a mismatched table would
+// silently corrupt cross-arch comparisons.
+func (t *Table) CheckArch(want arch.Target) error {
+	got, wantFP := t.Arch.Fingerprint(), want.Fingerprint()
+	if got != wantFP {
+		return fmt.Errorf("satable: table characterized under arch %s cannot serve arch %s", got, wantFP)
+	}
+	return nil
 }
 
 // Get returns the estimated SA for the configuration, computing and
@@ -311,7 +339,7 @@ func (t *Table) Save(w io.Writer) error {
 		}
 		return keys[i].KR < keys[j].KR
 	})
-	if _, err := fmt.Fprintf(w, "# hlpower-satable width=%d est=%s\n", t.Width, t.Est); err != nil {
+	if _, err := fmt.Fprintf(w, "# hlpower-satable width=%d est=%s arch=%s\n", t.Width, t.Est, t.Arch.Fingerprint()); err != nil {
 		return err
 	}
 	for _, k := range keys {
@@ -330,8 +358,12 @@ const (
 	maxLoadMux   = 256
 )
 
-// Load reads a table saved by Save. The estimator/width are recovered
-// from the header.
+// Load reads a table saved by Save. The estimator/width/architecture
+// are recovered from the header; snapshots from before arch stamping
+// carry no arch token and load as the default Cyclone II target (the
+// only architecture that ever produced them). Loading never silently
+// retargets: adopt a loaded table only after CheckArch against the
+// architecture you intend to bind for.
 //
 // The input is treated as untrusted: a malformed header, an unknown
 // estimator or FU kind, out-of-range widths or mux sizes, and
@@ -367,7 +399,23 @@ func Load(r io.Reader) (*Table, error) {
 	default:
 		return nil, fmt.Errorf("satable: unknown estimator %q in header", estName)
 	}
-	t := New(width, est)
+	tgt := arch.CycloneII()
+	for _, field := range strings.Fields(header) {
+		fp, ok := strings.CutPrefix(field, "arch=")
+		if !ok {
+			continue
+		}
+		parsed, err := arch.ParseFingerprint(fp)
+		if err != nil {
+			return nil, fmt.Errorf("satable: header %q: %w", header, err)
+		}
+		// The parsed target carries the stamped physics but no display
+		// name; keep the fingerprint as the label.
+		parsed.Name = fp
+		tgt = parsed
+		break
+	}
+	t := NewForArch(width, est, tgt)
 	lineNo := 1
 	seen := make(map[string]int)
 	for sc.Scan() {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/netgen"
 )
 
@@ -249,5 +250,79 @@ func TestGetBatchCancellation(t *testing.T) {
 	cancel()
 	if _, err := tb.GetBatch(ctx, []Key{{Kind: netgen.FUAdd, KL: 1, KR: 1}}, 2); err == nil {
 		t.Fatal("cancelled batch should fail")
+	}
+}
+
+// TestSaveLoadArchRoundTrip characterizes a table under a non-default
+// architecture and requires the arch fingerprint to survive Save/Load:
+// the loaded table must serve the same target (CheckArch nil) and carry
+// the target's K into its mapper options.
+func TestSaveLoadArchRoundTrip(t *testing.T) {
+	k6 := arch.StratixLike6LUT()
+	tb := NewForArch(4, EstimatorGlitch, k6)
+	tb.Get(netgen.FUAdd, 2, 2)
+	var sb strings.Builder
+	if err := tb.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "arch="+k6.Fingerprint()) {
+		t.Fatalf("header missing arch stamp:\n%s", sb.String())
+	}
+	back, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckArch(k6); err != nil {
+		t.Fatalf("round-tripped table refuses its own arch: %v", err)
+	}
+	if back.MapOpt.K != 6 {
+		t.Fatalf("loaded MapOpt.K = %d, want 6", back.MapOpt.K)
+	}
+	if back.Arch.Fingerprint() != k6.Fingerprint() {
+		t.Fatalf("fingerprint drifted: %s vs %s", back.Arch.Fingerprint(), k6.Fingerprint())
+	}
+}
+
+// TestCheckArchMismatchNamesBoth requires the refusal error to carry
+// both fingerprints so a stale snapshot is diagnosable from the message
+// alone.
+func TestCheckArchMismatchNamesBoth(t *testing.T) {
+	tb := NewForArch(4, EstimatorGlitch, arch.CycloneII())
+	want := arch.StratixLike6LUT()
+	err := tb.CheckArch(want)
+	if err == nil {
+		t.Fatal("K=4 table accepted for a K=6 target")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, tb.Arch.Fingerprint()) || !strings.Contains(msg, want.Fingerprint()) {
+		t.Fatalf("error %q does not name both fingerprints", msg)
+	}
+}
+
+// TestLoadLegacyHeaderDefaultsCycloneII: snapshots written before the
+// arch stamp existed (no arch= token) must load as the CycloneII
+// default they were characterized under, not be rejected.
+func TestLoadLegacyHeaderDefaultsCycloneII(t *testing.T) {
+	in := "# hlpower-satable width=8 est=glitch\n" +
+		"add 1 1 0.5\n"
+	tb, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CheckArch(arch.CycloneII()); err != nil {
+		t.Fatalf("legacy snapshot should serve CycloneII: %v", err)
+	}
+	if tb.MapOpt.K != 4 {
+		t.Fatalf("legacy MapOpt.K = %d, want 4", tb.MapOpt.K)
+	}
+}
+
+// TestLoadRejectsMalformedArchToken: a present-but-unparseable arch
+// stamp is corruption, not a legacy file.
+func TestLoadRejectsMalformedArchToken(t *testing.T) {
+	in := "# hlpower-satable width=8 est=glitch arch=K9;bogus\n" +
+		"add 1 1 0.5\n"
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed arch token accepted")
 	}
 }
