@@ -49,10 +49,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -60,6 +58,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/pipeline"
 	"repro/internal/satable"
+	"repro/internal/sigctx"
 	"repro/internal/workload"
 )
 
@@ -93,8 +92,10 @@ func main() {
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM / -timeout all cancel the same context; every
-	// pipeline stage and the sim inner loop observe it cooperatively.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// pipeline stage and the sim inner loop observe it cooperatively. A
+	// second signal during the wind-down forces exit 2 (sigctx) instead
+	// of leaving a stuck sweep unkillable.
+	ctx, stop := sigctx.Notify(context.Background())
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -296,43 +297,13 @@ func parseAlphas(s string) ([]float64, error) {
 }
 
 // parseInject parses the -inject spec: a comma-separated key=value list
-// building one seeded FaultRule. Example:
+// building one seeded FaultRule (pipeline.ParseInjectSpec, shared with
+// hlpowerd, which also accepts the durable-store disk-fault keys).
+// Example:
 //
 //	-inject 'seed=42,stage=map,bench=chem,perror=1'
 func parseInject(s string) (*pipeline.FaultInjector, error) {
-	var seed int64 = 1
-	var rule pipeline.FaultRule
-	for _, kv := range strings.Split(s, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -inject entry %q (want key=value)", kv)
-		}
-		var err error
-		switch strings.ToLower(k) {
-		case "seed":
-			seed, err = strconv.ParseInt(v, 10, 64)
-		case "stage":
-			rule.Stage = v
-		case "bench":
-			rule.Bench = v
-		case "binder":
-			rule.Binder = v
-		case "perror":
-			rule.PError, err = strconv.ParseFloat(v, 64)
-		case "ppanic":
-			rule.PPanic, err = strconv.ParseFloat(v, 64)
-		case "pdelay":
-			rule.PDelay, err = strconv.ParseFloat(v, 64)
-		case "delay":
-			rule.Delay, err = time.ParseDuration(v)
-		default:
-			return nil, fmt.Errorf("unknown -inject key %q", k)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bad -inject value %q for %s: %w", v, k, err)
-		}
-	}
-	return pipeline.NewFaultInjector(seed, rule), nil
+	return pipeline.ParseInjectSpec(s)
 }
 
 // writeFailures writes the sweep's failure report to dest ("" = skip,

@@ -366,15 +366,38 @@ func (se *Session) Derive(cfg Config) *Session {
 	}
 }
 
+// runKey derives the run cache key for (benchmark, binder): the
+// profile's content fingerprint plus the binder's *resolved* parameter
+// fingerprint. Semantic, never the display name — two Binder values
+// that resolve to the same algorithm and parameters share one run, and
+// a name reused across different parameters can never collide. The key
+// is also stable across processes, which is what lets a durable store
+// serve whole run results to a restarted daemon (the store additionally
+// namespaces the class by the session's Config fingerprint, covering
+// the fields runKey deliberately omits — see AttachStore).
+func (se *Session) runKey(p workload.Profile, b Binder) string {
+	return p.Name + "|" + pipeline.NewHasher().
+		Str(profileKey(p)).Str(specForBinder(b, se.Cfg).fp()).
+		Sum()
+}
+
 // Run returns the cached result for (benchmark, binder), executing the
 // pipeline on first use. Concurrent calls for the same pair share one
 // execution and return the identical *Result. A failed execution is not
 // cached: concurrent waiters retry under their own context, and a later
 // Run recomputes the pair from whatever stage artifacts survived.
 func (se *Session) Run(ctx context.Context, p workload.Profile, b Binder) (*Result, error) {
-	key := p.Name + "|" + b.Name
-	v, _, err := se.runs.Do(ctx, runClass, key, func() (any, error) {
-		return se.runStaged(ctx, p, b)
+	return se.RunTraced(ctx, p, b, nil)
+}
+
+// RunTraced is Run with a live per-request trace: if this call ends up
+// executing the pipeline (rather than being served from the run cache
+// or waiting out another caller's execution), every stage span is also
+// recorded into tr as it completes — the daemon's progress streaming
+// attaches an observer to tr. A nil tr is Run.
+func (se *Session) RunTraced(ctx context.Context, p workload.Profile, b Binder, tr *pipeline.Trace) (*Result, error) {
+	v, _, err := se.runs.Do(ctx, runClass, se.runKey(p, b), func() (any, error) {
+		return se.runStaged(ctx, p, b, tr)
 	})
 	if err != nil {
 		return nil, err
@@ -382,15 +405,30 @@ func (se *Session) Run(ctx context.Context, p workload.Profile, b Binder) (*Resu
 	return v.(*Result), nil
 }
 
+// Peek returns the completed cached result for (benchmark, binder)
+// without computing, waiting, or touching cache statistics. The daemon
+// uses it to label responses warm before demanding the run.
+func (se *Session) Peek(p workload.Profile, b Binder) (*Result, bool) {
+	v, ok := se.runs.Lookup(runClass, se.runKey(p, b))
+	if !ok {
+		return nil, false
+	}
+	return v.(*Result), true
+}
+
 // runStaged executes one (benchmark, binder) pipeline through the
 // session's stage cache.
-func (se *Session) runStaged(ctx context.Context, p workload.Profile, b Binder) (*Result, error) {
+func (se *Session) runStaged(ctx context.Context, p workload.Profile, b Binder, live *pipeline.Trace) (*Result, error) {
 	var tr pipeline.Trace
-	fe, err := stageSchedule.Exec(ctx, se.stages, p, se.trace, &tr)
+	traces := []*pipeline.Trace{se.trace, &tr}
+	if live != nil {
+		traces = append(traces, live)
+	}
+	fe, err := stageSchedule.Exec(ctx, se.stages, p, traces...)
 	if err != nil {
 		return nil, err
 	}
-	r, err := runPipeline(ctx, se.stages, se.Cfg, fe, p.Name, p.RC, b, se.trace, &tr)
+	r, err := runPipeline(ctx, se.stages, se.Cfg, fe, p.Name, p.RC, b, traces...)
 	if err != nil {
 		return nil, err
 	}

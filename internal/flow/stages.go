@@ -89,13 +89,14 @@ func contentFP(g *cdfg.Graph, s *cdfg.Schedule) string {
 // sessions share binds across identically configured table instances.
 // (A table loaded from disk is assumed to hold its estimator's values,
 // the same assumption satable itself documents; the arch stamp in its
-// snapshot header backs the arch component.)
+// snapshot header backs the arch component.) The fingerprint is
+// satable's own (Table.Fingerprint), so the stage cache keys and the
+// durable store's sa@<fp> class namespace can never drift apart.
 func tableFP(t *satable.Table) string {
 	if t == nil {
 		return "none"
 	}
-	h := pipeline.NewHasher().Int(t.Width).Int(int(t.Est)).Str(t.Arch.Fingerprint())
-	return mapOptFPInto(h, t.MapOpt).Sum()
+	return t.Fingerprint()
 }
 
 func mapOptFPInto(h *pipeline.Hasher, o mapper.Options) *pipeline.Hasher {

@@ -1,0 +1,242 @@
+package flow
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// storeTestConfig is a small, fast configuration shared by the durable
+// round-trip tests. Built once per call — equal Fingerprints are what
+// lets a fresh Session adopt another session's persisted artifacts.
+func storeTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Vectors = 50
+	return cfg
+}
+
+func benchPR(t *testing.T) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName("pr")
+	if !ok {
+		t.Fatal("benchmark pr missing")
+	}
+	return p
+}
+
+// sameMeasurement asserts the fields the paper's tables are built from
+// are bit-identical between two results — the store's round-trip
+// contract (shortest round-trip float encoding, not approximate).
+func sameMeasurement(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Counts, b.Counts) {
+		t.Fatalf("%s: transition counts differ: %+v vs %+v", label, a.Counts, b.Counts)
+	}
+	if !reflect.DeepEqual(a.Power, b.Power) {
+		t.Fatalf("%s: power reports differ: %+v vs %+v", label, a.Power, b.Power)
+	}
+	if a.LUTs != b.LUTs || a.Depth != b.Depth || a.EstSA != b.EstSA {
+		t.Fatalf("%s: implementation differs: LUTs %d/%d depth %d/%d estSA %v/%v",
+			label, a.LUTs, b.LUTs, a.Depth, b.Depth, a.EstSA, b.EstSA)
+	}
+}
+
+// TestDurableStoreRoundTrip is the acceptance drill for the durable
+// store behind a real flow: a cold run persists, a fresh session over a
+// reopened store serves the whole run from disk (no recompute),
+// and the served measurements are bit-identical to the cold ones.
+func TestDurableStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p := benchPR(t)
+
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSession(storeTestConfig())
+	se.AttachStore(st)
+	cold, err := se.Run(ctx, p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: new store handle, new session, same configuration.
+	st2, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	se2 := NewSession(storeTestConfig())
+	se2.AttachStore(st2)
+	warm, err := se2.Run(ctx, p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, "warm", cold, warm)
+	if st2.Stats().Hits == 0 {
+		t.Fatal("warm run never hit the store")
+	}
+	// The whole-run class must have served: no stage may have
+	// recomputed (the run cache's backing hit short-circuits the
+	// pipeline entirely).
+	for stage, stats := range se2.StageStats() {
+		if stats.Misses > 0 {
+			t.Fatalf("warm run recomputed stage %s: %+v", stage, stats)
+		}
+	}
+}
+
+// TestDurableStoreCrashRecovery kills the store writer mid-snapshot
+// (injected short write on the run class — the torn-entry shape of a
+// crash between write and fsync), restarts, and requires the torn entry
+// to be quarantined and the recompute to be bit-identical. Satellite 3.
+func TestDurableStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	p := benchPR(t)
+	cfg := storeTestConfig()
+	runClass := "run@" + cfg.Fingerprint()
+
+	// Tear exactly the whole-run entry's write; stage artifacts land
+	// intact so the recompute exercises the mixed hit/recompute path.
+	fi := pipeline.NewFaultInjector(1, pipeline.FaultRule{Class: runClass, PShortWrite: 1})
+	ctx := pipeline.WithInjector(context.Background(), fi)
+
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSession(cfg)
+	se.AttachStore(st)
+	cold, err := se.Run(ctx, p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash: the process dies before any orderly close. The flock
+	// dies with it; reopening the directory is all a restart needs.
+	// (Close here only releases the lock for the reopen — the torn
+	// entry is already on disk under its final name.)
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	se2 := NewSession(storeTestConfig())
+	se2.AttachStore(st2)
+	recovered, err := se2.Run(context.Background(), p, BinderHLPower05)
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if got := st2.Stats().Quarantined; got != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (the torn run entry)", got)
+	}
+	if got := st2.QuarantineLen(); got != 1 {
+		t.Fatalf("QuarantineLen = %d, want 1", got)
+	}
+	sameMeasurement(t, "post-crash", cold, recovered)
+	// The recompute healed the slot: a third session gets a clean
+	// whole-run hit.
+	se3 := NewSession(storeTestConfig())
+	se3.AttachStore(st2)
+	again, err := se3.Run(context.Background(), p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, "healed", cold, again)
+	if got := st2.Stats().Quarantined; got != 1 {
+		t.Fatalf("healed read quarantined again (%d)", got)
+	}
+}
+
+// TestDurableStoreCorruptedEntryRecompute flips a bit in one persisted
+// entry on disk: the next cold session must quarantine it, recompute,
+// and still produce bit-identical measurements.
+func TestDurableStoreCorruptedEntryRecompute(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p := benchPR(t)
+
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSession(storeTestConfig())
+	se.AttachStore(st)
+	cold, err := se.Run(ctx, p, BinderHLPower05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Corrupt every entry: recovery must survive the worst case, not
+	// just a single bad file.
+	objDir := filepath.Join(dir, "objects")
+	des, err := os.ReadDir(objDir)
+	if err != nil || len(des) == 0 {
+		t.Fatalf("objects dir: %v (%d entries)", err, len(des))
+	}
+	for _, de := range des {
+		path := filepath.Join(objDir, de.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0x80
+		if err := os.WriteFile(path, b, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	se2 := NewSession(storeTestConfig())
+	se2.AttachStore(st2)
+	recovered, err := se2.Run(ctx, p, BinderHLPower05)
+	if err != nil {
+		t.Fatalf("run over an all-corrupt store failed: %v", err)
+	}
+	sameMeasurement(t, "all-corrupt recompute", cold, recovered)
+	if st2.Stats().Quarantined == 0 {
+		t.Fatal("no entry was quarantined")
+	}
+}
+
+// TestConfigFingerprintSeparatesRunClasses: two sessions whose configs
+// differ semantically must not share whole-run entries through one
+// store, while equal configs must.
+func TestConfigFingerprintSeparatesRunClasses(t *testing.T) {
+	cfgA := storeTestConfig()
+	cfgB := storeTestConfig()
+	cfgB.Vectors = 60
+	if cfgA.Fingerprint() == cfgB.Fingerprint() {
+		t.Fatal("configs with different Vectors share a fingerprint")
+	}
+	if storeTestConfig().Fingerprint() != cfgA.Fingerprint() {
+		t.Fatal("identical configs disagree on fingerprint")
+	}
+	// Non-semantic knobs must not split the run class.
+	cfgC := storeTestConfig()
+	cfgC.BindJobs = 7
+	cfgC.SimJobs = 3
+	cfgC.SimWide = 2
+	if cfgC.Fingerprint() != cfgA.Fingerprint() {
+		t.Fatal("worker-count knobs changed the config fingerprint")
+	}
+}

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mapBacking is an in-memory Backing double with call counting.
+type mapBacking struct {
+	mu   sync.Mutex
+	m    map[string]any
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: make(map[string]any)} }
+
+func (b *mapBacking) Get(_ context.Context, class, key string) (any, bool) {
+	b.gets.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[class+"/"+key]
+	return v, ok
+}
+
+func (b *mapBacking) Put(_ context.Context, class, key string, val any) {
+	b.puts.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[class+"/"+key] = val
+}
+
+// TestBackingWriteThrough: a computed miss is written through to the
+// backing before Do returns, and a fresh cache over the same backing
+// serves it without computing.
+func TestBackingWriteThrough(t *testing.T) {
+	ctx := context.Background()
+	b := newMapBacking()
+
+	c := NewCache()
+	c.SetBacking(b)
+	v, hit, err := c.Do(ctx, "sim", "k", func() (any, error) { return 42, nil })
+	if err != nil || hit || v != 42 {
+		t.Fatalf("Do = %v, %v, %v", v, hit, err)
+	}
+	if got := b.puts.Load(); got != 1 {
+		t.Fatalf("backing Puts = %d, want 1 (write-through)", got)
+	}
+
+	c2 := NewCache()
+	c2.SetBacking(b)
+	ran := false
+	v, hit, err = c2.Do(ctx, "sim", "k", func() (any, error) { ran = true; return 0, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("backed Do = %v, %v, %v", v, hit, err)
+	}
+	if ran {
+		t.Fatal("compute ran despite a backing hit")
+	}
+	st := c2.StatsFor("sim")
+	if st.BackingHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v, want BackingHits=1 Misses=0", st)
+	}
+	// The backing hit is now a memory entry: a second Do is a plain hit
+	// that never re-consults the backing.
+	before := b.gets.Load()
+	if _, hit, _ := c2.Do(ctx, "sim", "k", func() (any, error) { return 0, nil }); !hit {
+		t.Fatal("second Do missed")
+	}
+	if b.gets.Load() != before {
+		t.Fatal("memory hit re-consulted the backing")
+	}
+}
+
+// TestBackingErrorNotWritten: failed computations are never persisted.
+func TestBackingErrorNotWritten(t *testing.T) {
+	b := newMapBacking()
+	c := NewCache()
+	c.SetBacking(b)
+	_, _, err := c.Do(context.Background(), "sim", "k", func() (any, error) {
+		return nil, context.Canceled
+	})
+	if err == nil {
+		t.Fatal("Do swallowed the error")
+	}
+	if got := b.puts.Load(); got != 0 {
+		t.Fatalf("backing Puts = %d after a failed compute, want 0", got)
+	}
+}
+
+// TestBackingSingleflight: concurrent demands for one key consult the
+// backing once; the hit is shared by every waiter.
+func TestBackingSingleflight(t *testing.T) {
+	ctx := context.Background()
+	b := newMapBacking()
+	b.Put(ctx, "sim", "k", 7)
+	b.gets.Store(0)
+
+	c := NewCache()
+	c.SetBacking(b)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(ctx, "sim", "k", func() (any, error) {
+				computes.Add(1)
+				return 0, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 0 {
+		t.Fatalf("compute ran %d times despite the backing holding the value", got)
+	}
+	if got := b.gets.Load(); got != 1 {
+		t.Fatalf("backing consulted %d times, want 1 (singleflight)", got)
+	}
+}
+
+// TestRenameBacking: the adapter rewrites classes on both paths, so a
+// cache's internal class maps onto a namespaced store class.
+func TestRenameBacking(t *testing.T) {
+	ctx := context.Background()
+	b := newMapBacking()
+	rb := RenameBacking(b, func(class string) string { return class + "@fp1" })
+
+	c := NewCache()
+	c.SetBacking(rb)
+	c.Do(ctx, "run", "k", func() (any, error) { return "v", nil })
+	if _, ok := b.m["run@fp1/k"]; !ok {
+		t.Fatalf("backing holds %v, want key under renamed class run@fp1", b.m)
+	}
+
+	c2 := NewCache()
+	c2.SetBacking(rb)
+	v, _, err := c2.Do(ctx, "run", "k", func() (any, error) {
+		t.Error("compute ran")
+		return nil, nil
+	})
+	if err != nil || v != "v" {
+		t.Fatalf("renamed backed Do = %v, %v", v, err)
+	}
+}
+
+// TestExternalPutStaysMemoryOnly: Cache.Put (pre-seeding, e.g. SA table
+// bulk loads) must not write through — only computed artifacts carry
+// the provenance the store wants.
+func TestExternalPutStaysMemoryOnly(t *testing.T) {
+	b := newMapBacking()
+	c := NewCache()
+	c.SetBacking(b)
+	c.Put("sa", "k", 1.0)
+	if got := b.puts.Load(); got != 0 {
+		t.Fatalf("external Put wrote through (%d)", got)
+	}
+}

@@ -19,10 +19,51 @@ import (
 
 // Stats counts cache traffic for one artifact class. A waiter served by
 // another goroutine's in-flight computation counts as a hit: the work
-// ran once.
+// ran once. A demand served from the backing store counts as a
+// BackingHit — it avoided the computation but paid a disk read.
 type Stats struct {
-	Hits   int
-	Misses int
+	Hits        int
+	Misses      int
+	BackingHits int
+}
+
+// Backing is a second-level artifact store a Cache consults on miss and
+// writes through to on every successful computation. Implementations
+// must be safe for concurrent use, must treat Get misses and Put
+// failures as non-fatal (a durable store never fails a request — see
+// internal/store), and must return values that satisfy the same
+// immutability contract as cached artifacts.
+type Backing interface {
+	// Get returns the stored artifact for (class, key), or false. A
+	// corrupt or undecodable entry is a miss, never an error.
+	Get(ctx context.Context, class, key string) (any, bool)
+	// Put stores an artifact. Best effort: errors are absorbed (and
+	// logged) by the implementation.
+	Put(ctx context.Context, class, key string, val any)
+}
+
+// renamedBacking rewrites the class of every Get/Put, so one physical
+// store can namespace logically distinct caches (e.g. per-table SA
+// entries, per-config run results) without the caches knowing.
+type renamedBacking struct {
+	b      Backing
+	rename func(class string) string
+}
+
+func (r renamedBacking) Get(ctx context.Context, class, key string) (any, bool) {
+	return r.b.Get(ctx, r.rename(class), key)
+}
+
+func (r renamedBacking) Put(ctx context.Context, class, key string, val any) {
+	r.b.Put(ctx, r.rename(class), key, val)
+}
+
+// RenameBacking returns a view of b with every class rewritten through
+// rename. Callers whose in-memory class names are not globally unique
+// (satable's "sa", the session run cache's "run") use it to stamp the
+// persisted class with the fingerprint that makes entries portable.
+func RenameBacking(b Backing, rename func(class string) string) Backing {
+	return renamedBacking{b: b, rename: rename}
 }
 
 // entry is one cached artifact slot. Waiters block on done and read
@@ -44,6 +85,7 @@ type Cache struct {
 	mu      sync.Mutex
 	classes map[string]map[string]*entry
 	stats   map[string]*Stats
+	backing Backing
 }
 
 // NewCache returns an empty cache.
@@ -82,7 +124,8 @@ func (c *Cache) class(class string) (map[string]*entry, *Stats) {
 // to the caller that ran it and waiters retry.
 //
 // The returned hit flag reports whether this call was served without
-// invoking fn.
+// invoking fn — from memory, from an in-flight computation, or from the
+// backing store (see SetBacking).
 func (c *Cache) Do(ctx context.Context, class, key string, fn func() (any, error)) (val any, hit bool, err error) {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -108,6 +151,23 @@ func (c *Cache) Do(ctx context.Context, class, key string, fn func() (any, error
 		}
 		e := &entry{done: make(chan struct{})}
 		m[key] = e
+		b := c.backing
+		c.mu.Unlock()
+
+		// Second level: a disk-backed store, consulted outside the lock
+		// (it does I/O). Waiters block on e.done either way, so the read
+		// is still singleflight.
+		if b != nil {
+			if v, ok := b.Get(ctx, class, key); ok {
+				e.val = v
+				c.mu.Lock()
+				st.BackingHits++
+				c.mu.Unlock()
+				close(e.done)
+				return v, true, nil
+			}
+		}
+		c.mu.Lock()
 		st.Misses++
 		c.mu.Unlock()
 
@@ -127,8 +187,27 @@ func (c *Cache) Do(ctx context.Context, class, key string, fn func() (any, error
 		}()
 		e.val, e.err = fn()
 		completed = true
+		if e.err == nil && b != nil {
+			// Write-through before returning: the computing caller pays
+			// the (small, atomic) disk write, so a drain that waits out
+			// in-flight requests has durably stored everything they
+			// computed. Put is best-effort by contract.
+			b.Put(ctx, class, key, e.val)
+		}
 		return e.val, false, e.err
 	}
+}
+
+// SetBacking attaches a second-level store: Do consults it after a
+// memory miss and writes every successful computation through to it.
+// Externally produced artifacts (Put) stay memory-only — they typically
+// came *from* the backing store or a snapshot file in the first place.
+// Pass nil to detach. Safe to call concurrently with Do; in-flight
+// demands keep the backing they started with.
+func (c *Cache) SetBacking(b Backing) {
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
 }
 
 // Put stores an externally produced artifact (e.g. one loaded from

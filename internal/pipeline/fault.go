@@ -40,6 +40,24 @@ type FaultRule struct {
 	PDelay float64
 	// Delay is the injected sleep; it honors context cancellation.
 	Delay time.Duration
+
+	// Class matches the durable-store artifact class for disk-fault
+	// draws ("" = every class). The fields below inject faults into
+	// store writes (internal/store consults DiskFault on every Put);
+	// they share one uniform draw per write, partitioned like the stage
+	// probabilities above. Stage/Bench/Binder do not apply to disk
+	// draws — a store write has no stage scope.
+	Class string
+	// PShortWrite truncates the entry's payload mid-write but lets the
+	// rename land — the torn-entry shape a power cut or killed writer
+	// leaves behind.
+	PShortWrite float64
+	// PChecksumFlip flips one payload bit after the checksum was
+	// computed, emulating silent media corruption.
+	PChecksumFlip float64
+	// PENOSPC fails the write as with a full disk; the store must skip
+	// the entry and serve the request from the computed value.
+	PENOSPC float64
 }
 
 func (r FaultRule) matches(stage string, sc Scope) bool {
@@ -163,6 +181,47 @@ func (fi *FaultInjector) Inject(ctx context.Context, stage, key string, sc Scope
 		}
 	}
 	return nil
+}
+
+// Disk-fault kinds DiskFault returns (and logs). Empty = no fault.
+const (
+	DiskShortWrite   = "short-write"
+	DiskChecksumFlip = "checksum-flip"
+	DiskENOSPC       = "enospc"
+)
+
+// DiskFault applies the injector's disk rules to one durable-store
+// write, identified by (class, key). It returns the injected fault kind
+// ("" = none) — the store itself performs the fault, since only it
+// knows where the payload bytes are. Draws are positional like stage
+// faults: a pure hash of (seed, rule index, class, key), so the set of
+// torn or corrupted entries is identical for any write order. The draw
+// stream is domain-separated from stage draws (the class is prefixed),
+// so arming a disk rule never perturbs which stage faults fire.
+func (fi *FaultInjector) DiskFault(class, key string) string {
+	for ri, r := range fi.rules {
+		if r.PShortWrite == 0 && r.PChecksumFlip == 0 && r.PENOSPC == 0 {
+			continue
+		}
+		if r.Class != "" && r.Class != class {
+			continue
+		}
+		u := unitDraw(fi.seed, int64(ri), "disk/"+class, key)
+		var kind string
+		switch {
+		case u < r.PShortWrite:
+			kind = DiskShortWrite
+		case u < r.PShortWrite+r.PChecksumFlip:
+			kind = DiskChecksumFlip
+		case u < r.PShortWrite+r.PChecksumFlip+r.PENOSPC:
+			kind = DiskENOSPC
+		default:
+			continue
+		}
+		fi.record("disk/"+class, Scope{}, key, kind)
+		return kind
+	}
+	return ""
 }
 
 // unitDraw hashes (seed, rule, stage, key) into [0, 1) with a

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseInjectSpec parses the -inject flag shared by hlpower and
+// hlpowerd: a comma-separated key=value list describing one fault rule
+// plus the injector seed. Stage-fault keys: seed, stage, bench, binder,
+// perror, ppanic, pdelay, delay. Disk-fault keys (durable-store
+// writes): class, pshortwrite, pchecksumflip, penospc. Example:
+//
+//	seed=1,stage=map,perror=1
+//	class=sim,pshortwrite=1
+func ParseInjectSpec(s string) (*FaultInjector, error) {
+	var seed int64 = 1
+	var rule FaultRule
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad inject entry %q (want key=value)", kv)
+		}
+		var err error
+		switch strings.ToLower(k) {
+		case "seed":
+			seed, err = strconv.ParseInt(v, 10, 64)
+		case "stage":
+			rule.Stage = v
+		case "bench":
+			rule.Bench = v
+		case "binder":
+			rule.Binder = v
+		case "class":
+			rule.Class = v
+		case "perror":
+			rule.PError, err = strconv.ParseFloat(v, 64)
+		case "ppanic":
+			rule.PPanic, err = strconv.ParseFloat(v, 64)
+		case "pdelay":
+			rule.PDelay, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			rule.Delay, err = time.ParseDuration(v)
+		case "pshortwrite":
+			rule.PShortWrite, err = strconv.ParseFloat(v, 64)
+		case "pchecksumflip":
+			rule.PChecksumFlip, err = strconv.ParseFloat(v, 64)
+		case "penospc":
+			rule.PENOSPC, err = strconv.ParseFloat(v, 64)
+		default:
+			return nil, fmt.Errorf("unknown inject key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad inject value %q for %s: %w", v, k, err)
+		}
+	}
+	return NewFaultInjector(seed, rule), nil
+}

@@ -31,17 +31,37 @@ func (s Span) Duration() time.Duration { return time.Duration(s.DurationNs) }
 // Trace accumulates spans. It is safe for concurrent use; a nil *Trace
 // discards everything, so traces are opt-in at every call site.
 type Trace struct {
-	mu    sync.Mutex
-	spans []Span
+	mu       sync.Mutex
+	spans    []Span
+	observer func(Span)
 }
 
-// Add appends one span.
+// Add appends one span and notifies the observer, if any.
 func (t *Trace) Add(sp Span) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.spans = append(t.spans, sp)
+	obs := t.observer
+	t.mu.Unlock()
+	if obs != nil {
+		obs(sp)
+	}
+}
+
+// SetObserver installs a callback invoked once per recorded span, after
+// it lands in the trace. This is the live-progress hook the daemon's
+// streaming responses use. The callback runs on whichever goroutine
+// recorded the span (outside the trace lock) and may be invoked
+// concurrently; observers that write to shared sinks must serialize
+// themselves. Pass nil to remove.
+func (t *Trace) SetObserver(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
 	t.mu.Unlock()
 }
 

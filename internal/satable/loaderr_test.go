@@ -1,0 +1,67 @@
+package satable
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+// TestLoadTruncationReportsOffsetAndRecovery pins the diagnostic
+// contract for damaged table files (the shape a torn store write or a
+// truncated scp leaves): the error must carry the byte offset of the
+// offending line and the number of rows recovered before it, so the
+// operator can seek straight to the damage — and the offset must be
+// the line's actual position in the file.
+func TestLoadTruncationReportsOffsetAndRecovery(t *testing.T) {
+	tb := New(4, EstimatorGlitch)
+	tb.Get(netgen.FUAdd, 1, 1)
+	tb.Get(netgen.FUAdd, 2, 3)
+	tb.Get(netgen.FUMult, 1, 2)
+	var sb strings.Builder
+	if err := tb.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	full := sb.String()
+
+	// Cut mid-way through the last row: two rows parse, the third is a
+	// partial line.
+	lastRow := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
+	truncated := full[:lastRow+4]
+
+	_, err := Load(strings.NewReader(truncated))
+	if err == nil {
+		t.Fatal("Load accepted a truncated table")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("byte offset %d", lastRow)) {
+		t.Fatalf("error %q does not carry the damaged line's byte offset %d", msg, lastRow)
+	}
+	if !strings.Contains(msg, "2 rows recovered") {
+		t.Fatalf("error %q does not report the 2 recovered rows", msg)
+	}
+}
+
+// TestLoadOffsetAdvancesPerLine: damage on a later line must report a
+// later offset — the offset is positional, not a constant.
+func TestLoadOffsetAdvancesPerLine(t *testing.T) {
+	header := "# hlpower-satable width=4 est=glitch\n"
+	good := "add 1 1 12.5\n"
+	bad := "add bogus\n"
+
+	_, err1 := Load(strings.NewReader(header + bad))
+	_, err2 := Load(strings.NewReader(header + good + bad))
+	if err1 == nil || err2 == nil {
+		t.Fatal("Load accepted a corrupt row")
+	}
+	if !strings.Contains(err1.Error(), fmt.Sprintf("byte offset %d", len(header))) {
+		t.Fatalf("first-row error %q lacks offset %d", err1, len(header))
+	}
+	if !strings.Contains(err2.Error(), fmt.Sprintf("byte offset %d", len(header)+len(good))) {
+		t.Fatalf("second-row error %q lacks offset %d", err2, len(header)+len(good))
+	}
+	if !strings.Contains(err2.Error(), "1 rows recovered") {
+		t.Fatalf("second-row error %q lacks recovery count", err2)
+	}
+}

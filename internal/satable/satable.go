@@ -32,6 +32,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
 	"repro/internal/prob"
+	"repro/internal/store"
 )
 
 // Estimator selects the SA model used to fill the table.
@@ -125,6 +126,33 @@ func NewForArch(width int, est Estimator, t arch.Target) *Table {
 		MapOpt: mapper.OptionsForArch(t),
 		cache:  pipeline.NewCache(),
 	}
+}
+
+// Fingerprint canonically identifies the table's characterization: the
+// datapath width, estimator, target architecture, and embedded mapper
+// options — everything the entry values are deterministic in. Equal
+// fingerprints mean interchangeable entries, which is the contract the
+// durable store's sa@<fingerprint> class namespace is built on: a table
+// characterized for one fabric can never warm-start another.
+func (t *Table) Fingerprint() string {
+	o := t.MapOpt
+	return pipeline.NewHasher().
+		Int(t.Width).Int(int(t.Est)).Str(t.Arch.Fingerprint()).
+		Int(o.K).Int(o.Keep).Int(int(o.Mode)).
+		F64(o.Sources.InputP).F64(o.Sources.InputS).
+		F64(o.Sources.LatchP).F64(o.Sources.LatchS).
+		Sum()
+}
+
+// AttachStore backs the table's entry cache with a durable store:
+// misses consult the store before paying the netgen → mapper
+// characterization, and every computed entry is written through.
+// Entries live under the class "sa@<table fingerprint>", so one store
+// safely serves any number of widths, estimators, and architectures.
+func (t *Table) AttachStore(st *store.Store) {
+	class := "sa@" + t.Fingerprint()
+	st.RegisterCodec("sa@", store.Float64())
+	t.cache.SetBacking(pipeline.RenameBacking(st, func(string) string { return class }))
 }
 
 // CheckArch reports an error when the table was characterized under a
@@ -417,9 +445,22 @@ func Load(r io.Reader) (*Table, error) {
 	}
 	t := NewForArch(width, est, tgt)
 	lineNo := 1
+	// offset tracks the byte position of the current line's start so a
+	// truncated or corrupt file reports *where* it broke and how many
+	// rows survived — what makes a store quarantine log actionable
+	// (dd/truncate straight to the damage) rather than just "bad row".
+	offset := int64(len(header)) + 1
 	seen := make(map[string]int)
+	// rowErr decorates a row-level failure with its provenance: byte
+	// offset of the offending line and rows recovered before it.
+	rowErr := func(off int64, format string, args ...any) error {
+		return fmt.Errorf("satable: line %d (byte offset %d, %d rows recovered): %w",
+			lineNo, off, len(seen), fmt.Errorf(format, args...))
+	}
 	for sc.Scan() {
 		lineNo++
+		lineStart := offset
+		offset += int64(len(sc.Bytes())) + 1
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -428,28 +469,28 @@ func Load(r io.Reader) (*Table, error) {
 		var kl, kr int
 		var sa float64
 		if _, err := fmt.Sscanf(line, "%s %d %d %g", &kind, &kl, &kr, &sa); err != nil {
-			return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
+			return nil, rowErr(lineStart, "%w", err)
 		}
 		switch netgen.FUKind(kind) {
 		case netgen.FUAdd, netgen.FUMult:
 		default:
-			return nil, fmt.Errorf("satable: line %d: unknown FU kind %q", lineNo, kind)
+			return nil, rowErr(lineStart, "unknown FU kind %q", kind)
 		}
 		if kl < 1 || kl > maxLoadMux || kr < 1 || kr > maxLoadMux {
-			return nil, fmt.Errorf("satable: line %d: mux sizes (%d,%d) out of range [1,%d]", lineNo, kl, kr, maxLoadMux)
+			return nil, rowErr(lineStart, "mux sizes (%d,%d) out of range [1,%d]", kl, kr, maxLoadMux)
 		}
 		if math.IsNaN(sa) || math.IsInf(sa, 0) || sa < 0 {
-			return nil, fmt.Errorf("satable: line %d: SA value %g is not a finite non-negative number", lineNo, sa)
+			return nil, rowErr(lineStart, "SA value %g is not a finite non-negative number", sa)
 		}
 		ks := keyString(Key{Kind: netgen.FUKind(kind), KL: kl, KR: kr})
 		if prev, dup := seen[ks]; dup {
-			return nil, fmt.Errorf("satable: line %d: duplicate entry (%s %d %d) shadows line %d", lineNo, kind, kl, kr, prev)
+			return nil, rowErr(lineStart, "duplicate entry (%s %d %d) shadows line %d", kind, kl, kr, prev)
 		}
 		seen[ks] = lineNo
 		t.cache.Put(saClass, ks, sa)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("satable: line %d: %w", lineNo, err)
+		return nil, rowErr(offset, "%w", err)
 	}
 	return t, nil
 }

@@ -1,0 +1,63 @@
+// Package sigctx implements the two-stage interrupt contract shared by
+// hlpower and hlpowerd: the first SIGINT/SIGTERM cancels the returned
+// context (cooperative cancellation — sweeps wind down, the daemon
+// drains in-flight requests and flushes its store), and a second signal
+// forces immediate exit with status 2 instead of hanging on a stuck
+// drain. signal.NotifyContext cannot express the second stage: it
+// cancels once and swallows every later signal.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Notify returns a context cancelled by the first SIGINT or SIGTERM. A
+// second signal prints a diagnostic and exits the process with status 2
+// (the bad-usage/forced-exit code of the CLI's exit contract) without
+// waiting for the drain to finish. The returned stop function releases
+// the signal registration and goroutine; call it on the clean path.
+func Notify(parent context.Context) (context.Context, context.CancelFunc) {
+	return notify(parent, func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "second %v during shutdown: forcing exit\n", sig)
+		os.Exit(2)
+	}, os.Interrupt, syscall.SIGTERM)
+}
+
+// notify is Notify with the force-exit action and signal set injectable
+// so tests can observe the second-signal path without killing the test
+// process.
+func notify(parent context.Context, force func(os.Signal), sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	stopCh := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		cancel()
+		once.Do(func() {
+			signal.Stop(ch)
+			close(stopCh)
+		})
+	}
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-stopCh:
+			return
+		}
+		// Armed: the graceful shutdown is underway. One more signal
+		// abandons it.
+		select {
+		case sig := <-ch:
+			force(sig)
+		case <-stopCh:
+		}
+	}()
+	return ctx, stop
+}

@@ -1,0 +1,74 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise sends sig to the test process itself; the handler installed by
+// notify intercepts it before the default disposition applies.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatalf("raise %v: %v", sig, err)
+	}
+}
+
+// TestFirstSignalCancelsSecondForces is the satellite contract: signal
+// one cancels the context (graceful drain), signal two invokes the
+// force-exit path with the signal in hand.
+func TestFirstSignalCancelsSecondForces(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	// SIGUSR1 keeps the test's signal traffic away from the harness's
+	// own INT/TERM handling.
+	ctx, stop := notify(context.Background(), func(sig os.Signal) { forced <- sig }, syscall.SIGUSR1)
+	defer stop()
+
+	raise(t, syscall.SIGUSR1)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case sig := <-forced:
+		t.Fatalf("force-exit ran after one signal (%v)", sig)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	raise(t, syscall.SIGUSR1)
+	select {
+	case sig := <-forced:
+		if sig != syscall.SIGUSR1 {
+			t.Fatalf("forced with %v, want SIGUSR1", sig)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not invoke the force-exit path")
+	}
+}
+
+// TestStopReleasesWithoutSignals pins the clean path: stop cancels the
+// context, detaches the handler, and a later signal must not reach the
+// force-exit hook (it would kill the process under the default
+// disposition for real signals — harmless for USR1 here, but the hook
+// firing would be the bug).
+func TestStopReleasesWithoutSignals(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	ctx, stop := notify(context.Background(), func(sig os.Signal) { forced <- sig }, syscall.SIGUSR2)
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop did not cancel the context")
+	}
+	// Idempotent.
+	stop()
+	select {
+	case sig := <-forced:
+		t.Fatalf("force-exit ran after stop (%v)", sig)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
