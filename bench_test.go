@@ -222,6 +222,42 @@ func BenchmarkBind(b *testing.B) {
 			b.ReportMetric(float64(reused), "edges-reused/op")
 		})
 	}
+	// xlarge is the scale tier: the 10k-operation control-heavy CDFG
+	// bound with default options, which auto-engage the sparse candidate
+	// store. The memory-budget gate in CI reads B/op (allocated bytes
+	// per bind) and store-bytes/op (the engine's own peak edge-store
+	// estimate); both must stay bounded as the binder scales.
+	b.Run("xlarge", func(b *testing.B) {
+		sp, _ := workload.ScaleByName("ctrl-10k")
+		g := sp.Build()
+		s, err := cdfg.ListSchedule(g, sp.RC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		swap := binding.RandomPortAssignment(g, 26)
+		rb, err := regbind.BindOpt(g, s, regbind.Options{Swap: swap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		table := satable.New(8, satable.EstimatorGlitch)
+		opt := core.DefaultOptions(table)
+		opt.Swap = swap
+		var rep *core.Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, rep, err = core.Bind(g, s, rb, sp.RC, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rep.Mode != "sparse" {
+			b.Fatalf("xlarge bind ran in mode %q, want auto-sparse", rep.Mode)
+		}
+		b.ReportMetric(float64(rep.PeakStoreBytes), "store-bytes/op")
+		b.ReportMetric(float64(rep.PeakEdges), "store-edges/op")
+	})
 }
 
 // BenchmarkSim measures the simulation stage across mapped netlist

@@ -6,6 +6,7 @@
 //	cdfggen -list
 //	cdfggen -bench chem [-dot] [-sched] [-vhdl] [-width 8]
 //	cdfggen -kernel dct8|fir16|bfly8 [-dot] [-vhdl]
+//	cdfggen -scale ctrl-10k [-dot] [-sched]
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		list   = flag.Bool("list", false, "list benchmark profiles")
 		bench  = flag.String("bench", "", "benchmark name")
 		kernel = flag.String("kernel", "", "real kernel: dct8, fir16, bfly8, iir2, or matmul3")
+		scale  = flag.String("scale", "", "scale-tier workload: dsp-2k, mm-4k, fft-4k, ctrl-2k, or ctrl-10k")
 		dot    = flag.Bool("dot", false, "emit Graphviz DOT")
 		sched  = flag.Bool("sched", false, "print the schedule")
 		emitV  = flag.Bool("vhdl", false, "emit VHDL of an HLPower-bound implementation")
@@ -38,6 +40,11 @@ func main() {
 		for _, p := range workload.Benchmarks {
 			fmt.Printf("%-9s  %3d %3d %4d %5d  %d/%d %11d\n",
 				p.Name, p.PIs, p.POs, p.Adds, p.Mults, p.RC.Add, p.RC.Mult, p.Cycle)
+		}
+		fmt.Println("\nscale tier  ops   rc(add/mult)")
+		for _, p := range workload.ScaleBenchmarks {
+			st := p.Build().Stats()
+			fmt.Printf("%-10s  %5d  %d/%d\n", p.Name, st.Adds+st.Mults, p.RC.Add, p.RC.Mult)
 		}
 		return
 	}
@@ -71,6 +78,14 @@ func main() {
 			fatal(fmt.Errorf("unknown kernel %q", *kernel))
 		}
 		rc = cdfg.ResourceConstraint{Add: 2, Mult: 2}
+		s, err = cdfg.ListSchedule(g, rc)
+	case *scale != "":
+		p, ok := workload.ScaleByName(*scale)
+		if !ok {
+			fatal(fmt.Errorf("unknown scale workload %q", *scale))
+		}
+		g = p.Build()
+		rc = p.RC
 		s, err = cdfg.ListSchedule(g, rc)
 	default:
 		flag.Usage()

@@ -22,12 +22,17 @@ func TestBindStatsGolden(t *testing.T) {
 			Bench: "pr",
 			Algo:  "hlpower alpha=0.5",
 			Report: &core.Report{
-				Iterations:   2,
-				EdgesScored:  40,
-				EdgesReused:  25,
-				WeightShapes: 6,
-				TableMisses:  3,
-				Runtime:      1500 * time.Microsecond,
+				Iterations:     2,
+				EdgesScored:    40,
+				EdgesReused:    25,
+				WeightShapes:   6,
+				TableMisses:    3,
+				Mode:           "sparse",
+				EdgesResident:  18,
+				StoreBytes:     1440,
+				PeakEdges:      40,
+				PeakStoreBytes: 2944,
+				Runtime:        1500 * time.Microsecond,
 				Iters: []core.IterationStat{
 					{Iter: 1, UNodes: 4, VNodes: 10, EdgesScored: 40, EdgesReused: 0, Merges: 1, ScoreNs: 900000, SolveNs: 100000},
 					{Iter: 2, UNodes: 4, VNodes: 9, EdgesScored: 0, EdgesReused: 25, Merges: 1, ScoreNs: 300000, SolveNs: 90000},
@@ -40,6 +45,7 @@ func TestBindStatsGolden(t *testing.T) {
 			Report: &core.Report{
 				Iterations:  1,
 				EdgesScored: 12,
+				Mode:        "exact",
 				Runtime:     200 * time.Microsecond,
 				Iters: []core.IterationStat{
 					{Iter: 1, UNodes: 2, VNodes: 6, EdgesScored: 12, Merges: 2, ScoreNs: 150000, SolveNs: 40000},

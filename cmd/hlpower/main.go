@@ -29,8 +29,12 @@
 // pipeline stage spans as JSON to FILE, or "-" for stdout, and print a
 // per-stage cache summary to stderr), -bindstats FILE (write the
 // binding engine's per-run reports — edges scored vs reused,
-// invalidation ratio, per-iteration timings — as JSON to FILE, "-" for
-// stdout).
+// invalidation ratio, store mode and peak memory, per-iteration
+// timings — as JSON to FILE, "-" for stdout), -bindk N (candidate-store
+// row budget for HLPower's sparse mode; 0 keeps the engine default),
+// -exact (force the exact dense edge store at any problem size; both
+// knobs are semantic and participate in run cache keys and the config
+// fingerprint).
 //
 // Failure handling: -timeout D bounds the whole invocation (the sweep
 // cancels cooperatively, like Ctrl-C/SIGTERM), -keepgoing finishes the
@@ -84,6 +88,8 @@ func main() {
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
 		bindStats = flag.String("bindstats", "", "write the binding engine's per-run statistics as JSON to FILE (\"-\" = stdout)")
+		bindK     = flag.Int("bindk", 0, "candidate-store row budget for HLPower's sparse mode (0 = engine default)")
+		bindExact = flag.Bool("exact", false, "force HLPower's exact dense edge store (disables the sparse candidate store at any size)")
 		timeout   = flag.Duration("timeout", 0, "cancel the whole invocation after this long (0 = no limit)")
 		keepGoing = flag.Bool("keepgoing", false, "after a pair fails, keep sweeping the remaining (benchmark, binder) pairs and report partial results")
 		failOut   = flag.String("failures", "", "write the machine-readable failure report as JSON to FILE (\"-\" = stdout)")
@@ -162,6 +168,14 @@ func main() {
 		return
 	}
 
+	if *bindK < 0 {
+		usageErr(fmt.Errorf("-bindk must be >= 0, got %d", *bindK))
+	}
+	if *bindK > 0 && *bindExact {
+		usageErr(fmt.Errorf("-bindk and -exact are mutually exclusive"))
+	}
+	cfg.BindK = *bindK
+	cfg.BindExact = *bindExact
 	cfg.BindJobs = *jobs
 	cfg.SimJobs = *jobs
 	if *simJobs >= 0 {

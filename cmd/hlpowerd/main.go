@@ -11,8 +11,15 @@
 //	POST /v1/bind       {"bench":"pr","binder":"hlpower","alpha":0.5}
 //	POST /v1/sweep      {"alphas":[0,0.5,1],"keepgoing":true}
 //	POST /v1/archsweep  {"targets":["k4","k6","asic"]}
+//	POST /v1/ingest     {"name":"g","inputs":[...],"ops":[...],"outputs":[...],"rc":{"add":2,"mult":2}}
 //	GET  /healthz       liveness ("ok", or 503 "draining")
-//	GET  /statsz        admission/cache/store counters as JSON
+//	GET  /statsz        admission/cache/store/ingest counters as JSON
+//
+// /v1/ingest accepts small CDFGs inline and batches concurrent
+// submissions: arrivals within -batchwindow of each other (up to
+// -batchmax) share one admission slot, so a stream of small graphs
+// cannot exhaust admission. Identical submissions collapse in the
+// content-addressed run cache.
 //
 // Every flow endpoint accepts "arch", "width", "vectors" configuration
 // overrides and "timeout_ms"; /v1/bind additionally accepts
@@ -63,6 +70,8 @@ func main() {
 		reqTO    = flag.Duration("reqtimeout", 2*time.Minute, "default per-request deadline")
 		maxTO    = flag.Duration("maxtimeout", 10*time.Minute, "cap on client-requested deadlines")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown wait for in-flight requests")
+		batchWin = flag.Duration("batchwindow", 25*time.Millisecond, "ingest batch accumulation window")
+		batchMax = flag.Int("batchmax", 16, "max ingest submissions per batch")
 		inject   = flag.String("inject", "", "arm the fault injector (hlpower -inject syntax, plus class/pshortwrite/pchecksumflip/penospc disk faults)")
 	)
 	flag.Parse()
@@ -119,6 +128,8 @@ func main() {
 		MaxTimeout:     *maxTO,
 		DrainTimeout:   *drain,
 		Jobs:           *jobs,
+		BatchWindow:    *batchWin,
+		BatchMax:       *batchMax,
 		Injector:       fi,
 		Logf:           logger.Printf,
 	})

@@ -61,7 +61,41 @@ type Options struct {
 	// parallelism only spreads pure per-edge evaluations; aggregation
 	// is order-independent.
 	Workers int
+	// CandidateK bounds the per-U-node candidate list in sparse mode.
+	// 0 selects the scale mode automatically: runs whose largest FU
+	// class exceeds sparseAutoMinNodes live nodes go sparse with
+	// DefaultCandidateK (and the auto SA shape clamp); smaller runs stay
+	// on the exact dense store, bit-identical to the historical
+	// behaviour. A positive value forces sparse mode at that k for the
+	// whole run.
+	CandidateK int
+	// Exact forces the dense edge store and Hungarian solver regardless
+	// of problem size — every compatible U×V pair is scored each round.
+	// Small nets take this path automatically; the flag exists so large
+	// nets can pay the quadratic cost when a reference binding is
+	// wanted.
+	Exact bool
+	// ShapeCap clamps the (kL, kR) mux shape used for the SA lookup and
+	// Eq. 4 in sparse mode, bounding SA-table cost on huge nets where
+	// merged port sets reach hundreds of registers. 0 = automatic: the
+	// DefaultShapeCap applies only when sparse mode itself was
+	// auto-selected (CandidateK == 0); explicitly forced sparse runs
+	// stay unclamped so they remain weight-identical to exact mode.
+	// Negative disables clamping; positive forces that cap in sparse
+	// mode. Exact mode never clamps.
+	ShapeCap int
 }
+
+// Sparse-mode defaults. DefaultCandidateK is the per-U-node candidate
+// bound when scale mode auto-engages; sparseAutoMinNodes is the live
+// node count past which a class is considered too large for the dense
+// store; DefaultShapeCap bounds SA-lookup mux shapes in auto-sparse
+// runs.
+const (
+	DefaultCandidateK  = 64
+	DefaultShapeCap    = 64
+	sparseAutoMinNodes = 384
+)
 
 // DefaultOptions returns the paper's configuration (alpha = 0.5).
 func DefaultOptions(table *satable.Table) Options {
@@ -105,6 +139,20 @@ type Report struct {
 	WeightShapes int           `json:"weight_shapes"`
 	TableMisses  int           `json:"table_misses"`
 	Runtime      time.Duration `json:"runtime_ns"`
+	// Mode records which edge store ran: "exact" (dense, every
+	// compatible pair scored and persisted) or "sparse" (bounded
+	// per-U-node candidate lists).
+	Mode string `json:"mode"`
+	// Memory accounting for the edge/candidate store — the source the
+	// scale benchmarks' memory-budget gate and hlpowerd's /statsz read
+	// from. EdgesResident and StoreBytes describe the store when the
+	// run finished; the Peak variants track the largest footprint any
+	// merge round left behind. StoreBytes is an estimate (entries ×
+	// per-entry cost + per-row overhead), not a heap measurement.
+	EdgesResident  int   `json:"edges_resident"`
+	StoreBytes     int64 `json:"store_bytes"`
+	PeakEdges      int   `json:"peak_edges"`
+	PeakStoreBytes int64 `json:"peak_store_bytes"`
 	// Iters holds one entry per merge round.
 	Iters []IterationStat `json:"iters,omitempty"`
 }
@@ -151,6 +199,11 @@ func Bind(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, rc cdfg.Resource
 
 	rep.WeightShapes = len(e.memo)
 	rep.TableMisses = opt.Table.Misses() - missesBefore
+	rep.Mode = "exact"
+	if e.sparse {
+		rep.Mode = "sparse"
+	}
+	rep.EdgesResident, rep.StoreBytes = e.memFootprint()
 	rep.Runtime = time.Since(start)
 	if err := res.Validate(g, s, rc); err != nil {
 		return nil, nil, fmt.Errorf("core: produced invalid binding: %w", err)

@@ -67,6 +67,12 @@ type fuNode struct {
 	occ bitvec.Set
 	// ports tracks the distinct register sources per FU port.
 	ports binding.PortSets
+	// pcost caches the node's total distinct port sources (|L| + |R|) —
+	// the sparse admission score. Maintained on merge.
+	pcost int
+	// vStamp marks membership in the current round's V list and vIdx
+	// the node's index in it (sparse mode; see scoreEdgesSparse).
+	vStamp, vIdx int
 }
 
 type engine struct {
@@ -78,6 +84,17 @@ type engine struct {
 	store  map[int]map[int]storedEdge
 	memo   map[weightKey]float64
 	solver *matching.Solver
+
+	// Sparse-mode state (sparse.go). The mode is decided once per run:
+	// either the dense store above or the bounded candidate rows below
+	// carry the whole binding, never a mix.
+	sparse   bool
+	k        int // per-U-node candidate bound
+	shapeCap int // SA shape clamp (0 = none)
+	round    int
+	byID     []*fuNode        // stable node id -> node (dead nodes included)
+	rows     map[int]*candRow // U-node id -> candidate row
+	heap     []admitEnt       // bounded-selection scratch
 }
 
 // testHookOnEdges, when non-nil, observes every round's assembled edge
@@ -113,8 +130,38 @@ func newEngine(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bindin
 			occ:   occ,
 			ports: binding.NewPortSets(g, rb, res, []int{op}),
 		}
+		l, r := n.ports.Sizes()
+		n.pcost = l + r
 		e.nodes = append(e.nodes, n)
 		e.counts[n.kind]++
+	}
+	e.byID = append([]*fuNode(nil), e.nodes...)
+	// Mode selection, fixed for the whole run: exact (dense) unless the
+	// caller forces sparse via CandidateK, or auto-scale triggers
+	// because the largest class outgrows the dense store. Every seed
+	// benchmark and every historical golden sits far below the
+	// threshold, so they stay bit-identical on the exact path.
+	maxClass := 0
+	for _, c := range e.counts {
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	e.sparse = !opt.Exact && (opt.CandidateK > 0 || maxClass > sparseAutoMinNodes)
+	if e.sparse {
+		e.k = opt.CandidateK
+		if e.k <= 0 {
+			e.k = DefaultCandidateK
+		}
+		switch {
+		case opt.ShapeCap > 0:
+			e.shapeCap = opt.ShapeCap
+		case opt.ShapeCap == 0 && opt.CandidateK == 0:
+			// The clamp auto-engages only alongside auto-sparse:
+			// explicitly forced sparse runs keep exact Eq. 4 weights.
+			e.shapeCap = DefaultShapeCap
+		}
+		e.rows = map[int]*candRow{}
 	}
 	e.seedU(s)
 	return e
@@ -190,11 +237,31 @@ func (e *engine) run(rep *Report) error {
 			}
 		}
 		scoreStart := time.Now()
-		edges, scored, reused, err := e.scoreEdges(uList, vList)
+		var (
+			edges          []matching.Edge
+			scored, reused int
+			err            error
+		)
+		if e.sparse {
+			edges, scored, reused, err = e.scoreEdgesSparse(uList, vList)
+		} else {
+			edges, scored, reused, err = e.scoreEdges(uList, vList)
+		}
 		if err != nil {
 			return err
 		}
 		scoreNs := time.Since(scoreStart).Nanoseconds()
+		// Sample the store at its fullest — right after scoring, before
+		// the merge round drains rows. The post-compact sample below only
+		// sees slack capacity.
+		if en, by := e.memFootprint(); en > rep.PeakEdges || by > rep.PeakStoreBytes {
+			if en > rep.PeakEdges {
+				rep.PeakEdges = en
+			}
+			if by > rep.PeakStoreBytes {
+				rep.PeakStoreBytes = by
+			}
+		}
 		if testHookOnEdges != nil {
 			testHookOnEdges(rep.Iterations, len(uList), len(vList), edges)
 		}
@@ -203,7 +270,15 @@ func (e *engine) run(rep *Report) error {
 			weightOf[[2]int{ed.U, ed.V}] = ed.W
 		}
 		solveStart := time.Now()
-		match, _ := e.solver.MaxWeight(len(uList), len(vList), edges)
+		var match []int
+		if e.sparse {
+			// Candidate rounds are sparse by construction; the solver
+			// routes big low-density rounds to SSP and the rest to the
+			// dense Hungarian path.
+			match, _ = e.solver.MaxWeightAuto(len(uList), len(vList), edges)
+		} else {
+			match, _ = e.solver.MaxWeight(len(uList), len(vList), edges)
+		}
 		solveNs := time.Since(solveStart).Nanoseconds()
 		// Apply the matched merges best-weight first so that when the
 		// class reaches its constraint mid-iteration, the low-value
@@ -248,6 +323,14 @@ func (e *engine) run(rep *Report) error {
 				e.rc.Add, e.rc.Mult, e.counts[netgen.FUAdd], e.counts[netgen.FUMult])
 		}
 		e.compact()
+		if en, by := e.memFootprint(); en > rep.PeakEdges || by > rep.PeakStoreBytes {
+			if en > rep.PeakEdges {
+				rep.PeakEdges = en
+			}
+			if by > rep.PeakStoreBytes {
+				rep.PeakStoreBytes = by
+			}
+		}
 		rep.EdgesScored += scored
 		rep.EdgesReused += reused
 		rep.Iters = append(rep.Iters, IterationStat{
@@ -370,7 +453,13 @@ func (e *engine) merge(u, v *fuNode) {
 	u.ops = append(u.ops, v.ops...)
 	u.occ.Union(v.occ)
 	u.ports.Merge(v.ports)
-	delete(e.store, u.id)
+	if e.sparse {
+		delete(e.rows, u.id)
+	} else {
+		delete(e.store, u.id)
+	}
+	l, r := u.ports.Sizes()
+	u.pcost = l + r
 	e.counts[u.kind]--
 	v.dead = true
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/regbind"
+	"repro/internal/workload"
+)
+
+// bindBench binds one seed benchmark with the given options.
+func bindBench(t *testing.T, name string, opt Options) (*Report, []int) {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	g := workload.Generate(p)
+	s, err := cdfg.ListSchedule(g, p.RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Bind(g, s, rb, p.RC, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rep, res.FUOf
+}
+
+// TestSparseFullKMatchesExactOnSeeds is the sparsification soundness
+// property: with the candidate bound k at least the live node count
+// (and the shape clamp off), admission keeps every compatible pair, so
+// the sparse path must reproduce the exact dense binding bit for bit —
+// on all seven seed benchmarks.
+func TestSparseFullKMatchesExactOnSeeds(t *testing.T) {
+	for _, p := range workload.Benchmarks {
+		exact := DefaultOptions(sharedTable)
+		exact.Exact = true
+		exactRep, exactFU := bindBench(t, p.Name, exact)
+		if exactRep.Mode != "exact" {
+			t.Fatalf("%s: Exact run reported mode %q", p.Name, exactRep.Mode)
+		}
+
+		sparse := DefaultOptions(sharedTable)
+		sparse.CandidateK = p.Adds + p.Mults // ≥ live nodes of any class
+		sparse.ShapeCap = -1
+		sparseRep, sparseFU := bindBench(t, p.Name, sparse)
+		if sparseRep.Mode != "sparse" {
+			t.Fatalf("%s: CandidateK=%d run reported mode %q", p.Name, sparse.CandidateK, sparseRep.Mode)
+		}
+		if !reflect.DeepEqual(sparseFU, exactFU) {
+			t.Fatalf("%s: sparse (k=%d) binding differs from exact dense binding", p.Name, sparse.CandidateK)
+		}
+		if sparseRep.Iterations != exactRep.Iterations {
+			t.Fatalf("%s: sparse took %d iterations, exact %d", p.Name, sparseRep.Iterations, exactRep.Iterations)
+		}
+	}
+}
+
+// TestDefaultOptionsStayExactOnSeeds pins the auto mode selection: at
+// default options every seed benchmark is far below the scale
+// threshold and must keep running the historical dense path, so
+// existing goldens can never shift under it.
+func TestDefaultOptionsStayExactOnSeeds(t *testing.T) {
+	for _, name := range []string{"pr", "chem"} {
+		rep, _ := bindBench(t, name, DefaultOptions(sharedTable))
+		if rep.Mode != "exact" {
+			t.Fatalf("%s: default options selected mode %q, want exact", name, rep.Mode)
+		}
+	}
+}
+
+// scaleCase builds a mid-size random CDFG (several hundred ops) with a
+// generous resource constraint so merged mux shapes stay modest.
+func scaleCase(t testing.TB, adds, mults int, rc cdfg.ResourceConstraint, seed int64) (*cdfg.Graph, *cdfg.Schedule, *regbind.Binding) {
+	p := workload.Profile{
+		Name: "sparse-case", PIs: 16, POs: 12,
+		Adds: adds, Mults: mults, RC: rc, Seed: seed,
+	}
+	g := workload.Generate(p)
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regbind.Bind(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, rb
+}
+
+// TestSparseWorkerInvariance drives the sparse path (forced default k,
+// clamped shapes to keep the SA table small) on mid-size random graphs
+// at worker counts 1..8 — the -race half of the scale property test.
+// Bindings and bookkeeping must be identical at every worker count.
+func TestSparseWorkerInvariance(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		g, s, rb := scaleCase(t, 260, 240, cdfg.ResourceConstraint{Add: 24, Mult: 24}, seed)
+		var baseFU []int
+		var baseRep *Report
+		for workers := 1; workers <= 8; workers++ {
+			opt := DefaultOptions(sharedTable)
+			opt.CandidateK = DefaultCandidateK
+			opt.ShapeCap = 16
+			opt.Workers = workers
+			res, rep, err := Bind(g, s, rb, cdfg.ResourceConstraint{Add: 24, Mult: 24}, opt)
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			if rep.Mode != "sparse" {
+				t.Fatalf("seed %d: mode %q, want sparse", seed, rep.Mode)
+			}
+			if baseFU == nil {
+				baseFU, baseRep = res.FUOf, rep
+				continue
+			}
+			if !reflect.DeepEqual(res.FUOf, baseFU) {
+				t.Fatalf("seed %d: sparse binding at workers=%d diverges from workers=1", seed, workers)
+			}
+			if rep.EdgesScored != baseRep.EdgesScored || rep.EdgesReused != baseRep.EdgesReused {
+				t.Fatalf("seed %d: bookkeeping at workers=%d diverges (%d/%d vs %d/%d)",
+					seed, workers, rep.EdgesScored, rep.EdgesReused, baseRep.EdgesScored, baseRep.EdgesReused)
+			}
+		}
+	}
+}
+
+// TestSparseAutoEngagesAtScale: past the live-node threshold, default
+// options must auto-select sparse mode (with the auto shape clamp) and
+// still produce a valid deterministic binding.
+func TestSparseAutoEngagesAtScale(t *testing.T) {
+	rc := cdfg.ResourceConstraint{Add: 48, Mult: 12}
+	g, s, rb := scaleCase(t, 430, 70, rc, 21)
+	opt := DefaultOptions(sharedTable)
+	res1, rep1, err := Bind(g, s, rb, rc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Mode != "sparse" {
+		t.Fatalf("auto mode = %q, want sparse (430 adds > threshold)", rep1.Mode)
+	}
+	res2, _, err := Bind(g, s, rb, rc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.FUOf, res2.FUOf) {
+		t.Fatal("auto-sparse binding is not deterministic across runs")
+	}
+}
+
+// TestSparseMemoryAccounting: the Report's store accounting must be
+// populated in both modes, and the bounded candidate store must be
+// dramatically smaller than the dense store on the same problem.
+func TestSparseMemoryAccounting(t *testing.T) {
+	// MergesPerIteration=1 is the flow mainline: rows persist across
+	// rounds, so store residency is meaningful (at MergesPerIteration=0
+	// every U-node merges each round and the store drains to zero).
+	exact := DefaultOptions(sharedTable)
+	exact.Exact = true
+	exact.MergesPerIteration = 1
+	exactRep, _ := bindBench(t, "honda", exact)
+	if exactRep.PeakEdges == 0 || exactRep.PeakStoreBytes == 0 {
+		t.Fatalf("exact peak accounting empty: %+v", exactRep)
+	}
+
+	sparse := DefaultOptions(sharedTable)
+	sparse.CandidateK = 8
+	sparse.ShapeCap = 16
+	sparse.MergesPerIteration = 1
+	sparseRep, _ := bindBench(t, "honda", sparse)
+	if sparseRep.PeakEdges == 0 || sparseRep.PeakStoreBytes == 0 {
+		t.Fatalf("sparse peak accounting empty: %+v", sparseRep)
+	}
+	if sparseRep.PeakEdges >= exactRep.PeakEdges {
+		t.Fatalf("sparse peak edges %d not below exact %d", sparseRep.PeakEdges, exactRep.PeakEdges)
+	}
+	if sparseRep.PeakStoreBytes >= exactRep.PeakStoreBytes {
+		t.Fatalf("sparse peak store bytes %d not below exact %d", sparseRep.PeakStoreBytes, exactRep.PeakStoreBytes)
+	}
+}

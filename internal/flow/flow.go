@@ -119,6 +119,16 @@ type Config struct {
 	// GOMAXPROCS, 1 = serial). Non-semantic: bindings are bit-identical
 	// at every setting, so it is excluded from stage cache keys.
 	BindJobs int
+	// BindK forces HLPower's sparse candidate store with the given
+	// per-U-node bound (core.Options.CandidateK). 0 keeps the automatic
+	// mode selection: small nets run the exact dense store, nets past
+	// the scale threshold go sparse at the default k. Semantic — it can
+	// change the binding — so it participates in stage cache keys and
+	// the config fingerprint.
+	BindK int
+	// BindExact forces HLPower's exact dense store regardless of
+	// problem size (core.Options.Exact). Semantic, like BindK.
+	BindExact bool
 	// SimJobs is the word-parallel simulator's lane-group worker-pool
 	// size (0 = GOMAXPROCS, 1 = serial). Non-semantic: Counts and
 	// NodeTransitions are bit-identical at every setting, so it is
@@ -210,6 +220,10 @@ type Result struct {
 	NumRegs  int
 	// BindTime is the binder's runtime (Table 2 reports HLPower's).
 	BindTime time.Duration
+	// BindReport is the binding engine's run report — store mode, edge
+	// reuse, peak memory, per-iteration stats (HLPower only; nil for the
+	// baseline algorithms).
+	BindReport *core.Report
 	// FUMux summarizes FU input muxes (Tables 3 and 4).
 	FUMux binding.MuxStats
 	// DPMux includes register steering muxes.
@@ -398,6 +412,41 @@ func (se *Session) Run(ctx context.Context, p workload.Profile, b Binder) (*Resu
 func (se *Session) RunTraced(ctx context.Context, p workload.Profile, b Binder, tr *pipeline.Trace) (*Result, error) {
 	v, _, err := se.runs.Do(ctx, runClass, se.runKey(p, b), func() (any, error) {
 		return se.runStaged(ctx, p, b, tr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// RunGraphCtx executes the pipeline on an arbitrary CDFG through the
+// session's stage and run caches — the streaming-ingestion entry point:
+// graphs arriving continuously at the daemon all funnel through one
+// session, so identical submissions (and submissions whose artifacts
+// coincide partway down the pipeline) share work exactly like benchmark
+// sweeps do. The run key is content-addressed (graph + schedule + rc +
+// resolved binder parameters), so a resubmitted graph is a cache hit
+// regardless of its display name.
+func (se *Session) RunGraphCtx(ctx context.Context, g *cdfg.Graph, name string, rc cdfg.ResourceConstraint, b Binder) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: %s: %w", name, err)
+	}
+	s, err := cdfg.ListSchedule(g, rc)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %s: %w", name, err)
+	}
+	fe := newSchedArtifact(g, s)
+	key := "graph|" + pipeline.NewHasher().
+		Str(fe.fp).Int(rc.Add).Int(rc.Mult).Str(specForBinder(b, se.Cfg).fp()).
+		Sum()
+	v, _, err := se.runs.Do(ctx, runClass, key, func() (any, error) {
+		var tr pipeline.Trace
+		r, err := runPipeline(ctx, se.stages, se.Cfg, fe, name, rc, b, se.trace, &tr)
+		if err != nil {
+			return nil, err
+		}
+		r.StageTrace = tr.Spans()
+		return r, nil
 	})
 	if err != nil {
 		return nil, err

@@ -197,6 +197,11 @@ type bindSpec struct {
 	// table is the SA table (HLPower's estimator, or LOPASS's
 	// pre-characterized power model; nil for the structural variants).
 	table *satable.Table
+	// candidateK/exact select HLPower's edge-store mode (Config.BindK /
+	// Config.BindExact). Semantic: sparse mode at a small k can change
+	// the binding, so both are part of fp().
+	candidateK int
+	exact      bool
 	// portOpt applies post-binding port re-assignment [2] inside the
 	// stage, so the cached artifact is the final, optimized binding.
 	portOpt bool
@@ -222,6 +227,8 @@ func specForBinder(b Binder, cfg Config) bindSpec {
 		betaMult:      def.BetaMult,
 		mergesPerIter: 1,
 		table:         cfg.Table,
+		candidateK:    cfg.BindK,
+		exact:         cfg.BindExact,
 		workers:       cfg.BindJobs,
 	}
 	if cfg.BetaAdd > 0 {
@@ -237,6 +244,7 @@ func (sp bindSpec) fp() string {
 	return pipeline.NewHasher().
 		Str(sp.algo).F64(sp.alpha).F64(sp.betaAdd).F64(sp.betaMult).
 		Int(sp.mergesPerIter).Str(tableFP(sp.table)).Bool(sp.portOpt).
+		Int(sp.candidateK).Bool(sp.exact).
 		Sum()
 }
 
@@ -245,7 +253,13 @@ func (sp bindSpec) fp() string {
 // identity, so they cannot serve as stable provenance.
 func (sp bindSpec) label() string {
 	if sp.algo == "hlpower" {
-		return fmt.Sprintf("hlpower alpha=%g", sp.alpha)
+		l := fmt.Sprintf("hlpower alpha=%g", sp.alpha)
+		if sp.exact {
+			l += " exact"
+		} else if sp.candidateK > 0 {
+			l += fmt.Sprintf(" k=%d", sp.candidateK)
+		}
+		return l
 	}
 	return sp.algo
 }
@@ -429,6 +443,8 @@ var stageBind = pipeline.Stage[bindIn, *bindArtifact]{
 			opt.MergesPerIteration = in.spec.mergesPerIter
 			opt.Swap = in.rba.swap
 			opt.Workers = in.spec.workers
+			opt.CandidateK = in.spec.candidateK
+			opt.Exact = in.spec.exact
 			r, rep, err := core.Bind(g, s, rb, in.rc, opt)
 			if err != nil {
 				return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
@@ -659,17 +675,18 @@ func runPipeline(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sch
 		return nil, err
 	}
 	return &Result{
-		Bench:    name,
-		Binder:   b,
-		Schedule: fe.s,
-		NumRegs:  rba.rb.NumRegs,
-		BindTime: ba.bindTime,
-		FUMux:    binding.ComputeMuxStats(fe.g, rba.rb, ba.res),
-		DPMux:    dp.d.Muxes,
-		LUTs:     ma.m.LUTs,
-		Depth:    ma.m.Depth,
-		EstSA:    ma.m.EstSA,
-		Counts:   counts,
-		Power:    rep,
+		Bench:      name,
+		Binder:     b,
+		Schedule:   fe.s,
+		NumRegs:    rba.rb.NumRegs,
+		BindTime:   ba.bindTime,
+		BindReport: ba.rep,
+		FUMux:      binding.ComputeMuxStats(fe.g, rba.rb, ba.res),
+		DPMux:      dp.d.Muxes,
+		LUTs:       ma.m.LUTs,
+		Depth:      ma.m.Depth,
+		EstSA:      ma.m.EstSA,
+		Counts:     counts,
+		Power:      rep,
 	}, nil
 }

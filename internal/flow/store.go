@@ -44,6 +44,7 @@ func (c Config) Fingerprint() string {
 		Int64(c.VectorSeed).Int64(c.PortSeed).
 		Str(tableFP(c.Table)).Str(tableFP(c.BaselineTable)).
 		F64(c.BetaAdd).F64(c.BetaMult).
+		Int(c.BindK).Bool(c.BindExact).
 		Str(modselFP(resolveModSel(c))).Bool(c.PreOptimize).
 		Int(int(c.Delay)).Int64(c.DelaySeed).
 		Str(powerFP(c.Power)).Str(projFP(c.Arch.Projection))

@@ -45,7 +45,8 @@ type Solver struct {
 	p, way   []int     // column assignment and augmenting-path links
 	minv     []float64
 	used     []bool
-	assigned []int // scratch for the row -> column result
+	assigned []int       // scratch for the row -> column result
+	sp       sparseState // SSP scratch (MaxWeightSparse)
 }
 
 // NewSolver returns an empty solver; buffers grow on first use.
@@ -53,9 +54,29 @@ func NewSolver() *Solver {
 	return &Solver{}
 }
 
-// grow sizes (and clears) the working storage for an n x n problem.
+// Scratch shrinking: the working arrays historically grew to the
+// largest n ever seen and were never released, so one oversized solve
+// pinned O(n²) memory for the rest of a long-lived process (hlpowerd
+// holds engine solvers for hours). grow now reallocates at the needed
+// size whenever held capacity exceeds shrinkFactor× the need and the
+// excess is big enough to matter.
+const (
+	shrinkFactor   = 4
+	shrinkFloorSq  = 1 << 16 // ~64k float64 matrix cells (512 KiB)
+	shrinkFloorVec = 1 << 12 // potential/augmentation vectors
+)
+
+// grow sizes (and clears) the working storage for an n x n problem,
+// releasing oversized scratch past the shrink threshold.
 func (s *Solver) grow(n int) {
 	s.n = n
+	if cap(s.cost) > shrinkFloorSq && cap(s.cost) > shrinkFactor*n*n {
+		s.cost = nil
+		s.real = nil
+	}
+	if cap(s.u) > shrinkFloorVec && cap(s.u) > shrinkFactor*(n+1) {
+		s.u, s.v, s.p, s.way, s.minv, s.used, s.assigned = nil, nil, nil, nil, nil, nil, nil
+	}
 	if cap(s.cost) < n*n {
 		s.cost = make([]float64, n*n)
 		s.real = make([]bool, n*n)

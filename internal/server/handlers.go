@@ -435,6 +435,23 @@ type Statsz struct {
 
 	Stages map[string]pipeline.Stats `json:"stages"`
 	Store  *StoreStatsz              `json:"store,omitempty"`
+
+	// Ingest reports the streaming-ingestion batcher: batches < requests
+	// under concurrent load means submissions actually shared admission
+	// slots.
+	Ingest IngestStatsz `json:"ingest"`
+	// BindStats surfaces the binding engine's per-binding reports —
+	// including the edge-store mode and memory accounting — for every
+	// HLPower binding the shared stage cache holds. Per-iteration detail
+	// is trimmed (it can run to thousands of rounds on scale graphs).
+	BindStats []flow.BindStat `json:"bind_stats,omitempty"`
+}
+
+// IngestStatsz is the /statsz ingest section.
+type IngestStatsz struct {
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches"`
+	MaxBatch int64 `json:"max_batch"`
 }
 
 // StoreStatsz mirrors store.Stats with JSON names.
@@ -463,6 +480,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 		Sessions: nSessions,
 		Draining: s.draining.Load(),
 		Stages:   s.base.StageStats(),
+		Ingest: IngestStatsz{
+			Requests: s.ingestRequests.Load(),
+			Batches:  s.ingestBatches.Load(),
+			MaxBatch: s.ingestMaxBatch.Load(),
+		},
+	}
+	st.BindStats = s.base.BindStats()
+	for i, bs := range st.BindStats {
+		if bs.Report != nil && len(bs.Report.Iters) > 0 {
+			r := *bs.Report
+			r.Iters = nil
+			st.BindStats[i].Report = &r
+		}
 	}
 	if s.opts.Store != nil {
 		ss := s.opts.Store.Stats()

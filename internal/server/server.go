@@ -67,6 +67,11 @@ type Options struct {
 	// Jobs is the intra-request worker count for sweep fan-out
 	// (Session.Jobs; 0 = GOMAXPROCS).
 	Jobs int
+	// BatchWindow is how long an ingest batch leader waits for peer
+	// submissions before processing (0 = 25ms). BatchMax bounds the
+	// submissions one batch carries (0 = 16). See ingest.go.
+	BatchWindow time.Duration
+	BatchMax    int
 	// Injector, when non-nil, arms deterministic fault injection on
 	// every request context — the lifecycle tests' lever for stuck
 	// stages, panics, and disk faults.
@@ -95,6 +100,14 @@ type Server struct {
 	shed     atomic.Int64 // 429s
 	panics   atomic.Int64 // handler panics recovered
 	warmHits atomic.Int64 // responses served from a completed run cache entry
+
+	// batch is the streaming-ingestion batcher (ingest.go); the counters
+	// below feed /statsz so operators — and the CI smoke test — can see
+	// batching actually happen (batches < requests under load).
+	batch          batcher
+	ingestRequests atomic.Int64 // ingest submissions received
+	ingestBatches  atomic.Int64 // batches processed
+	ingestMaxBatch atomic.Int64 // largest batch observed
 }
 
 // New builds a Server over opts (filling defaults) and wires its routes.
@@ -114,6 +127,12 @@ func New(opts Options) *Server {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
+	if opts.BatchWindow <= 0 {
+		opts.BatchWindow = 25 * time.Millisecond
+	}
+	if opts.BatchMax <= 0 {
+		opts.BatchMax = 16
+	}
 	base := flow.NewSession(opts.Cfg)
 	base.Jobs = opts.Jobs
 	if opts.Store != nil {
@@ -124,11 +143,13 @@ func New(opts Options) *Server {
 		base:     base,
 		sem:      make(chan struct{}, opts.MaxConcurrent),
 		sessions: map[string]*flow.Session{base.Cfg.Fingerprint(): base},
+		batch:    batcher{window: opts.BatchWindow, max: opts.BatchMax},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/bind", s.wrap(s.handleBind))
 	s.mux.Handle("POST /v1/sweep", s.wrap(s.handleSweep))
 	s.mux.Handle("POST /v1/archsweep", s.wrap(s.handleArchSweep))
+	s.mux.Handle("POST /v1/ingest", s.wrap(s.handleIngest))
 	s.mux.Handle("GET /healthz", s.wrap(s.handleHealthz))
 	s.mux.Handle("GET /statsz", s.wrap(s.handleStatsz))
 	return s

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cdfg"
+)
+
+// Scale-tier workload families: structured 2k-10k+ operation CDFGs that
+// stress the binder at the sizes the seed benchmarks (≤ ~350 ops) never
+// reach. Three shapes matter at scale, and each family isolates one:
+//
+//   - DeepDSP: long MAC pipelines with periodic cross-lane coupling —
+//     the deep dataflow shape of real DSP cascades (FIR chains, polyphase
+//     filters), where lifetime pressure and register fan-in grow with
+//     depth.
+//   - BlockedMatMul / FFTCascade: blocked matrix and butterfly kernels —
+//     the wide, regular, high-fanout shape of blocked linear algebra.
+//   - ControlHeavy: multi-basic-block control flow with mux-heavy joins.
+//     The CDFG model is pure dataflow (Input/Add/Sub/Mult only), so
+//     branch joins are lowered to predicated selects — thenV*p + elseV*q
+//     with per-block predicate inputs — exactly the if-conversion a
+//     front end performs before binding. Every join lane funnels two arm
+//     values through shared predicate registers, which is what makes the
+//     family multiplexer-heavy: the structure the paper's glitch model
+//     penalizes hardest.
+//
+// All generators are deterministic (seeded where randomized), so the
+// scale tier is fingerprint-pinned alongside the seed benchmarks.
+
+// DeepDSP builds `lanes` parallel multiply-accumulate pipelines of
+// `stages` stages (y = y*c + x per stage) with a cross-lane coupling
+// add every fourth stage. Roughly lanes*stages*2 operations.
+func DeepDSP(lanes, stages int) *cdfg.Graph {
+	if lanes < 1 || stages < 1 {
+		panic("workload: DeepDSP wants lanes >= 1, stages >= 1")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("deepdsp%dx%d", lanes, stages))
+	acc := make([]int, lanes)
+	for i := range acc {
+		acc[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for s := 0; s < stages; s++ {
+		c := g.AddInput(fmt.Sprintf("c%d", s))
+		for i := 0; i < lanes; i++ {
+			m := g.AddOp(cdfg.KindMult, fmt.Sprintf("m%d_%d", s, i), acc[i], c)
+			acc[i] = g.AddOp(cdfg.KindAdd, fmt.Sprintf("a%d_%d", s, i), m, g.AddInput(fmt.Sprintf("in%d_%d", s, i)))
+		}
+		if s%4 == 3 {
+			for i := 0; i < lanes; i++ {
+				acc[i] = g.AddOp(cdfg.KindAdd, fmt.Sprintf("x%d_%d", s, i), acc[i], acc[(i+1)%lanes])
+			}
+		}
+	}
+	for _, v := range acc {
+		g.MarkOutput(v)
+	}
+	return g
+}
+
+// BlockedMatMul builds C = A*B for n×n matrices with blk×blk tiling:
+// per output element the products accumulate within each block tile
+// first, then across tiles — the blocked-kernel accumulation shape.
+// n³ multiplications and n²·(n-1) additions.
+func BlockedMatMul(n, blk int) *cdfg.Graph {
+	if n < 1 || blk < 1 {
+		panic("workload: BlockedMatMul wants n >= 1, blk >= 1")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("bmm%db%d", n, blk))
+	a := make([][]int, n)
+	b := make([][]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int, n)
+		b[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = g.AddInput(fmt.Sprintf("a%d_%d", i, j))
+			b[i][j] = g.AddInput(fmt.Sprintf("b%d_%d", i, j))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total := -1
+			for k0 := 0; k0 < n; k0 += blk {
+				part := -1
+				for k := k0; k < k0+blk && k < n; k++ {
+					p := g.AddOp(cdfg.KindMult, fmt.Sprintf("m%d_%d_%d", i, j, k), a[i][k], b[k][j])
+					if part < 0 {
+						part = p
+					} else {
+						part = g.AddOp(cdfg.KindAdd, fmt.Sprintf("p%d_%d_%d", i, j, k), part, p)
+					}
+				}
+				if total < 0 {
+					total = part
+				} else {
+					total = g.AddOp(cdfg.KindAdd, fmt.Sprintf("t%d_%d_%d", i, j, k0), total, part)
+				}
+			}
+			g.MarkOutput(total)
+		}
+	}
+	return g
+}
+
+// FFTCascade builds `reps` back-to-back radix-2 butterfly cascades over
+// 2^logN points (twiddle multiply + add/sub pair per butterfly) — the
+// FFT-like scale kernel, free of Butterfly's logN ≤ 5 bound.
+// reps * logN * 2^(logN-1) * 3 operations.
+func FFTCascade(logN, reps int) *cdfg.Graph {
+	if logN < 1 || reps < 1 {
+		panic("workload: FFTCascade wants logN >= 1, reps >= 1")
+	}
+	n := 1 << logN
+	g := cdfg.NewGraph(fmt.Sprintf("fftc%dx%d", n, reps))
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for r := 0; r < reps; r++ {
+		for s := 0; s < logN; s++ {
+			w := g.AddInput(fmt.Sprintf("w%d_%d", r, s))
+			half := n >> (s + 1)
+			next := make([]int, n)
+			for b := 0; b < (1 << s); b++ {
+				base := b * 2 * half
+				for i := 0; i < half; i++ {
+					hi := vals[base+i]
+					lo := g.AddOp(cdfg.KindMult, fmt.Sprintf("t%d_%d_%d_%d", r, s, b, i), vals[base+half+i], w)
+					next[base+i] = g.AddOp(cdfg.KindAdd, fmt.Sprintf("u%d_%d_%d_%d", r, s, b, i), hi, lo)
+					next[base+half+i] = g.AddOp(cdfg.KindSub, fmt.Sprintf("v%d_%d_%d_%d", r, s, b, i), hi, lo)
+				}
+			}
+			vals = next
+		}
+	}
+	for _, v := range vals {
+		g.MarkOutput(v)
+	}
+	return g
+}
+
+// ControlHeavy builds a multi-basic-block CDFG: `blocks` sequential
+// basic blocks over `width` live values, each block evaluating a then
+// arm and an else arm of `depth` seeded-random operation rounds, merged
+// by a predicated-select join per lane (then*p + else*q, two mults and
+// an add). Joins share the block's predicate pair across all lanes, so
+// select multiplexers overlap heavily — the mux-pressure workload.
+// Roughly blocks * width * (2*depth + 3) operations.
+func ControlHeavy(width, depth, blocks int, seed int64) *cdfg.Graph {
+	if width < 2 || depth < 1 || blocks < 1 {
+		panic("workload: ControlHeavy wants width >= 2, depth >= 1, blocks >= 1")
+	}
+	g := cdfg.NewGraph(fmt.Sprintf("ctrl%dx%dx%d", width, depth, blocks))
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int, width)
+	for i := range vals {
+		vals[i] = g.AddInput(fmt.Sprintf("x%d", i))
+	}
+	arm := func(b int, name string, in []int) []int {
+		cur := append([]int(nil), in...)
+		for d := 0; d < depth; d++ {
+			next := make([]int, width)
+			shift := 1 + rng.Intn(width-1)
+			for i := 0; i < width; i++ {
+				var kind cdfg.NodeKind
+				switch rng.Intn(4) {
+				case 0:
+					kind = cdfg.KindSub
+				case 1, 2:
+					kind = cdfg.KindAdd
+				default:
+					kind = cdfg.KindMult
+				}
+				next[i] = g.AddOp(kind, fmt.Sprintf("b%d%s%d_%d", b, name, d, i), cur[i], cur[(i+shift)%width])
+			}
+			cur = next
+		}
+		return cur
+	}
+	for b := 0; b < blocks; b++ {
+		p := g.AddInput(fmt.Sprintf("p%d", b))
+		q := g.AddInput(fmt.Sprintf("q%d", b))
+		thenV := arm(b, "t", vals)
+		elseV := arm(b, "e", vals)
+		for i := 0; i < width; i++ {
+			tm := g.AddOp(cdfg.KindMult, fmt.Sprintf("b%dst%d", b, i), thenV[i], p)
+			em := g.AddOp(cdfg.KindMult, fmt.Sprintf("b%dse%d", b, i), elseV[i], q)
+			vals[i] = g.AddOp(cdfg.KindAdd, fmt.Sprintf("b%dj%d", b, i), tm, em)
+		}
+	}
+	for _, v := range vals {
+		g.MarkOutput(v)
+	}
+	return g
+}
+
+// ScaleProfile names one scale-tier workload: a deterministic graph
+// builder plus the resource constraint its benchmarks bind under.
+type ScaleProfile struct {
+	Name  string
+	Build func() *cdfg.Graph
+	RC    cdfg.ResourceConstraint
+}
+
+// ScaleBenchmarks is the scale benchmark tier. Sizes are chosen so the
+// tier brackets the binder's sparse-mode threshold: dsp-2k/ctrl-2k sit
+// just past auto-sparse engagement, ctrl-10k is the 10k-operation
+// control-heavy net the scale acceptance gate (BENCH_9.json) runs on.
+var ScaleBenchmarks = []ScaleProfile{
+	{Name: "dsp-2k", Build: func() *cdfg.Graph { return DeepDSP(16, 60) },
+		RC: cdfg.ResourceConstraint{Add: 12, Mult: 10}},
+	{Name: "mm-4k", Build: func() *cdfg.Graph { return BlockedMatMul(13, 4) },
+		RC: cdfg.ResourceConstraint{Add: 16, Mult: 16}},
+	{Name: "fft-4k", Build: func() *cdfg.Graph { return FFTCascade(6, 7) },
+		RC: cdfg.ResourceConstraint{Add: 16, Mult: 12}},
+	{Name: "ctrl-2k", Build: func() *cdfg.Graph { return ControlHeavy(16, 6, 8, 931) },
+		RC: cdfg.ResourceConstraint{Add: 10, Mult: 12}},
+	{Name: "ctrl-10k", Build: func() *cdfg.Graph { return ControlHeavy(24, 8, 22, 932) },
+		RC: cdfg.ResourceConstraint{Add: 16, Mult: 16}},
+}
+
+// ScaleByName returns the named scale profile.
+func ScaleByName(name string) (ScaleProfile, bool) {
+	for _, p := range ScaleBenchmarks {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ScaleProfile{}, false
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+)
+
+// TestScaleFamilies checks every scale-tier profile builds a valid
+// CDFG of the advertised size class and schedules under its RC.
+func TestScaleFamilies(t *testing.T) {
+	// Expected operation counts per profile (exact — generators are
+	// deterministic).
+	wantOps := map[string]int{
+		"dsp-2k":   2160,
+		"mm-4k":    4225,
+		"fft-4k":   4032,
+		"ctrl-2k":  1920,
+		"ctrl-10k": 10032,
+	}
+	for _, p := range ScaleBenchmarks {
+		g := p.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid graph: %v", p.Name, err)
+		}
+		st := g.Stats()
+		ops := st.Adds + st.Mults
+		if want := wantOps[p.Name]; ops != want {
+			t.Errorf("%s: %d ops (%d adds, %d mults), want %d",
+				p.Name, ops, st.Adds, st.Mults, want)
+		}
+		if _, err := cdfg.ListSchedule(g, p.RC); err != nil {
+			t.Fatalf("%s: unschedulable under rc{add:%d mult:%d}: %v",
+				p.Name, p.RC.Add, p.RC.Mult, err)
+		}
+	}
+}
+
+// TestScaleByName covers the registry lookup.
+func TestScaleByName(t *testing.T) {
+	if _, ok := ScaleByName("ctrl-10k"); !ok {
+		t.Fatal("ctrl-10k missing from scale registry")
+	}
+	if _, ok := ScaleByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+// TestScaleGraphsPinned guards the scale tier the same way
+// TestBenchmarkGraphsPinned guards the seed benchmarks: the generators
+// must keep producing byte-identical graphs, or the recorded scale
+// benchmarks (BENCH_9.json) silently describe different inputs.
+func TestScaleGraphsPinned(t *testing.T) {
+	pinned := map[string]uint64{
+		"dsp-2k":   0x2bfe91d1cd8abace,
+		"mm-4k":    0xc06352b5293ab932,
+		"fft-4k":   0x5a3221d947ea93e0,
+		"ctrl-2k":  0x4cbb73b61824ac30,
+		"ctrl-10k": 0xdd971caf82719948,
+	}
+	for _, p := range ScaleBenchmarks {
+		got := graphHash(p.Build())
+		if got != graphHash(p.Build()) {
+			t.Fatalf("%s: generator not deterministic within a process", p.Name)
+		}
+		if want := pinned[p.Name]; got != want {
+			t.Errorf("%s: graph fingerprint %#x, want %#x — the generator changed; "+
+				"regenerate the scale benchmark record and update this pin", p.Name, got, want)
+		}
+	}
+}
