@@ -84,6 +84,7 @@ func main() {
 		maxMux    = flag.Int("maxmux", 8, "mux size bound for -satable precompute")
 		jobs      = flag.Int("j", 0, "parallel workers for sweeps and precompute (0 = GOMAXPROCS)")
 		simJobs   = flag.Int("simjobs", -1, "simulation lane-group workers (0 = GOMAXPROCS, -1 = follow -j)")
+		mapJobs   = flag.Int("mapjobs", -1, "back-end workers for datapath elaboration, LUT covering, and the power scan; bit-identical output at any count (0 = GOMAXPROCS, -1 = follow -j)")
 		simWide   = flag.Int("simwide", 0, "64-cycle lane groups per simulation event pass (0 = engine default; results identical at every width)")
 		alphaList = flag.String("alphasweep", "", "comma-separated alpha values to sweep HLPower over")
 		traceOut  = flag.String("trace", "", "write pipeline stage spans as JSON to FILE (\"-\" = stdout) plus a per-stage summary to stderr")
@@ -182,6 +183,10 @@ func main() {
 		cfg.SimJobs = *simJobs
 	}
 	cfg.SimWide = *simWide
+	cfg.MapJobs = *jobs
+	if *mapJobs >= 0 {
+		cfg.MapJobs = *mapJobs
+	}
 	se := flow.NewSession(cfg)
 	se.Jobs = *jobs
 	if *benchset != "" {
@@ -406,37 +411,16 @@ func emitTrace(se *flow.Session, dest string) error {
 		return err
 	}
 
-	// Per-stage rollup: demands, hit rate, and where the compute time
-	// actually went.
-	type agg struct {
-		demands, hits int
-		compute, wait time.Duration
-	}
-	byStage := make(map[string]*agg)
-	for _, sp := range spans {
-		a := byStage[sp.Stage]
-		if a == nil {
-			a = &agg{}
-			byStage[sp.Stage] = a
-		}
-		a.demands++
-		if sp.CacheHit {
-			a.hits++
-			a.wait += sp.Duration()
-		} else {
-			a.compute += sp.Duration()
-		}
-	}
+	// Per-stage rollup: demands, hit rate, and cumulative wall-clock
+	// (total includes cache-hit waits; compute is the time actually
+	// burned executing the stage).
 	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stage\tdemands\thits\tmisses\tcompute\thit-wait")
-	for _, name := range flow.StageNames {
-		a := byStage[name]
-		if a == nil {
-			continue
-		}
+	fmt.Fprintln(tw, "stage\tdemands\thits\tmisses\twallclock\tcompute")
+	for _, w := range se.StageWallclock() {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\t%v\n",
-			name, a.demands, a.hits, a.demands-a.hits,
-			a.compute.Round(time.Microsecond), a.wait.Round(time.Microsecond))
+			w.Stage, w.Count, w.CacheHits, w.Count-w.CacheHits,
+			time.Duration(w.TotalNs).Round(time.Microsecond),
+			time.Duration(w.ComputeNs).Round(time.Microsecond))
 	}
 	return tw.Flush()
 }

@@ -107,6 +107,25 @@ func FromFunc(n int, f func(assign uint) bool) *TruthTable {
 	return t
 }
 
+// FromWords reconstructs an n-variable table from backing words as
+// exposed by Words(). It validates shape (word count, tail bits) so it
+// is safe on untrusted input — deserialized cache artifacts use it and
+// treat an error as a cache miss. The words are copied.
+func FromWords(n int, words []uint64) (*TruthTable, error) {
+	if n < 0 || n > MaxVars {
+		return nil, fmt.Errorf("bitvec: variable count %d out of range [0,%d]", n, MaxVars)
+	}
+	if len(words) != wordCount(n) {
+		return nil, fmt.Errorf("bitvec: %d-var table needs %d words, got %d", n, wordCount(n), len(words))
+	}
+	if n < 6 && words[0]&^tailMask(n) != 0 {
+		return nil, fmt.Errorf("bitvec: %d-var table has bits set beyond minterm %d", n, 1<<n)
+	}
+	t := &TruthTable{n: n, words: make([]uint64, len(words))}
+	copy(t.words, words)
+	return t, nil
+}
+
 // NumVars returns the number of variables.
 func (t *TruthTable) NumVars() int { return t.n }
 

@@ -9,8 +9,8 @@
 package cuts
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/bitvec"
 	"repro/internal/logic"
@@ -25,7 +25,14 @@ type Cut struct {
 
 // Key returns a canonical identity for deduplication.
 func (c Cut) Key() string {
-	return fmt.Sprint(c.Leaves)
+	b := make([]byte, 0, 8*len(c.Leaves))
+	for i, l := range c.Leaves {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(l), 10)
+	}
+	return string(b)
 }
 
 // Trivial returns the trivial cut {n}: the node itself as its only leaf.
@@ -81,35 +88,15 @@ func Merge(fn *bitvec.TruthTable, faninCuts []Cut, maxLeaves int) (Cut, bool) {
 
 // EnumerateNode produces all K-feasible cuts of a gate given the kept
 // cut sets of its fanins, by cartesian merging, deduplicated, with the
-// trivial cut appended. The caller ranks and prunes the result.
+// trivial cut appended. The caller ranks and prunes the result. This is
+// the convenience form; hot loops hold a Scratch and call its method to
+// amortize the per-node buffers.
 func EnumerateNode(nd *logic.Node, faninSets [][]Cut, k int) []Cut {
-	var out []Cut
-	dedup := make(map[string]bool)
-	add := func(c Cut) {
-		key := c.Key()
-		if !dedup[key] {
-			dedup[key] = true
-			out = append(out, c)
-		}
-	}
-	chosen := make([]Cut, len(nd.Fanins))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(nd.Fanins) {
-			if c, ok := Merge(nd.Func, chosen, k); ok {
-				add(c)
-			}
-			return
-		}
-		for _, c := range faninSets[i] {
-			chosen[i] = c
-			rec(i + 1)
-		}
-	}
-	if len(nd.Fanins) > 0 {
-		rec(0)
-	}
-	add(Trivial(nd.ID))
+	s := scratchPool.Get().(*Scratch)
+	res := s.EnumerateNode(nd, faninSets, k)
+	out := make([]Cut, len(res))
+	copy(out, res)
+	scratchPool.Put(s)
 	return out
 }
 
@@ -123,18 +110,23 @@ func Enumerate(net *logic.Network, k, keep int, rank func(node int, a, b Cut) bo
 		rank = func(_ int, a, b Cut) bool { return len(a.Leaves) < len(b.Leaves) }
 	}
 	sets := make([][]Cut, net.NumNodes())
+	s := NewScratch()
+	var faninSets [][]Cut
 	for _, id := range net.TopoOrder() {
 		nd := net.Node(id)
 		if nd.Kind != logic.KindGate {
 			sets[id] = []Cut{Trivial(id)}
 			continue
 		}
-		faninSets := make([][]Cut, len(nd.Fanins))
-		for i, f := range nd.Fanins {
-			faninSets[i] = sets[f]
+		faninSets = faninSets[:0]
+		for _, f := range nd.Fanins {
+			faninSets = append(faninSets, sets[f])
 		}
-		all := EnumerateNode(nd, faninSets, k)
-		sets[id] = Prune(id, all, keep, rank)
+		all := s.EnumerateNode(nd, faninSets, k)
+		kept := Prune(id, all, keep, rank)
+		cp := make([]Cut, len(kept))
+		copy(cp, kept)
+		sets[id] = cp
 	}
 	return sets
 }
@@ -142,7 +134,26 @@ func Enumerate(net *logic.Network, k, keep int, rank func(node int, a, b Cut) bo
 // Prune sorts cuts with rank and keeps the best `keep`, always retaining
 // the trivial cut (the single leaf equal to the node itself).
 func Prune(node int, all []Cut, keep int, rank func(node int, a, b Cut) bool) []Cut {
-	sort.SliceStable(all, func(i, j int) bool { return rank(node, all[i], all[j]) })
+	// Stable binary-insertion sort: candidate lists are small (tens of
+	// cuts) and this runs once per gate, where sort.SliceStable's
+	// closure plumbing and reflection-based swapper allocate enough to
+	// show up in mapping profiles. Insertion sort is stable, so the
+	// resulting order — and every downstream cover decision — is
+	// identical.
+	for i := 1; i < len(all); i++ {
+		c := all[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if rank(node, c, all[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(all[lo+1:i+1], all[lo:i])
+		all[lo] = c
+	}
 	if len(all) <= keep {
 		return all
 	}

@@ -1,0 +1,162 @@
+package cuts
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/logic"
+)
+
+// Scratch holds the transient state of per-node cut enumeration —
+// dedup set, leaf-union buffer, fanin variable maps, candidate list —
+// so a mapping pass over a large network reuses one allocation set per
+// worker instead of allocating fresh maps and slices at every gate.
+//
+// A Scratch is not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	seen   map[string]struct{}
+	out    []Cut
+	chosen []Cut
+	union  []int
+	maps   [][]int
+	key    []byte
+}
+
+// NewScratch returns an empty enumeration scratch.
+func NewScratch() *Scratch {
+	return &Scratch{seen: make(map[string]struct{}, 64)}
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// EnumerateNode produces all K-feasible cuts of the gate by cartesian
+// merging of its fanins' kept cut sets, deduplicated by leaf set, with
+// the trivial cut appended — the same contract as the package-level
+// EnumerateNode, minus the per-call allocations. The returned slice and
+// its backing array are valid only until the next call on this scratch;
+// the Cuts themselves (Leaves, Func) are freshly allocated and safe to
+// retain.
+func (s *Scratch) EnumerateNode(nd *logic.Node, faninSets [][]Cut, k int) []Cut {
+	s.out = s.out[:0]
+	clear(s.seen)
+	nf := len(nd.Fanins)
+	if cap(s.chosen) < nf {
+		s.chosen = make([]Cut, nf)
+	}
+	chosen := s.chosen[:nf]
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			s.merge(nd.Func, chosen, k)
+			return
+		}
+		for _, c := range faninSets[i] {
+			chosen[i] = c
+			rec(i + 1)
+		}
+	}
+	if nf > 0 {
+		rec(0)
+	}
+	s.addTrivial(nd.ID)
+	return s.out
+}
+
+// merge unions the chosen fanin cuts' leaves, rejects oversize unions,
+// deduplicates by leaf set, and composes the cut function for first
+// occurrences only. Deduplicating BEFORE composing is result-identical
+// to the compose-then-dedup order of the original Merge/EnumerateNode
+// pair: any leaf set reached here separates the root from the sources,
+// so the root's function over those leaves is unique — two fanin-cut
+// combinations with the same leaf union always compose to the same
+// function. Skipping the duplicate compositions is where most of the
+// enumeration time on reconvergent netlists goes.
+func (s *Scratch) merge(fn *bitvec.TruthTable, faninCuts []Cut, maxLeaves int) {
+	s.union = s.union[:0]
+	for _, c := range faninCuts {
+		s.union = append(s.union, c.Leaves...)
+	}
+	sort.Ints(s.union)
+	u := s.union[:0]
+	for i, l := range s.union {
+		if i == 0 || l != s.union[i-1] {
+			u = append(u, l)
+		}
+	}
+	if len(u) > maxLeaves {
+		return
+	}
+	s.key = appendLeafKey(s.key[:0], u)
+	if _, dup := s.seen[string(s.key)]; dup {
+		return
+	}
+	s.seen[string(s.key)] = struct{}{}
+
+	// First occurrence: compose by direct evaluation over the union
+	// minterm space (equivalent to Expand-then-substitute, without the
+	// intermediate expanded tables).
+	for cap(s.maps) < len(faninCuts) {
+		s.maps = append(s.maps[:cap(s.maps)], nil)
+	}
+	maps := s.maps[:len(faninCuts)]
+	for i, c := range faninCuts {
+		mi := maps[i][:0]
+		for _, l := range c.Leaves {
+			mi = append(mi, indexOf(u, l))
+		}
+		maps[i] = mi
+	}
+	n := len(u)
+	out := bitvec.New(n)
+	size := 1 << n
+	for m := 0; m < size; m++ {
+		var inner uint
+		for i, c := range faninCuts {
+			var a uint
+			for j, p := range maps[i] {
+				if m&(1<<uint(p)) != 0 {
+					a |= 1 << uint(j)
+				}
+			}
+			if c.Func.Get(a) {
+				inner |= 1 << uint(i)
+			}
+		}
+		if fn.Get(inner) {
+			out.Set(uint(m), true)
+		}
+	}
+	leaves := make([]int, n)
+	copy(leaves, u)
+	s.out = append(s.out, Cut{Leaves: leaves, Func: out})
+}
+
+func (s *Scratch) addTrivial(id int) {
+	s.key = appendLeafKey(s.key[:0], []int{id})
+	if _, dup := s.seen[string(s.key)]; dup {
+		return
+	}
+	s.seen[string(s.key)] = struct{}{}
+	s.out = append(s.out, Trivial(id))
+}
+
+// appendLeafKey appends a fixed-width binary encoding of the (sorted)
+// leaf IDs — injective, and cheaper than formatting decimal.
+func appendLeafKey(dst []byte, leaves []int) []byte {
+	for _, l := range leaves {
+		dst = append(dst, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return dst
+}
+
+// indexOf returns the position of l in the sorted slice u. Unions are
+// at most K (<= 6) wide, so a linear scan beats binary search.
+func indexOf(u []int, l int) int {
+	for i, v := range u {
+		if v == l {
+			return i
+		}
+	}
+	panic("cuts: leaf missing from its own union")
+}

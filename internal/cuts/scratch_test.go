@@ -1,0 +1,88 @@
+package cuts
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netgen"
+)
+
+// refEnumerateNode is the original compose-then-dedup enumeration,
+// kept as the oracle for the dedup-before-compose scratch path.
+func refEnumerateNode(nd *logic.Node, faninSets [][]Cut, k int) []Cut {
+	var out []Cut
+	dedup := make(map[string]bool)
+	add := func(c Cut) {
+		key := c.Key()
+		if !dedup[key] {
+			dedup[key] = true
+			out = append(out, c)
+		}
+	}
+	chosen := make([]Cut, len(nd.Fanins))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nd.Fanins) {
+			if c, ok := Merge(nd.Func, chosen, k); ok {
+				add(c)
+			}
+			return
+		}
+		for _, c := range faninSets[i] {
+			chosen[i] = c
+			rec(i + 1)
+		}
+	}
+	if len(nd.Fanins) > 0 {
+		rec(0)
+	}
+	add(Trivial(nd.ID))
+	return out
+}
+
+func TestScratchMatchesReferenceEnumeration(t *testing.T) {
+	for _, net := range []*logic.Network{
+		netgen.AdderNetwork(6),
+		netgen.MultiplierNetwork(5),
+	} {
+		for _, k := range []int{3, 4, 5} {
+			s := NewScratch()
+			refSets := make([][]Cut, net.NumNodes())
+			for _, id := range net.TopoOrder() {
+				nd := net.Node(id)
+				if nd.Kind != logic.KindGate {
+					refSets[id] = []Cut{Trivial(id)}
+					continue
+				}
+				faninSets := make([][]Cut, len(nd.Fanins))
+				for i, f := range nd.Fanins {
+					faninSets[i] = refSets[f]
+				}
+				want := refEnumerateNode(nd, faninSets, k)
+				got := s.EnumerateNode(nd, faninSets, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s k=%d node %d: %d cuts, want %d", net.Name, k, id, len(got), len(want))
+				}
+				for i := range got {
+					if len(got[i].Leaves) != len(want[i].Leaves) {
+						t.Fatalf("%s k=%d node %d cut %d: leaves %v, want %v", net.Name, k, id, i, got[i].Leaves, want[i].Leaves)
+					}
+					for j := range got[i].Leaves {
+						if got[i].Leaves[j] != want[i].Leaves[j] {
+							t.Fatalf("%s k=%d node %d cut %d: leaves %v, want %v", net.Name, k, id, i, got[i].Leaves, want[i].Leaves)
+						}
+					}
+					if !got[i].Func.Equal(want[i].Func) {
+						t.Fatalf("%s k=%d node %d cut %d (%v): func %s, want %s",
+							net.Name, k, id, i, got[i].Leaves, got[i].Func, want[i].Func)
+					}
+				}
+				// Seed the next node's fanin sets with the reference (pruned)
+				// result so both paths see identical inputs throughout.
+				refSets[id] = Prune(id, want, 6, func(_ int, a, b Cut) bool {
+					return len(a.Leaves) < len(b.Leaves)
+				})
+			}
+		}
+	}
+}

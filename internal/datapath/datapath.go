@@ -17,6 +17,8 @@ package datapath
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/binding"
 	"repro/internal/cdfg"
@@ -83,6 +85,17 @@ func Elaborate(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bindin
 
 // ElaborateArch elaborates with per-FU module selection.
 func ElaborateArch(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, width int, arch *Arch) (*Design, error) {
+	return ElaborateArchJobs(g, s, rb, res, width, arch, 1)
+}
+
+// ElaborateArchJobs elaborates with per-FU module selection, building
+// the per-FU sub-netlists (port muxes + functional unit) on up to jobs
+// goroutines. Each worker records its FU onto a replay tape (frag);
+// the tapes are then replayed into the network serially in FU order,
+// so the resulting network — node IDs, names, macro tags, everything —
+// is byte-identical to the jobs=1 build at any worker count. Arch
+// selector callbacks must be safe for concurrent use when jobs > 1.
+func ElaborateArchJobs(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, width int, arch *Arch, jobs int) (*Design, error) {
 	if width < 1 {
 		return nil, fmt.Errorf("datapath: width must be >= 1")
 	}
@@ -171,33 +184,59 @@ func ElaborateArch(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bi
 
 	// --- Functional units with input port muxes.
 	fuOut := make([][]int, len(res.FUs))
-	for _, fu := range res.FUs {
-		left, right := binding.PortSources(g, rb, res, fu)
-		lbus := buildPortMux(net, g, s, rb, res, fu, "L", left, regQ, stepMatch, true)
-		rbus := buildPortMux(net, g, s, rb, res, fu, "R", right, regQ, stepMatch, false)
-		if len(left) > d.Muxes.FULargest {
-			d.Muxes.FULargest = len(left)
+	muxStats := func(nLeft, nRight int) {
+		if nLeft > d.Muxes.FULargest {
+			d.Muxes.FULargest = nLeft
 		}
-		if len(right) > d.Muxes.FULargest {
-			d.Muxes.FULargest = len(right)
+		if nRight > d.Muxes.FULargest {
+			d.Muxes.FULargest = nRight
 		}
-		d.Muxes.FULength += len(left) + len(right)
-
-		prefix := fmt.Sprintf("fu%d_", fu.ID)
-		if fu.Kind == netgen.FUAdd {
-			aArch := netgen.AdderRipple
-			if arch != nil && arch.Adder != nil {
-				aArch = arch.Adder(fu)
+		d.Muxes.FULength += nLeft + nRight
+	}
+	if jobs > 1 && len(res.FUs) > 1 {
+		type fuBuild struct {
+			frag           *frag
+			out            []int
+			nLeft, nRight  int
+		}
+		builds := make([]fuBuild, len(res.FUs))
+		nw := jobs
+		if nw > len(res.FUs) {
+			nw = len(res.FUs)
+		}
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(res.FUs) {
+						return
+					}
+					f := &frag{}
+					out, nl, nr := buildFU(f, g, s, rb, res, res.FUs[i], arch, regQ, stepMatch)
+					builds[i] = fuBuild{frag: f, out: out, nLeft: nl, nRight: nr}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, fu := range res.FUs {
+			b := builds[i]
+			base := b.frag.replay(net)
+			bus := make([]int, len(b.out))
+			for j, id := range b.out {
+				bus[j] = fragResolve(base, id)
 			}
-			fuOut[fu.ID] = buildAddSub(net, g, s, res, fu, prefix, aArch, lbus, rbus, stepMatch)
-		} else if s.Lib.MultPipelined && s.Lib.Latency(cdfg.KindMult) > 1 {
-			fuOut[fu.ID] = netgen.BuildPipelinedMultiplier(net, prefix, lbus, rbus, s.Lib.Latency(cdfg.KindMult))
-		} else {
-			mArch := netgen.MultArray
-			if arch != nil && arch.Mult != nil {
-				mArch = arch.Mult(fu)
-			}
-			fuOut[fu.ID] = netgen.BuildMultArch(net, mArch, prefix, lbus, rbus)
+			fuOut[fu.ID] = bus
+			muxStats(b.nLeft, b.nRight)
+		}
+	} else {
+		for _, fu := range res.FUs {
+			out, nl, nr := buildFU(net, g, s, rb, res, fu, arch, regQ, stepMatch)
+			fuOut[fu.ID] = out
+			muxStats(nl, nr)
 		}
 	}
 
@@ -244,7 +283,10 @@ func ElaborateArch(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bi
 		// logic is a one-hot AND-OR tree rather than a mux chain: each
 		// source is gated by its select, the hold path by none-active,
 		// and a balanced OR tree combines them. Depth stays logarithmic
-		// in the source count regardless of the binding.
+		// in the source count regardless of the binding. The whole
+		// steering cone for the register is one macro region (all inner
+		// or-trees stay untagged).
+		steerLo := net.NumNodes()
 		sels := make([]int, len(writes))
 		for wi, w := range writes {
 			var trigs []int
@@ -263,6 +305,7 @@ func ElaborateArch(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bi
 			terms = append(terms, net.AddGate(fmt.Sprintf("r%d_h_d%d", r, b), logic.TTAnd2(), hold, regQ[r][b]))
 			net.ConnectLatch(regQ[r][b], buildOr(net, fmt.Sprintf("r%d_d%d", r, b), terms))
 		}
+		net.TagMacro(fmt.Sprintf("r%d_steer", r), fmt.Sprintf("steer/%d/%d", len(writes), width), steerLo)
 	}
 
 	// --- Primary outputs: register Q when stored, FU output for values
@@ -286,10 +329,36 @@ func ElaborateArch(g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *bi
 	return d, nil
 }
 
+// buildFU constructs one functional unit and its two input port muxes
+// onto nb (a live network or a replay frag), returning the FU output
+// bus and the two port-mux input counts for the mux report.
+func buildFU(nb netgen.NetBuilder, g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, fu *binding.FU, arch *Arch, regQ [][]int, stepMatch []int) (out []int, nLeft, nRight int) {
+	left, right := binding.PortSources(g, rb, res, fu)
+	lbus := buildPortMux(nb, g, s, rb, res, fu, "L", left, regQ, stepMatch, true)
+	rbus := buildPortMux(nb, g, s, rb, res, fu, "R", right, regQ, stepMatch, false)
+	prefix := fmt.Sprintf("fu%d_", fu.ID)
+	if fu.Kind == netgen.FUAdd {
+		aArch := netgen.AdderRipple
+		if arch != nil && arch.Adder != nil {
+			aArch = arch.Adder(fu)
+		}
+		out = buildAddSub(nb, g, s, res, fu, prefix, aArch, lbus, rbus, stepMatch)
+	} else if s.Lib.MultPipelined && s.Lib.Latency(cdfg.KindMult) > 1 {
+		out = netgen.BuildPipelinedMultiplier(nb, prefix, lbus, rbus, s.Lib.Latency(cdfg.KindMult))
+	} else {
+		mArch := netgen.MultArray
+		if arch != nil && arch.Mult != nil {
+			mArch = arch.Mult(fu)
+		}
+		out = netgen.BuildMultArch(nb, mArch, prefix, lbus, rbus)
+	}
+	return out, len(left), len(right)
+}
+
 // buildPortMux constructs one FU input port: a mux over the distinct
 // source registers with gate-level select decoding derived from the
 // schedule. sources is the sorted register list for the port.
-func buildPortMux(net *logic.Network, g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, fu *binding.FU, side string, sources []int, regQ [][]int, stepMatch []int, isLeft bool) []int {
+func buildPortMux(net netgen.NetBuilder, g *cdfg.Graph, s *cdfg.Schedule, rb *regbind.Binding, res *binding.Result, fu *binding.FU, side string, sources []int, regQ [][]int, stepMatch []int, isLeft bool) []int {
 	prefix := fmt.Sprintf("fu%d_%s", fu.ID, side)
 	if len(sources) == 1 {
 		return regQ[sources[0]]
@@ -322,10 +391,10 @@ func buildPortMux(net *logic.Network, g *cdfg.Graph, s *cdfg.Schedule, rb *regbi
 	for _, op := range fu.Ops {
 		active = append(active, stepMatch[s.Step[op]])
 	}
-	busy := buildOr(net, prefix+"_busy", active)
+	busy := buildOrTagged(net, prefix+"_busy", active)
 	sel := make([]int, nb)
 	for j := 0; j < nb; j++ {
-		raw := buildOr(net, fmt.Sprintf("%s_sel%d", prefix, j), selSteps[j])
+		raw := buildOrTagged(net, fmt.Sprintf("%s_sel%d", prefix, j), selSteps[j])
 		held := net.AddLatch(fmt.Sprintf("%s_selq%d", prefix, j), false)
 		eff := net.AddGate(fmt.Sprintf("%s_sele%d", prefix, j), logic.TTMux2(), busy, held, raw)
 		net.ConnectLatch(held, eff)
@@ -343,7 +412,7 @@ func buildPortMux(net *logic.Network, g *cdfg.Graph, s *cdfg.Schedule, rb *regbi
 // add/sub unit (a + (b XOR mode) + mode) whose mode line is the OR of
 // the step matches of the subtractions (the architecture variants do
 // not expose a carry-in, so mixed add/sub units stay ripple).
-func buildAddSub(net *logic.Network, g *cdfg.Graph, s *cdfg.Schedule, res *binding.Result, fu *binding.FU, prefix string, arch netgen.AdderArch, a, b []int, stepMatch []int) []int {
+func buildAddSub(net netgen.NetBuilder, g *cdfg.Graph, s *cdfg.Schedule, res *binding.Result, fu *binding.FU, prefix string, arch netgen.AdderArch, a, b []int, stepMatch []int) []int {
 	var subSteps []int
 	for _, op := range fu.Ops {
 		if g.Nodes[op].Kind == cdfg.KindSub {
@@ -358,17 +427,35 @@ func buildAddSub(net *logic.Network, g *cdfg.Graph, s *cdfg.Schedule, res *bindi
 	if len(subSteps) == 0 {
 		return netgen.BuildAdderArch(net, arch, prefix, a, b)
 	}
+	// The whole add/sub unit (mode decode + operand XORs + adder) is one
+	// macro region; the inner buildOr stays untagged so the region has a
+	// single non-nested tag.
+	lo := net.NumNodes()
 	mode := buildOr(net, prefix+"mode", subSteps)
 	bx := make([]int, len(b))
 	for i := range b {
 		bx[i] = net.AddGate(fmt.Sprintf("%sbx%d", prefix, i), logic.TTXor2(), b[i], mode)
 	}
 	sum, _ := netgen.BuildAdder(net, prefix, a, bx, mode)
+	net.TagMacro(prefix+"addsub", fmt.Sprintf("addsub/%d", len(a)), lo)
 	return sum
 }
 
+// buildOrTagged is buildOr plus a macro tag over the tree's gate range
+// when the tree actually materializes gates (>= 2 inputs). Callers must
+// ensure the region is not nested inside another tagged region.
+func buildOrTagged(net netgen.NetBuilder, prefix string, nodes []int) int {
+	if len(nodes) < 2 {
+		return buildOr(net, prefix, nodes)
+	}
+	lo := net.NumNodes()
+	out := buildOr(net, prefix, nodes)
+	net.TagMacro(prefix, fmt.Sprintf("or/%d", len(nodes)), lo)
+	return out
+}
+
 // buildOr reduces nodes with a balanced OR tree (empty -> const 0).
-func buildOr(net *logic.Network, prefix string, nodes []int) int {
+func buildOr(net netgen.NetBuilder, prefix string, nodes []int) int {
 	switch len(nodes) {
 	case 0:
 		return net.AddConst(prefix+"_c0", false)
@@ -393,7 +480,7 @@ func buildOr(net *logic.Network, prefix string, nodes []int) int {
 }
 
 // buildAnd reduces nodes with a balanced AND tree (empty -> const 1).
-func buildAnd(net *logic.Network, prefix string, nodes []int) int {
+func buildAnd(net netgen.NetBuilder, prefix string, nodes []int) int {
 	switch len(nodes) {
 	case 0:
 		return net.AddConst(prefix+"_c1", true)

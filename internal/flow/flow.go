@@ -139,6 +139,13 @@ type Config struct {
 	// [1, sim.MaxWide]). Non-semantic: results are bit-identical at
 	// every width, so it is excluded from stage cache keys.
 	SimWide int
+	// MapJobs sizes the back end's worker pools: parallel per-FU datapath
+	// elaboration, the mapper's level-parallel forward pass, and the
+	// power analyzer's chunked node scan (0 = GOMAXPROCS, 1 = serial).
+	// Non-semantic: every artifact is bit-identical at every worker
+	// count, so it is excluded from stage cache keys like SimJobs and
+	// BindJobs.
+	MapJobs int
 }
 
 // DefaultConfig returns the configuration the reproduction's experiments
@@ -514,6 +521,57 @@ func (se *Session) StageStats() map[string]pipeline.Stats {
 // on Result.StageTrace.
 func (se *Session) TraceSpans() []pipeline.Span {
 	return se.trace.Spans()
+}
+
+// StageWallclock is the cumulative wall-clock record of one pipeline
+// stage across a session's lifetime: how many times the stage was
+// demanded, how many demands were cache hits, and the total time spent
+// (ComputeNs excludes the hits, so it is the time actually burned
+// computing).
+type StageWallclock struct {
+	Stage     string `json:"stage"`
+	Count     int    `json:"count"`
+	CacheHits int    `json:"cache_hits"`
+	TotalNs   int64  `json:"total_ns"`
+	ComputeNs int64  `json:"compute_ns"`
+}
+
+// StageWallclock aggregates the session's trace spans into per-stage
+// cumulative wall-clock totals, ordered as StageNames (stages that
+// never ran are omitted; sub-spans such as bind.iter follow the
+// pipeline stages, sorted by name).
+func (se *Session) StageWallclock() []StageWallclock {
+	agg := make(map[string]*StageWallclock)
+	for _, sp := range se.trace.Spans() {
+		w := agg[sp.Stage]
+		if w == nil {
+			w = &StageWallclock{Stage: sp.Stage}
+			agg[sp.Stage] = w
+		}
+		w.Count++
+		w.TotalNs += sp.DurationNs
+		if sp.CacheHit {
+			w.CacheHits++
+		} else {
+			w.ComputeNs += sp.DurationNs
+		}
+	}
+	var out []StageWallclock
+	for _, name := range StageNames {
+		if w, ok := agg[name]; ok {
+			out = append(out, *w)
+			delete(agg, name)
+		}
+	}
+	var rest []string
+	for name := range agg {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, *agg[name])
+	}
+	return out
 }
 
 // BindStat is one binding-engine report with its provenance: the

@@ -22,6 +22,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/arch"
@@ -102,7 +103,8 @@ func tableFP(t *satable.Table) string {
 func mapOptFPInto(h *pipeline.Hasher, o mapper.Options) *pipeline.Hasher {
 	return h.Int(o.K).Int(o.Keep).Int(int(o.Mode)).
 		F64(o.Sources.InputP).F64(o.Sources.InputS).
-		F64(o.Sources.LatchP).F64(o.Sources.LatchS)
+		F64(o.Sources.LatchP).F64(o.Sources.LatchS).
+		Int(int(o.MacroReuse)).Int(o.MacroMinGates)
 }
 
 // modselFP fingerprints a resolved module-selection request (nil =
@@ -303,6 +305,10 @@ type datapathIn struct {
 	ba     *bindArtifact
 	width  int
 	modsel *modsel.Options
+	// jobs sizes the per-FU parallel elaboration (Config.MapJobs).
+	// Non-semantic — the network is byte-identical at every worker
+	// count — so the stage Key excludes it.
+	jobs int
 }
 
 type mapIn struct {
@@ -342,6 +348,9 @@ type powerIn struct {
 	counts sim.Counts
 	simKey string
 	model  power.Model
+	// jobs sizes the analyzer's chunked node scan (Config.MapJobs).
+	// Non-semantic, excluded from the stage Key.
+	jobs int
 	// proj, when non-nil, applies the arch's FPGA→ASIC gap factors to
 	// the analyzed report inside the stage, so the cached artifact is
 	// the final (projected) report.
@@ -534,7 +543,7 @@ var stageDatapath = pipeline.Stage[datapathIn, *dpArtifact]{
 			adder, mult := sel.Arch()
 			arch = &datapath.Arch{Adder: adder, Mult: mult}
 		}
-		d, err := datapath.ElaborateArch(in.fe.g, in.fe.s, in.rba.rb, in.ba.res, in.width, arch)
+		d, err := datapath.ElaborateArchJobs(in.fe.g, in.fe.s, in.rba.rb, in.ba.res, in.width, arch, in.jobs)
 		if err != nil {
 			return nil, fmt.Errorf("flow: %s/%s: %w", in.name, in.binder, err)
 		}
@@ -605,12 +614,21 @@ var stagePower = pipeline.Stage[powerIn, power.Report]{
 	},
 	Scope: func(in powerIn) pipeline.Scope { return pipeline.Scope{Bench: in.name, Binder: in.binder} },
 	Run: func(_ context.Context, in powerIn) (power.Report, error) {
-		rep := in.model.Analyze(in.ma.m.Mapped, in.counts)
+		rep := in.model.AnalyzeJobs(in.ma.m.Mapped, in.counts, in.jobs)
 		if in.proj != nil {
 			rep = power.Project(*in.proj, rep)
 		}
 		return rep, nil
 	},
+}
+
+// resolveJobs maps the 0 = GOMAXPROCS convention of the Config worker
+// knobs to a concrete count.
+func resolveJobs(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------
@@ -620,16 +638,27 @@ var stagePower = pipeline.Stage[powerIn, power.Report]{
 // power) for one bound design. The ablation study and the mainline
 // pipeline share it.
 func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *schedArtifact, rba *regbindArtifact, ba *bindArtifact, name, binderName string, ms *modsel.Options, trs ...*pipeline.Trace) (*dpArtifact, *mapArtifact, sim.Counts, power.Report, error) {
+	jobs := resolveJobs(cfg.MapJobs)
 	dp, err := stageDatapath.Exec(ctx, cache, datapathIn{
 		name: name, binder: binderName, fe: fe, rba: rba, ba: ba,
-		width: cfg.Width, modsel: ms,
+		width: cfg.Width, modsel: ms, jobs: jobs,
 	}, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err
 	}
+	// The mapper's worker count and the macro-cover memo ride along in
+	// the options but are excluded from mapOptFPInto, so they never split
+	// the stage cache. The memo is backed by the session's stage cache
+	// under a per-arch class ("macro@<archFP>"): covers persist across
+	// runs and, with an attached store, across processes.
+	mopt := cfg.MapOpt
+	mopt.Jobs = jobs
+	if cache != nil {
+		mopt.Macros = mapper.NewMacroCache(cache, "macro@"+cfg.Arch.Fingerprint())
+	}
 	ma, err := stageMap.Exec(ctx, cache, mapIn{
 		name: name, binder: binderName, dp: dp,
-		preOpt: cfg.PreOptimize, mapOpt: cfg.MapOpt,
+		preOpt: cfg.PreOptimize, mapOpt: mopt,
 		archFP: cfg.Arch.Fingerprint(),
 	}, trs...)
 	if err != nil {
@@ -648,7 +677,7 @@ func runBackEnd(ctx context.Context, cache *pipeline.Cache, cfg Config, fe *sche
 	rep, err := stagePower.Exec(ctx, cache, powerIn{
 		name: name, binder: binderName,
 		ma: ma, counts: counts, simKey: simKey(sin), model: cfg.Power,
-		proj: cfg.Arch.Projection,
+		proj: cfg.Arch.Projection, jobs: jobs,
 	}, trs...)
 	if err != nil {
 		return nil, nil, sim.Counts{}, power.Report{}, err

@@ -19,11 +19,15 @@ package flow
 //     skips even the front end.
 //
 // The SA tables attach their own "sa@<table fingerprint>" classes
-// (satable.AttachStore). Every other stage class (bind, map, ...) holds
-// pointer-heavy netlists with no codec; the store skips them and they
-// stay memory-only.
+// (satable.AttachStore). The mapper's memoized macro covers persist
+// under "macro@<arch fingerprint>" with content-addressed keys (see
+// mapper.MacroCache) — a restarted daemon re-maps a large datapath
+// without re-covering a single repeated macro. Every other stage class
+// (bind, map, ...) holds pointer-heavy netlists with no codec; the
+// store skips them and they stay memory-only.
 
 import (
+	"repro/internal/mapper"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -67,6 +71,7 @@ func (se *Session) AttachStore(st *store.Store) {
 	st.RegisterCodec(StageSim, store.JSONOf[sim.Counts]())
 	st.RegisterCodec(StagePower, store.JSONOf[power.Report]())
 	st.RegisterCodec("run@", store.JSONPtr[Result]())
+	st.RegisterCodec("macro@", store.JSONPtr[mapper.MacroCover]())
 	se.stages.SetBacking(st)
 	runClass := "run@" + se.Cfg.Fingerprint()
 	se.runs.SetBacking(pipeline.RenameBacking(st, func(string) string { return runClass }))

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/logic"
@@ -322,6 +323,81 @@ func EstimateNetwork(net *logic.Network, src prob.SourceValues) Estimate {
 	waves := make([]Waveform, len(res.Waves))
 	copy(waves, res.Waves)
 	estPool.Put(e)
+	return Estimate{Waves: waves}
+}
+
+// EstimateNetworkJobs is EstimateNetwork with the per-gate propagation
+// fanned out over a worker pool, level by level. Within a level every
+// gate's waveform is a pure function of lower-level waveforms (each
+// worker's estimator memo is exact — a hit returns precisely what
+// recomputation would), and all writes are slot-indexed, so the result
+// is bit-identical to the serial estimator at any worker count.
+// jobs <= 1 falls back to the serial path.
+func EstimateNetworkJobs(net *logic.Network, src prob.SourceValues, jobs int) Estimate {
+	nn := net.NumNodes()
+	if jobs <= 1 || nn == 0 {
+		return EstimateNetwork(net, src)
+	}
+	waves := make([]Waveform, nn)
+	levels := net.Levels()
+	maxLvl := 0
+	for _, l := range levels {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	byLevel := make([][]int32, maxLvl+1)
+	for id := 0; id < nn; id++ {
+		if net.Node(id).Kind == logic.KindGate {
+			byLevel[levels[id]] = append(byLevel[levels[id]], int32(id))
+		}
+	}
+	// Sources are cheap; fill them serially.
+	for id := 0; id < nn; id++ {
+		switch nd := net.Node(id); nd.Kind {
+		case logic.KindInput:
+			waves[id] = SourceWaveform(src.InputP, src.InputS)
+		case logic.KindLatchOut:
+			waves[id] = SourceWaveform(src.LatchP, src.LatchS)
+		case logic.KindConst:
+			waves[id] = ConstWaveform(nd.ConstVal)
+		}
+	}
+	workers := make([]*Estimator, jobs)
+	for i := range workers {
+		workers[i] = NewEstimator()
+	}
+	for _, ids := range byLevel {
+		if len(ids) == 0 {
+			continue
+		}
+		nw := jobs
+		if nw > len(ids) {
+			nw = len(ids)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for wi := 0; wi < nw; wi++ {
+			go func(e *Estimator) {
+				defer wg.Done()
+				var ins []Waveform
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) {
+						return
+					}
+					nd := net.Node(int(ids[i]))
+					ins = ins[:0]
+					for _, f := range nd.Fanins {
+						ins = append(ins, waves[f])
+					}
+					waves[nd.ID] = e.propagate(prob.Characterize(nd.Func), ins)
+				}
+			}(workers[wi])
+		}
+		wg.Wait()
+	}
 	return Estimate{Waves: waves}
 }
 

@@ -73,6 +73,10 @@ type Network struct {
 	Outputs []Output
 	// Latches lists latch-output node IDs in declaration order.
 	Latches []int
+	// Macros lists builder-generated sub-netlist ranges (see Macro).
+	// Advisory: transforms that renumber nodes (SweepDangling, Optimize)
+	// drop them rather than remapping.
+	Macros []Macro
 
 	byName map[string]int
 }

@@ -1,0 +1,39 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// MapError decorates a mapping failure with the cone it came from: the
+// original network node and, when the failure happened while covering a
+// tagged macro, the macro instance. Callers match with errors.As; the
+// flow layer wraps it in a StageError so the full provenance chain
+// (stage → macro → node → cause) survives to the report.
+type MapError struct {
+	// Node names the node whose cone failed (the original network's
+	// node name, or "node <id>" for unnamed nodes).
+	Node string
+	// Macro names the macro instance being covered, if any.
+	Macro string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *MapError) Error() string {
+	if e.Macro != "" {
+		return fmt.Sprintf("mapper: macro %q, node %s: %v", e.Macro, e.Node, e.Err)
+	}
+	return fmt.Sprintf("mapper: node %s: %v", e.Node, e.Err)
+}
+
+func (e *MapError) Unwrap() error { return e.Err }
+
+// nodeName labels a node for error messages.
+func nodeName(net *logic.Network, id int) string {
+	if name := net.Node(id).Name; name != "" {
+		return fmt.Sprintf("%q (id %d)", name, id)
+	}
+	return fmt.Sprintf("node %d", id)
+}

@@ -6,15 +6,26 @@
 // (including glitches). The total estimated SA of the selected cover is
 // the SA quantity of the paper's Eq. (3) that drives HLPower's binding
 // edge weights.
+//
+// Two scaling features are layered over the flat algorithm without
+// changing it below their engagement thresholds: memoized macro covers
+// for builder-tagged repeated structure (macro.go) and a level-parallel
+// execution engine whose results are bit-identical at any worker count
+// (the per-gate computation is a pure function of lower-level state, and
+// all writes are slot-indexed).
 package mapper
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/cuts"
 	"repro/internal/glitch"
 	"repro/internal/logic"
+	"repro/internal/pipeline"
 	"repro/internal/prob"
 )
 
@@ -68,7 +79,10 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// Options configures the mapper.
+// Options configures the mapper. K, Keep, Mode, Sources, MacroReuse and
+// MacroMinGates are semantic (they select the Result); Jobs and Macros
+// are execution detail (any value yields a bit-identical Result) and
+// are excluded from cache fingerprints.
 type Options struct {
 	// K is the LUT input count (Cyclone II: 4).
 	K int
@@ -78,11 +92,27 @@ type Options struct {
 	Mode Mode
 	// Sources sets the probability/activity of combinational sources.
 	Sources prob.SourceValues
+
+	// MacroReuse selects whether elaboration-tagged macros (the input
+	// network's Macros) are covered once per distinct content and
+	// stitched per instance. The zero value is MacroAuto.
+	MacroReuse MacroPolicy
+	// MacroMinGates is the MacroAuto engagement threshold; <= 0 means
+	// DefaultMacroMinGates.
+	MacroMinGates int
+
+	// Jobs caps the worker goroutines of the level-parallel forward
+	// pass; <= 1 maps serially. Results are bit-identical at any value.
+	Jobs int
+	// Macros shares memoized macro covers across calls (and, through
+	// its pipeline.Cache backing, across sessions and restarts). nil
+	// falls back to a private per-call cache.
+	Macros *MacroCache
 }
 
 // DefaultOptions returns the configuration used throughout the
 // reproduction: 4-LUTs, 8 cuts per node, power-driven mapping with the
-// paper's source assumptions.
+// paper's source assumptions, macro reuse auto-engaged on large nets.
 func DefaultOptions() Options {
 	return Options{K: 4, Keep: 8, Mode: ModePower, Sources: prob.DefaultSources()}
 }
@@ -93,6 +123,18 @@ func OptionsForArch(t arch.Target) Options {
 	o := DefaultOptions()
 	o.K = t.K
 	return o
+}
+
+// coverFP fingerprints the options that determine a canonical macro
+// cover's content. MacroReuse/MacroMinGates are deliberately excluded:
+// they decide whether covers are used, never what a cover contains, so
+// MacroOn and MacroAuto share cache entries.
+func (o Options) coverFP() string {
+	h := pipeline.NewHasher()
+	h.Int(o.K).Int(o.Keep).Int(int(o.Mode))
+	h.F64(o.Sources.InputP).F64(o.Sources.InputS)
+	h.F64(o.Sources.LatchP).F64(o.Sources.LatchS)
+	return h.Sum()
 }
 
 // Result is a completed mapping.
@@ -111,6 +153,15 @@ type Result struct {
 	EstSA float64
 	// EstGlitch is the glitch portion of EstSA.
 	EstGlitch float64
+
+	// MacroInstances counts the macro instances covered by memoized
+	// canonical covers (0 when macro reuse did not engage).
+	MacroInstances int
+	// MacroDistinct counts the distinct cover keys among those
+	// instances; MacroInstances - MacroDistinct covers were reused.
+	MacroDistinct int
+	// MacroGates counts original gates inside covered macros.
+	MacroGates int
 }
 
 type nodeState struct {
@@ -118,6 +169,32 @@ type nodeState struct {
 	wave    glitch.Waveform
 	arrival int
 	flow    float64 // objective flow value of the selected cut
+}
+
+// mapWorker bundles the per-worker reusable state of the forward pass:
+// cut-enumeration scratch, a private glitch estimator (its memo is
+// exact, so per-worker memo state never changes values), and small
+// buffers.
+type mapWorker struct {
+	scratch   *cuts.Scratch
+	est       *glitch.Estimator
+	waves     []glitch.Waveform
+	faninSets [][]cuts.Cut
+	arrs      []int
+	flowIns   []float64
+}
+
+func newMapWorker() *mapWorker {
+	return &mapWorker{scratch: cuts.NewScratch(), est: glitch.NewEstimator()}
+}
+
+var errNoCut = errors.New("no implementable cut")
+
+// mapTask is one unit of the forward pass: a whole macro instance
+// (macro >= 0, an index into the instance list) or a single glue gate.
+type mapTask struct {
+	macro int
+	gate  int
 }
 
 // Map covers the combinational logic of net with K-input LUTs.
@@ -135,82 +212,360 @@ func Map(net *logic.Network, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("mapper: K=%d smaller than widest gate (%d inputs); decompose first", opt.K, maxFanin)
 	}
 
+	n := net.NumNodes()
 	fanout := net.FanoutCounts()
-	states := make([]*nodeState, net.NumNodes())
+	states := make([]nodeState, n)
+	sets := make([][]cuts.Cut, n)
 
-	// Forward pass: enumerate cuts per node, evaluate each cut's output
-	// waveform from the leaves' selected waveforms, and keep the best.
-	sets := make([][]cuts.Cut, net.NumNodes())
-	for _, id := range net.TopoOrder() {
+	// Sources: fixed waveforms, trivial cut sets.
+	for id := 0; id < n; id++ {
 		nd := net.Node(id)
-		st := &nodeState{}
 		switch nd.Kind {
 		case logic.KindInput:
-			st.wave = glitch.SourceWaveform(opt.Sources.InputP, opt.Sources.InputS)
+			states[id].wave = glitch.SourceWaveform(opt.Sources.InputP, opt.Sources.InputS)
 			sets[id] = []cuts.Cut{cuts.Trivial(id)}
 		case logic.KindLatchOut:
-			st.wave = glitch.SourceWaveform(opt.Sources.LatchP, opt.Sources.LatchS)
+			states[id].wave = glitch.SourceWaveform(opt.Sources.LatchP, opt.Sources.LatchS)
 			sets[id] = []cuts.Cut{cuts.Trivial(id)}
 		case logic.KindConst:
-			st.wave = glitch.ConstWaveform(nd.ConstVal)
+			states[id].wave = glitch.ConstWaveform(nd.ConstVal)
 			sets[id] = []cuts.Cut{cuts.Trivial(id)}
-		case logic.KindGate:
-			faninSets := make([][]cuts.Cut, len(nd.Fanins))
-			for i, f := range nd.Fanins {
-				faninSets[i] = sets[f]
-			}
-			candidates := cuts.EnumerateNode(nd, faninSets, opt.K)
-			bestIdx := -1
-			var bestWave glitch.Waveform
-			var bestArr int
-			var bestFlow float64
-			for i, c := range candidates {
-				if len(c.Leaves) == 1 && c.Leaves[0] == id {
-					continue // trivial self-cut is not implementable
-				}
-				arr := 0
-				flowIn := 0.0
-				leafWaves := make([]glitch.Waveform, len(c.Leaves))
-				for j, l := range c.Leaves {
-					ls := states[l]
-					if ls.arrival+1 > arr {
-						arr = ls.arrival + 1
-					}
-					leafWaves[j] = ls.wave
-					fo := fanout[l]
-					if fo < 1 {
-						fo = 1
-					}
-					flowIn += ls.flow / float64(fo)
-				}
-				wave := glitch.Propagate(c.Func, leafWaves)
-				var flow float64
-				switch opt.Mode {
-				case ModeArea:
-					flow = 1 + flowIn
-				default:
-					flow = wave.Total() + flowIn
-				}
-				if bestIdx < 0 || better(opt.Mode, flow, arr, len(c.Leaves), bestFlow, bestArr, len(candidates[bestIdx].Leaves)) {
-					bestIdx, bestWave, bestArr, bestFlow = i, wave, arr, flow
-				}
-			}
-			if bestIdx < 0 {
-				return nil, fmt.Errorf("mapper: node %d (%s) has no implementable cut", id, nd.Name)
-			}
-			st.best = candidates[bestIdx]
-			st.wave = bestWave
-			st.arrival = bestArr
-			st.flow = bestFlow
-			// Prune the candidate set for consumers upstream.
-			sets[id] = cuts.Prune(id, candidates, opt.Keep, func(_ int, a, b cuts.Cut) bool {
-				return len(a.Leaves) < len(b.Leaves)
-			})
 		}
-		states[id] = st
 	}
 
-	return extractCover(net, states, opt)
+	macros := activeMacros(net, opt)
+	var instances []macroInstance
+	if len(macros) > 0 {
+		fp := opt.coverFP()
+		instances = make([]macroInstance, len(macros))
+		for i, m := range macros {
+			instances[i] = analyzeMacro(net, m, fp)
+		}
+	}
+	mc := opt.Macros
+	if mc == nil && len(instances) > 0 {
+		mc = NewMacroCache(nil, "")
+	}
+
+	levels := buildPlan(net, instances)
+
+	runTask := func(t mapTask, w *mapWorker) error {
+		if t.macro >= 0 {
+			inst := &instances[t.macro]
+			cover, err := mc.do(inst.key, func() (*MacroCover, error) {
+				return computeMacroCover(net, *inst, opt)
+			})
+			if err == nil && !coverFits(cover, *inst) {
+				// A corrupt or colliding stored cover: recompute fresh,
+				// bypassing the cache.
+				cover, err = computeMacroCover(net, *inst, opt)
+			}
+			if err != nil {
+				return err
+			}
+			stitchMacro(*inst, cover, states, sets)
+			return nil
+		}
+		return mapGate(net, t.gate, states, sets, fanout, opt, w)
+	}
+
+	if opt.Jobs <= 1 {
+		w := newMapWorker()
+		for _, tasks := range levels {
+			for _, t := range tasks {
+				if err := runTask(t, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else if err := runLevelsParallel(levels, opt.Jobs, runTask); err != nil {
+		return nil, err
+	}
+
+	res, err := extractCover(net, states, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) > 0 {
+		distinct := make(map[string]struct{}, len(instances))
+		for _, inst := range instances {
+			distinct[inst.key] = struct{}{}
+			res.MacroGates += inst.m.Hi - inst.m.Lo
+		}
+		res.MacroInstances = len(instances)
+		res.MacroDistinct = len(distinct)
+	}
+	return res, nil
+}
+
+// runLevelsParallel executes each level's tasks over a worker pool.
+// Within a level all tasks are independent (they read only lower-level
+// slots and write only their own), so scheduling order cannot affect
+// the Result; the wait at each level boundary supplies the
+// happens-before edge for the next level's reads.
+func runLevelsParallel(levels [][]mapTask, jobs int, run func(mapTask, *mapWorker) error) error {
+	workers := make([]*mapWorker, jobs)
+	for i := range workers {
+		workers[i] = newMapWorker()
+	}
+	var errs []error
+	for _, tasks := range levels {
+		if len(tasks) == 0 {
+			continue
+		}
+		if cap(errs) < len(tasks) {
+			errs = make([]error, len(tasks))
+		}
+		errs = errs[:len(tasks)]
+		for i := range errs {
+			errs[i] = nil
+		}
+		nw := jobs
+		if nw > len(tasks) {
+			nw = len(tasks)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for wi := 0; wi < nw; wi++ {
+			go func(w *mapWorker) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					errs[i] = run(tasks[i], w)
+				}
+			}(workers[wi])
+		}
+		wg.Wait()
+		// First error in task order, for a deterministic report.
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildPlan groups the forward-pass work into condensed dependency
+// levels: tasks are macro instances (supernodes) and glue-gate
+// singletons; a task's level is 1 + the maximum level among the nodes
+// it reads. One ascending-ID pass suffices: a macro's external
+// references all precede its range, so its level is final by the time
+// its first gate is visited, and glue reading macro internals always
+// follows the whole macro in ID order.
+func buildPlan(net *logic.Network, instances []macroInstance) [][]mapTask {
+	n := net.NumNodes()
+	nodeLevel := make([]int32, n)
+	owner := make([]int32, n) // instance index + 1; 0 = glue
+	for mi := range instances {
+		for id := instances[mi].m.Lo; id < instances[mi].m.Hi; id++ {
+			owner[id] = int32(mi + 1)
+		}
+	}
+	var levels [][]mapTask
+	add := func(lvl int32, t mapTask) {
+		for len(levels) <= int(lvl) {
+			levels = append(levels, nil)
+		}
+		levels[lvl] = append(levels[lvl], t)
+	}
+	for id := 0; id < n; id++ {
+		nd := net.Node(id)
+		if nd.Kind != logic.KindGate {
+			continue // sources stay at level 0
+		}
+		if o := owner[id]; o != 0 {
+			inst := &instances[o-1]
+			if id != inst.m.Lo {
+				continue
+			}
+			lvl := int32(1)
+			for _, f := range inst.extIDs {
+				if nodeLevel[f]+1 > lvl {
+					lvl = nodeLevel[f] + 1
+				}
+			}
+			for g := inst.m.Lo; g < inst.m.Hi; g++ {
+				nodeLevel[g] = lvl
+			}
+			add(lvl, mapTask{macro: int(o - 1)})
+			continue
+		}
+		lvl := int32(1)
+		for _, f := range nd.Fanins {
+			if nodeLevel[f]+1 > lvl {
+				lvl = nodeLevel[f] + 1
+			}
+		}
+		nodeLevel[id] = lvl
+		add(lvl, mapTask{macro: -1, gate: id})
+	}
+	return levels
+}
+
+// mapGate runs the per-gate forward step: enumerate K-feasible cuts
+// from the fanins' kept sets, evaluate each candidate's arrival, flow
+// and output waveform from the leaves' selected states, keep the best,
+// and publish the pruned candidate set. It writes only states[id] and
+// sets[id] and reads only fanin-side slots, which is what makes it safe
+// to run level-parallel.
+func mapGate(net *logic.Network, id int, states []nodeState, sets [][]cuts.Cut, fanout []int, opt Options, w *mapWorker) error {
+	nd := net.Node(id)
+	faninSets := w.faninSets[:0]
+	for _, f := range nd.Fanins {
+		faninSets = append(faninSets, sets[f])
+	}
+	w.faninSets = faninSets
+	candidates := w.scratch.EnumerateNode(nd, faninSets, opt.K)
+	var (
+		bestIdx  int
+		bestWave glitch.Waveform
+		bestArr  int
+		bestFlow float64
+	)
+	switch opt.Mode {
+	case ModeDepth:
+		bestIdx, bestWave, bestArr, bestFlow = selectDepth(id, candidates, states, fanout, w)
+	case ModeArea:
+		bestIdx, bestWave, bestArr, bestFlow = selectArea(id, candidates, states, fanout, w)
+	default:
+		bestIdx, bestWave, bestArr, bestFlow = selectFlow(id, candidates, states, fanout, opt.Mode, w)
+	}
+	if bestIdx < 0 {
+		return &MapError{Node: nodeName(net, id), Err: errNoCut}
+	}
+	st := nodeState{best: candidates[bestIdx], wave: bestWave, arrival: bestArr, flow: bestFlow}
+	// Prune the candidate set for consumers upstream, then detach it
+	// from the scratch's reused backing array.
+	kept := cuts.Prune(id, candidates, opt.Keep, func(_ int, a, b cuts.Cut) bool {
+		return len(a.Leaves) < len(b.Leaves)
+	})
+	cp := make([]cuts.Cut, len(kept))
+	copy(cp, kept)
+	states[id] = st
+	sets[id] = cp
+	return nil
+}
+
+// candMeasure computes a candidate cut's arrival time and fanout-shared
+// flow-in from the leaves' selected states, without touching waveforms.
+func candMeasure(c cuts.Cut, states []nodeState, fanout []int) (arr int, flowIn float64) {
+	for _, l := range c.Leaves {
+		ls := &states[l]
+		if ls.arrival+1 > arr {
+			arr = ls.arrival + 1
+		}
+		fo := fanout[l]
+		if fo < 1 {
+			fo = 1
+		}
+		flowIn += ls.flow / float64(fo)
+	}
+	return arr, flowIn
+}
+
+// candWave propagates the candidate's output waveform from the leaves'
+// selected waveforms.
+func candWave(c cuts.Cut, states []nodeState, w *mapWorker) glitch.Waveform {
+	leafWaves := w.waves[:0]
+	for _, l := range c.Leaves {
+		leafWaves = append(leafWaves, states[l].wave)
+	}
+	w.waves = leafWaves[:0]
+	return w.est.Propagate(c.Func, leafWaves)
+}
+
+// selectFlow is flow-first (ModePower) selection. The flow objective is
+// the propagated waveform's activity, so every candidate pays a
+// propagation.
+func selectFlow(id int, candidates []cuts.Cut, states []nodeState, fanout []int, mode Mode, w *mapWorker) (int, glitch.Waveform, int, float64) {
+	bestIdx := -1
+	var bestWave glitch.Waveform
+	var bestArr int
+	var bestFlow float64
+	for i, c := range candidates {
+		if len(c.Leaves) == 1 && c.Leaves[0] == id {
+			continue // trivial self-cut is not implementable
+		}
+		arr, flowIn := candMeasure(c, states, fanout)
+		wave := candWave(c, states, w)
+		flow := wave.Total() + flowIn
+		if bestIdx < 0 || better(mode, flow, arr, len(c.Leaves), bestFlow, bestArr, len(candidates[bestIdx].Leaves)) {
+			bestIdx, bestWave, bestArr, bestFlow = i, wave, arr, flow
+		}
+	}
+	return bestIdx, bestWave, bestArr, bestFlow
+}
+
+// selectDepth is arrival-first (ModeDepth) selection. Arrival and
+// flow-in are cheap integer/float reductions; the waveform matters only
+// for the flow tiebreak among minimum-arrival candidates, so
+// propagation — the dominant per-candidate cost — runs exclusively for
+// those. The winner, its waveform, and the published state are
+// bit-identical to exhaustive evaluation: a candidate above the minimum
+// arrival can never win the (arrival, flow, leaves) lexicographic
+// comparison, and ties keep the first-seen candidate in both forms.
+func selectDepth(id int, candidates []cuts.Cut, states []nodeState, fanout []int, w *mapWorker) (int, glitch.Waveform, int, float64) {
+	arrs := w.arrs[:0]
+	flowIns := w.flowIns[:0]
+	minArr := -1
+	for _, c := range candidates {
+		if len(c.Leaves) == 1 && c.Leaves[0] == id {
+			arrs = append(arrs, -1) // trivial self-cut is not implementable
+			flowIns = append(flowIns, 0)
+			continue
+		}
+		arr, flowIn := candMeasure(c, states, fanout)
+		arrs = append(arrs, arr)
+		flowIns = append(flowIns, flowIn)
+		if minArr < 0 || arr < minArr {
+			minArr = arr
+		}
+	}
+	w.arrs, w.flowIns = arrs, flowIns
+	bestIdx := -1
+	var bestWave glitch.Waveform
+	var bestFlow float64
+	if minArr < 0 {
+		return -1, bestWave, 0, 0
+	}
+	for i, c := range candidates {
+		if arrs[i] != minArr { // arrivals are >= 1, so this also skips trivial cuts
+			continue
+		}
+		wave := candWave(c, states, w)
+		flow := wave.Total() + flowIns[i]
+		if bestIdx < 0 || flow < bestFlow || (flow == bestFlow && len(c.Leaves) < len(candidates[bestIdx].Leaves)) {
+			bestIdx, bestWave, bestFlow = i, wave, flow
+		}
+	}
+	return bestIdx, bestWave, minArr, bestFlow
+}
+
+// selectArea is area-mode selection: the flow objective (1 + flow-in)
+// is waveform-independent, so only the winning cut is propagated.
+func selectArea(id int, candidates []cuts.Cut, states []nodeState, fanout []int, w *mapWorker) (int, glitch.Waveform, int, float64) {
+	bestIdx := -1
+	var bestArr int
+	var bestFlow float64
+	for i, c := range candidates {
+		if len(c.Leaves) == 1 && c.Leaves[0] == id {
+			continue // trivial self-cut is not implementable
+		}
+		arr, flowIn := candMeasure(c, states, fanout)
+		flow := 1 + flowIn
+		if bestIdx < 0 || better(ModeArea, flow, arr, len(c.Leaves), bestFlow, bestArr, len(candidates[bestIdx].Leaves)) {
+			bestIdx, bestArr, bestFlow = i, arr, flow
+		}
+	}
+	if bestIdx < 0 {
+		return -1, glitch.Waveform{}, 0, 0
+	}
+	return bestIdx, candWave(candidates[bestIdx], states, w), bestArr, bestFlow
 }
 
 // better compares candidate cut costs lexicographically per mode.
@@ -238,7 +593,7 @@ func better(mode Mode, flow float64, arr, leaves int, bFlow float64, bArr, bLeav
 // extractCover walks backward from the roots (primary outputs and latch
 // D inputs), instantiating one LUT per needed node, then rebuilds a
 // LUT-level logic.Network and evaluates the cover's SA.
-func extractCover(net *logic.Network, states []*nodeState, opt Options) (*Result, error) {
+func extractCover(net *logic.Network, states []nodeState, opt Options) (*Result, error) {
 	needed := make([]bool, net.NumNodes())
 	var need func(int)
 	need = func(id int) {
@@ -288,7 +643,10 @@ func extractCover(net *logic.Network, states []*nodeState, opt Options) (*Result
 		fanins := make([]int, len(c.Leaves))
 		for i, l := range c.Leaves {
 			if nodeMap[l] < 0 {
-				return nil, fmt.Errorf("mapper: internal error: leaf %d unmapped", l)
+				return nil, &MapError{
+					Node: nodeName(net, nd.ID),
+					Err:  fmt.Errorf("internal error: cut leaf %s unmapped", nodeName(net, l)),
+				}
 			}
 			fanins[i] = nodeMap[l]
 		}
@@ -306,7 +664,7 @@ func extractCover(net *logic.Network, states []*nodeState, opt Options) (*Result
 		return nil, fmt.Errorf("mapper: produced invalid network: %w", err)
 	}
 
-	est := glitch.EstimateNetwork(mapped, opt.Sources)
+	est := glitch.EstimateNetworkJobs(mapped, opt.Sources, opt.Jobs)
 	return &Result{
 		Mapped:    mapped,
 		NodeMap:   nodeMap,

@@ -10,8 +10,25 @@ package netgen
 import (
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/logic"
 )
+
+// NetBuilder is the narrow construction surface the generators need.
+// *logic.Network satisfies it directly; datapath's parallel elaboration
+// substitutes a recording fragment that replays the same calls into the
+// final network in deterministic order, so the generators never know
+// whether they are building live or onto a tape.
+type NetBuilder interface {
+	AddGate(name string, fn *bitvec.TruthTable, fanins ...int) int
+	AddLatch(name string, init bool) int
+	AddConst(name string, v bool) int
+	ConnectLatch(q, d int)
+	NumNodes() int
+	TagMacro(name, shape string, lo int)
+}
+
+var _ NetBuilder = (*logic.Network)(nil)
 
 // DefaultWidth is the datapath bit width used throughout the
 // reproduction when no width is specified. The paper's flow is
@@ -22,7 +39,7 @@ const DefaultWidth = 8
 // BuildAdder appends a ripple-carry adder to net computing sum = a + b +
 // cin, returning the sum bits (LSB first) and the carry out. cin may be
 // -1 for no carry in. Names are prefixed for hierarchy-style readability.
-func BuildAdder(net *logic.Network, prefix string, a, b []int, cin int) (sum []int, cout int) {
+func BuildAdder(net NetBuilder, prefix string, a, b []int, cin int) (sum []int, cout int) {
 	if len(a) != len(b) {
 		panic("netgen: adder operand widths differ")
 	}
@@ -43,7 +60,7 @@ func BuildAdder(net *logic.Network, prefix string, a, b []int, cin int) (sum []i
 
 // BuildSubtractor appends a ripple-borrow subtractor computing a - b
 // (two's complement: a + ^b + 1), returning the difference bits.
-func BuildSubtractor(net *logic.Network, prefix string, a, b []int) []int {
+func BuildSubtractor(net NetBuilder, prefix string, a, b []int) []int {
 	nb := make([]int, len(b))
 	for i := range b {
 		nb[i] = net.AddGate(fmt.Sprintf("%snb%d", prefix, i), logic.TTNot(), b[i])
@@ -58,7 +75,7 @@ func BuildSubtractor(net *logic.Network, prefix string, a, b []int) []int {
 // Partial products are accumulated with ripple adders row by row; the
 // long unbalanced carry chains are exactly the structures whose glitches
 // the paper's estimator targets.
-func BuildMultiplier(net *logic.Network, prefix string, a, b []int) []int {
+func BuildMultiplier(net NetBuilder, prefix string, a, b []int) []int {
 	if len(a) != len(b) {
 		panic("netgen: multiplier operand widths differ")
 	}
@@ -96,7 +113,7 @@ func BuildMultiplier(net *logic.Network, prefix string, a, b []int) []int {
 // sel supplies ceil(log2(K)) select lines (LSB first); data[k] is the
 // W-bit input selected when the select value equals k. Returns the W
 // output bits. K = 1 returns data[0] unchanged (no hardware).
-func BuildMux(net *logic.Network, prefix string, sel []int, data [][]int) []int {
+func BuildMux(net NetBuilder, prefix string, sel []int, data [][]int) []int {
 	k := len(data)
 	if k == 0 {
 		panic("netgen: mux with no data inputs")
@@ -114,6 +131,7 @@ func BuildMux(net *logic.Network, prefix string, sel []int, data [][]int) []int 
 	if len(sel) < need {
 		panic(fmt.Sprintf("netgen: mux of %d inputs needs %d select lines, got %d", k, need, len(sel)))
 	}
+	lo := net.NumNodes()
 	cur := make([][]int, k)
 	copy(cur, data)
 	level := 0
@@ -135,13 +153,14 @@ func BuildMux(net *logic.Network, prefix string, sel []int, data [][]int) []int 
 		cur = next
 		level++
 	}
+	net.TagMacro(prefix+"mux", fmt.Sprintf("mux/%d/%d", k, w), lo)
 	return cur[0]
 }
 
 // BuildRegister appends a W-bit register (bank of D flip-flops) with the
 // given initial value, returning the Q bits. The D inputs are connected
 // immediately from d.
-func BuildRegister(net *logic.Network, prefix string, d []int, init bool) []int {
+func BuildRegister(net NetBuilder, prefix string, d []int, init bool) []int {
 	q := make([]int, len(d))
 	for i := range d {
 		q[i] = net.AddLatch(fmt.Sprintf("%sq%d", prefix, i), init)

@@ -19,7 +19,7 @@ const (
 )
 
 // BuildFU appends the gate-level implementation of an FU to net.
-func BuildFU(net *logic.Network, kind FUKind, prefix string, a, b []int) []int {
+func BuildFU(net NetBuilder, kind FUKind, prefix string, a, b []int) []int {
 	switch kind {
 	case FUAdd:
 		s, _ := BuildAdder(net, prefix, a, b, -1)

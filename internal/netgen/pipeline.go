@@ -13,7 +13,7 @@ import (
 // cuts shorten the worst combinational cone roughly in proportion,
 // which is what buys the faster clock the multi-cycle extension is
 // after.
-func BuildPipelinedMultiplier(net *logic.Network, prefix string, a, b []int, stages int) []int {
+func BuildPipelinedMultiplier(net NetBuilder, prefix string, a, b []int, stages int) []int {
 	if len(a) != len(b) {
 		panic("netgen: multiplier operand widths differ")
 	}

@@ -62,44 +62,55 @@ func (m MultArch) String() string {
 	return fmt.Sprintf("mult(%d)", int(m))
 }
 
-// BuildAdderArch appends the selected adder architecture.
-func BuildAdderArch(net *logic.Network, arch AdderArch, prefix string, a, b []int) []int {
+// BuildAdderArch appends the selected adder architecture. The built
+// range is tagged as a macro; architectures whose structure includes
+// constant nodes (CLA, carry-select) are demoted back to glue by the
+// mapper's validation, so only the all-gate ripple core is memoized.
+func BuildAdderArch(net NetBuilder, arch AdderArch, prefix string, a, b []int) []int {
+	lo := net.NumNodes()
+	var sum []int
 	switch arch {
 	case AdderCLA:
-		return buildCLA(net, prefix, a, b)
+		sum = buildCLA(net, prefix, a, b)
 	case AdderCarrySelect:
-		return buildCarrySelect(net, prefix, a, b)
+		sum = buildCarrySelect(net, prefix, a, b)
 	default:
-		sum, _ := BuildAdder(net, prefix, a, b, -1)
-		return sum
+		sum, _ = BuildAdder(net, prefix, a, b, -1)
 	}
+	net.TagMacro(prefix+"add", fmt.Sprintf("add/%s/%d", arch, len(a)), lo)
+	return sum
 }
 
-// BuildMultArch appends the selected multiplier architecture.
-func BuildMultArch(net *logic.Network, arch MultArch, prefix string, a, b []int) []int {
+// BuildMultArch appends the selected multiplier architecture, tagged as
+// a macro (see BuildAdderArch on constant-node demotion).
+func BuildMultArch(net NetBuilder, arch MultArch, prefix string, a, b []int) []int {
+	lo := net.NumNodes()
+	var p []int
 	switch arch {
 	case MultWallace:
-		return buildWallace(net, prefix, a, b)
+		p = buildWallace(net, prefix, a, b)
 	default:
-		return BuildMultiplier(net, prefix, a, b)
+		p = BuildMultiplier(net, prefix, a, b)
 	}
+	net.TagMacro(prefix+"mult", fmt.Sprintf("mult/%s/%d", arch, len(a)), lo)
+	return p
 }
 
 // wideAnd and wideOr build n-ary gates as trees of up-to-4-input gates
 // (one 4-LUT each after mapping), keeping lookahead logic shallow.
-func wideAnd(net *logic.Network, prefix string, ins []int) int {
+func wideAnd(net NetBuilder, prefix string, ins []int) int {
 	return wideGate(net, prefix, ins, func(n int) *bitvec.TruthTable {
 		return bitvec.FromFunc(n, func(a uint) bool { return a == 1<<uint(n)-1 })
 	})
 }
 
-func wideOr(net *logic.Network, prefix string, ins []int) int {
+func wideOr(net NetBuilder, prefix string, ins []int) int {
 	return wideGate(net, prefix, ins, func(n int) *bitvec.TruthTable {
 		return bitvec.FromFunc(n, func(a uint) bool { return a != 0 })
 	})
 }
 
-func wideGate(net *logic.Network, prefix string, ins []int, tt func(int) *bitvec.TruthTable) int {
+func wideGate(net NetBuilder, prefix string, ins []int, tt func(int) *bitvec.TruthTable) int {
 	if len(ins) == 0 {
 		panic("netgen: wide gate with no inputs")
 	}
@@ -129,7 +140,7 @@ func wideGate(net *logic.Network, prefix string, ins []int, tt func(int) *bitvec
 // generate/propagate, group G/P in two wide-gate levels, a short
 // inter-group carry chain, and in-group carry expansion — the classic
 // structure, shallow because each lookahead term is one 4-LUT.
-func buildCLA(net *logic.Network, prefix string, a, b []int) []int {
+func buildCLA(net NetBuilder, prefix string, a, b []int) []int {
 	if len(a) != len(b) {
 		panic("netgen: adder operand widths differ")
 	}
@@ -176,7 +187,7 @@ func buildCLA(net *logic.Network, prefix string, a, b []int) []int {
 // buildCarrySelect splits the operands in half: the low half is a ripple
 // adder; the high half is computed for both carry-in hypotheses and
 // selected by the low half's carry out.
-func buildCarrySelect(net *logic.Network, prefix string, a, b []int) []int {
+func buildCarrySelect(net NetBuilder, prefix string, a, b []int) []int {
 	if len(a) != len(b) {
 		panic("netgen: adder operand widths differ")
 	}
@@ -202,7 +213,7 @@ func buildCarrySelect(net *logic.Network, prefix string, a, b []int) []int {
 // buildWallace reduces the truncated partial-product matrix with 3:2
 // carry-save compressors until two rows remain, then adds them with a
 // ripple adder.
-func buildWallace(net *logic.Network, prefix string, a, b []int) []int {
+func buildWallace(net NetBuilder, prefix string, a, b []int) []int {
 	if len(a) != len(b) {
 		panic("netgen: multiplier operand widths differ")
 	}

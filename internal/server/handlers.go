@@ -434,7 +434,11 @@ type Statsz struct {
 	Draining bool  `json:"draining"`
 
 	Stages map[string]pipeline.Stats `json:"stages"`
-	Store  *StoreStatsz              `json:"store,omitempty"`
+	// StageWallclock is the base session's cumulative per-stage
+	// wall-clock: demands, cache hits, total and compute nanoseconds —
+	// where a long-lived daemon's pipeline time has actually gone.
+	StageWallclock []flow.StageWallclock `json:"stage_wallclock,omitempty"`
+	Store          *StoreStatsz          `json:"store,omitempty"`
 
 	// Ingest reports the streaming-ingestion batcher: batches < requests
 	// under concurrent load means submissions actually shared admission
@@ -478,8 +482,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) error {
 		Panics:   s.panics.Load(),
 		WarmHits: s.warmHits.Load(),
 		Sessions: nSessions,
-		Draining: s.draining.Load(),
-		Stages:   s.base.StageStats(),
+		Draining:       s.draining.Load(),
+		Stages:         s.base.StageStats(),
+		StageWallclock: s.base.StageWallclock(),
 		Ingest: IngestStatsz{
 			Requests: s.ingestRequests.Load(),
 			Batches:  s.ingestBatches.Load(),
